@@ -1,0 +1,53 @@
+//! Benchmarks of the classifier (Section III-C): single-window inference with the
+//! paper's 2-layer network, inference with a deeper ablation network, and the cost
+//! of one training epoch.
+
+use adasense_ml::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn synthetic_features(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let class = i % 6;
+            (0..15)
+                .map(|d| class as f64 * 0.3 + 0.1 * d as f64 + rng.random_range(-0.2..0.2))
+                .collect()
+        })
+        .collect();
+    let y: Vec<usize> = (0..n).map(|i| i % 6).collect();
+    (x, y)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let paper = Mlp::new(MlpConfig::paper(), &mut rng);
+    let deeper = Mlp::new(MlpConfig::new(15, vec![32, 32], 6), &mut rng);
+    let features: Vec<f64> = (0..15).map(|d| 0.1 * d as f64).collect();
+
+    let mut group = c.benchmark_group("classifier_inference");
+    group.bench_function("paper_15x24x6", |b| {
+        b.iter(|| black_box(paper.predict(black_box(&features))))
+    });
+    group.bench_function("ablation_15x32x32x6", |b| {
+        b.iter(|| black_box(deeper.predict(black_box(&features))))
+    });
+    group.finish();
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let (x, y) = synthetic_features(600, 3);
+    let mut group = c.benchmark_group("classifier_training");
+    group.sample_size(10);
+    group.bench_function("one_epoch_600_windows", |b| {
+        let trainer = Trainer::new(TrainerConfig { epochs: 1, ..TrainerConfig::default() });
+        b.iter(|| black_box(trainer.train(&MlpConfig::paper(), black_box(&x), black_box(&y), 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_training_epoch);
+criterion_main!(benches);

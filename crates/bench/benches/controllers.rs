@@ -1,0 +1,62 @@
+//! Benchmarks of the adaptive sensing controllers (Fig. 3/4 and the Fig. 7
+//! baseline): the per-epoch decision cost of SPOT, SPOT with confidence and the
+//! intensity-based approach, plus the intensity (derivative) computation the paper
+//! argues AdaSense avoids.
+
+use adasense::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn decision_stream(n: usize) -> Vec<ControllerInput> {
+    (0..n)
+        .map(|i| ControllerInput {
+            // Mostly stable activity with a change every 25 epochs.
+            predicted: if (i / 25) % 2 == 0 { Activity::Sit } else { Activity::Walk },
+            confidence: 0.7 + 0.3 * ((i % 10) as f64 / 10.0),
+            intensity_g_per_s: if (i / 25) % 2 == 0 { 3.0 } else { 9.0 },
+        })
+        .collect()
+}
+
+fn bench_controller_decisions(c: &mut Criterion) {
+    let inputs = decision_stream(1000);
+    let spec = ExperimentSpec::quick();
+    let mut group = c.benchmark_group("controller_1000_epochs");
+    let kinds = [
+        ("spot", ControllerKind::Spot { stability_threshold: 10 }),
+        (
+            "spot_confidence",
+            ControllerKind::SpotWithConfidence { stability_threshold: 10, confidence_threshold: 0.85 },
+        ),
+        ("static", ControllerKind::StaticHigh),
+        ("intensity_based", ControllerKind::IntensityBased),
+    ];
+    for (name, kind) in kinds {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut controller = kind.build(&spec);
+                for input in &inputs {
+                    black_box(controller.observe(black_box(input)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_intensity_computation(c: &mut Criterion) {
+    // The data-processing overhead the paper says AdaSense avoids: the derivative
+    // of a 2-second window at the high-power configuration (200 samples).
+    let samples: Vec<Sample3> = (0..200)
+        .map(|k| {
+            let t = k as f64 / 100.0;
+            Sample3::new(t, 0.1, 0.2 * t.sin(), 1.0 + 0.3 * (12.0 * t).sin())
+        })
+        .collect();
+    c.bench_function("intensity_derivative_200_samples", |b| {
+        b.iter(|| black_box(mean_absolute_derivative(black_box(&samples))))
+    });
+}
+
+criterion_group!(benches, bench_controller_decisions, bench_intensity_computation);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Benchmarks of the Fig. 2 design-space-exploration building blocks: dataset window
+//! generation per configuration, the per-window evaluation path (features +
+//! dedicated classifier), and Pareto-front extraction over the 16-point cloud.
+
+use adasense::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_window_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generation_one_window_per_class");
+    group.sample_size(20);
+    for config in [SensorConfig::paper_pareto_front()[0], SensorConfig::paper_pareto_front()[3]] {
+        let spec = DatasetSpec {
+            windows_per_class_per_config: 1,
+            configs: vec![config],
+            ..DatasetSpec::quick()
+        };
+        group.bench_function(config.label(), |b| {
+            b.iter(|| black_box(WindowDataset::generate(black_box(&spec), 3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pareto_extraction(c: &mut Criterion) {
+    // A synthetic 16-point accuracy/current cloud shaped like Fig. 2.
+    let energy = EnergyModel::bmi160();
+    let evaluations: Vec<ConfigEvaluation> = SensorConfig::table_i()
+        .into_iter()
+        .enumerate()
+        .map(|(i, config)| ConfigEvaluation {
+            config,
+            accuracy: 0.91 + 0.005 * (i % 8) as f64,
+            current_ua: energy.current_ua(config),
+        })
+        .collect();
+    c.bench_function("pareto_front_16_points", |b| {
+        b.iter(|| black_box(pareto_front(black_box(&evaluations))))
+    });
+}
+
+fn bench_per_window_evaluation(c: &mut Criterion) {
+    // The DSE inner loop per window: capture, extract features, classify.
+    let config = SensorConfig::paper_pareto_front()[1];
+    let accel = Accelerometer::new(config);
+    let signal = ActivitySignalModel::canonical(Activity::Walk).realize(&SubjectParams::neutral());
+    let extractor = FeatureExtractor::paper();
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = Mlp::new(MlpConfig::paper(), &mut rng);
+    c.bench_function("dse_inner_loop_capture_extract_classify", |b| {
+        b.iter(|| {
+            let mut inner_rng = StdRng::seed_from_u64(9);
+            let window = accel.capture(&signal, 0.0, 2.0, &mut inner_rng);
+            let features = extractor.extract(&window, config.frequency.hz());
+            black_box(model.predict(features.as_slice()))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_window_generation,
+    bench_pareto_extraction,
+    bench_per_window_evaluation
+);
+criterion_main!(benches);

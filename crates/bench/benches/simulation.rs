@@ -1,0 +1,64 @@
+//! Benchmarks of the closed-loop simulator behind Figs. 5–7: simulated seconds per
+//! wall-clock second for each controller, using a small trained system.
+
+use adasense::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn shared_system() -> &'static (ExperimentSpec, TrainedSystem) {
+    static SYSTEM: OnceLock<(ExperimentSpec, TrainedSystem)> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        let spec = ExperimentSpec {
+            dataset: DatasetSpec { windows_per_class_per_config: 12, ..DatasetSpec::quick() },
+            ..ExperimentSpec::quick()
+        };
+        let system = TrainedSystem::train(&spec).expect("training succeeds");
+        (spec, system)
+    })
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let (spec, system) = shared_system();
+    let mut group = c.benchmark_group("closed_loop_60s_scenario");
+    group.sample_size(10);
+    let controllers = [
+        ("static_baseline", ControllerKind::StaticHigh),
+        ("spot_t5", ControllerKind::Spot { stability_threshold: 5 }),
+        (
+            "spot_confidence_t5",
+            ControllerKind::SpotWithConfidence { stability_threshold: 5, confidence_threshold: 0.85 },
+        ),
+        ("intensity_based", ControllerKind::IntensityBased),
+    ];
+    for (name, kind) in controllers {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = Simulator::new(spec, system)
+                    .with_controller(kind)
+                    .run(ScenarioSpec::sit_then_walk(30.0, 30.0))
+                    .expect("simulation runs");
+                black_box(report.average_current_ua())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_behavioural_trace(c: &mut Criterion) {
+    let (spec, system) = shared_system();
+    let mut group = c.benchmark_group("fig5_behavioural_trace_120s");
+    group.sample_size(10);
+    group.bench_function("spot_t9", |b| {
+        b.iter(|| {
+            black_box(
+                adasense::experiments::behavioural_trace(spec, system, 9, 60.0, 60.0)
+                    .expect("trace runs"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_behavioural_trace);
+criterion_main!(benches);

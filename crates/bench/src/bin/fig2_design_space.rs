@@ -1,0 +1,43 @@
+//! Regenerates Fig. 2: the recognition-accuracy / current-consumption trade-off of
+//! the 16 Table I configurations and the resulting Pareto front.
+//!
+//! Run with `cargo run --release -p adasense-bench --bin fig2_design_space`
+//! (add `--quick` for a reduced dataset).
+
+use adasense::dse::DesignSpaceExploration;
+use adasense_bench::RunScale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = RunScale::from_args();
+    let spec = scale.spec();
+    eprintln!("[fig2] evaluating 16 configurations (one dedicated classifier each)…");
+    let report = DesignSpaceExploration::new(spec).run()?;
+
+    println!("Fig. 2 — accelerometer configurations accuracy and power trade-off\n");
+    println!("{}", report.to_table_string());
+    println!(
+        "measured Pareto front ({} points): {}",
+        report.pareto.len(),
+        report
+            .pareto_configs()
+            .iter()
+            .map(|c| c.label())
+            .collect::<Vec<_>>()
+            .join(" > ")
+    );
+    println!(
+        "paper Pareto front    (4 points): {}",
+        adasense_sensor::SensorConfig::paper_pareto_front()
+            .iter()
+            .map(|c| c.label())
+            .collect::<Vec<_>>()
+            .join(" > ")
+    );
+    if let Some(example) = report.dominated.first() {
+        println!(
+            "example dominated point: {} is dominated by {} (the paper's example is F6.25_A128 vs F12.5_A16)",
+            example.dominated.config, example.by.config
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 5: AdaSense's behaviour over a 120-second interval in which the
+//! user sits for 60 seconds and then walks for 60 seconds — the per-second sensor
+//! current trace and the time needed to settle into the lowest-power state.
+//!
+//! Run with `cargo run --release -p adasense-bench --bin fig5_behaviour`
+//! (add `--quick` for a reduced training set).
+
+use adasense::experiments::behavioural_trace;
+use adasense_bench::{train_system, RunScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = RunScale::from_args();
+    let (spec, system) = train_system(scale)?;
+
+    // A stability threshold of 9 seconds steps through the three lower states in
+    // roughly 28 seconds, matching the paper's description of Fig. 5.
+    let stability_threshold = 9;
+    let report = behavioural_trace(&spec, &system, stability_threshold, 60.0, 60.0)?;
+
+    println!("Fig. 5 — AdaSense behavioural analysis (sit 60 s, then walk 60 s)\n");
+    println!("{}", report.to_table_string());
+    println!(
+        "paper: the sensor reaches the minimum-power configuration ~28 s after the start\n\
+         and again ~28 s after the activity change at t = 60 s."
+    );
+    Ok(())
+}

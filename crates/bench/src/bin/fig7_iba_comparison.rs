@@ -1,0 +1,30 @@
+//! Regenerates Fig. 7: AdaSense vs the intensity-based approach (IbA, NK et al. [8])
+//! in terms of power consumption and accuracy under the High / Medium / Low user
+//! activity settings.
+//!
+//! Run with `cargo run --release -p adasense-bench --bin fig7_iba_comparison`
+//! (add `--quick` for a reduced run).
+
+use adasense::experiments::iba_comparison;
+use adasense_bench::{train_system, RunScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = RunScale::from_args();
+    let (spec, system) = train_system(scale)?;
+    let settings = scale.iba_settings();
+
+    eprintln!(
+        "[fig7] simulating {} scenarios of {} s per activity setting…",
+        settings.scenarios_per_setting, settings.scenario_duration_s
+    );
+    let report = iba_comparison(&spec, &system, &settings)?;
+
+    println!("Fig. 7 — comparison between AdaSense and the Intensity-Based Approach\n");
+    println!("{}", report.to_table_string());
+    println!(
+        "paper shape: IbA power is roughly constant across settings; AdaSense consumes more\n\
+         than IbA when the activity changes every ~10 s (High) but at least 25% less for the\n\
+         Medium/Low settings, at the cost of 1–1.5 accuracy points."
+    );
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table I: the 16 sampling-frequency / averaging-window combinations,
+//! annotated with the modelled operation mode, duty cycle, current and noise.
+//!
+//! Run with `cargo run --release -p adasense-bench --bin table1_configs`.
+
+use adasense::experiments::config_table;
+use adasense_sensor::{EnergyModel, NoiseModel};
+
+fn main() {
+    let report = config_table(&EnergyModel::bmi160(), &NoiseModel::bmi160());
+    println!("Table I — accelerometer sampling frequency and averaging window combinations\n");
+    println!("{}", report.to_table_string());
+    println!(
+        "paper Pareto front: {}",
+        adasense_sensor::SensorConfig::paper_pareto_front()
+            .iter()
+            .map(|c| c.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

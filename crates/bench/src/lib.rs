@@ -1,0 +1,102 @@
+//! # adasense-bench
+//!
+//! Benchmark and experiment harness for the AdaSense reproduction.
+//!
+//! This crate contains two things:
+//!
+//! * **Experiment binaries** (`src/bin/`), one per paper table/figure.  Each binary
+//!   trains the HAR system, runs the corresponding experiment from
+//!   [`adasense::experiments`] and prints the same rows/series the paper reports.
+//!   Pass `--quick` for a reduced, fast run or `--paper` (the default) for the
+//!   full-scale reproduction.
+//! * **Criterion benches** (`benches/`), which measure the runtime cost of the
+//!   pipeline components (feature extraction, classification, controller decisions,
+//!   sensor capture) and of the experiment building blocks.
+//!
+//! The library part only holds small helpers shared by the binaries.
+
+use adasense::prelude::*;
+
+/// How large an experiment the binaries should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// Reduced dataset and shorter scenarios — finishes in seconds.
+    Quick,
+    /// The paper-scale experiment.
+    Paper,
+}
+
+impl RunScale {
+    /// Parses the scale from command-line arguments: `--quick` selects
+    /// [`RunScale::Quick`], anything else (including `--paper`) the full run.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            RunScale::Quick
+        } else {
+            RunScale::Paper
+        }
+    }
+
+    /// The experiment specification for this scale.
+    pub fn spec(self) -> ExperimentSpec {
+        match self {
+            RunScale::Quick => ExperimentSpec::quick(),
+            RunScale::Paper => ExperimentSpec::paper(),
+        }
+    }
+
+    /// The stability-sweep settings for this scale.
+    pub fn sweep_settings(self) -> experiments::StabilitySweepSettings {
+        match self {
+            RunScale::Quick => experiments::StabilitySweepSettings::quick(),
+            RunScale::Paper => experiments::StabilitySweepSettings::paper(),
+        }
+    }
+
+    /// The intensity-comparison settings for this scale.
+    pub fn iba_settings(self) -> experiments::IbaComparisonSettings {
+        match self {
+            RunScale::Quick => experiments::IbaComparisonSettings::quick(),
+            RunScale::Paper => experiments::IbaComparisonSettings::paper(),
+        }
+    }
+}
+
+/// Trains the HAR system for the selected scale, printing a short progress note.
+///
+/// # Errors
+///
+/// Propagates training errors from [`TrainedSystem::train`].
+pub fn train_system(scale: RunScale) -> Result<(ExperimentSpec, TrainedSystem), AdaSenseError> {
+    let spec = scale.spec();
+    eprintln!(
+        "[adasense-bench] training on {} windows across {} configurations…",
+        spec.dataset.total_windows(),
+        spec.dataset.configs.len()
+    );
+    let system = TrainedSystem::train(&spec)?;
+    eprintln!(
+        "[adasense-bench] unified classifier held-out accuracy: {:.2}%",
+        100.0 * system.unified_test_accuracy()
+    );
+    Ok((spec, system))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_map_to_the_expected_specs() {
+        assert_eq!(RunScale::Quick.spec(), ExperimentSpec::quick());
+        assert_eq!(RunScale::Paper.spec(), ExperimentSpec::paper());
+        assert!(
+            RunScale::Paper.sweep_settings().thresholds.len()
+                > RunScale::Quick.sweep_settings().thresholds.len()
+        );
+        assert!(
+            RunScale::Paper.iba_settings().scenario_duration_s
+                > RunScale::Quick.iba_settings().scenario_duration_s
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! The intensity-based baseline controller (NK et al. [8]).
+//!
+//! The baseline AdaSense is compared against in Fig. 7 switches the sensor "to
+//! low-power mode with low-intensity user activities (i.e. stand, sit, lie down),
+//! and operate[s] at the normal mode with more intense activities", where intensity
+//! is "the first derivative of the accelerometer readings".  It keeps a separate
+//! classifier per configuration, which the simulator selects from the trained
+//! classifier bank.
+
+use adasense_dsp::IntensityEstimator;
+use adasense_sensor::SensorConfig;
+use serde::{Deserialize, Serialize};
+
+use super::{ControllerInput, SensorController};
+
+/// The intensity-based adaptive sensing controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntensityBasedController {
+    high: SensorConfig,
+    low: SensorConfig,
+    estimator: IntensityEstimator,
+    current_is_high: bool,
+}
+
+impl IntensityBasedController {
+    /// Creates a controller switching between a high-power (normal-mode) and a
+    /// low-power configuration, with the default calibrated intensity threshold.
+    pub fn new(high: SensorConfig, low: SensorConfig) -> Self {
+        Self { high, low, estimator: IntensityEstimator::calibrated(), current_is_high: true }
+    }
+
+    /// Overrides the intensity threshold (g/s).
+    pub fn with_estimator(mut self, estimator: IntensityEstimator) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// The high-power configuration.
+    pub fn high_config(&self) -> SensorConfig {
+        self.high
+    }
+
+    /// The low-power configuration.
+    pub fn low_config(&self) -> SensorConfig {
+        self.low
+    }
+
+    /// The two configurations this controller can select, `[high, low]`.
+    pub fn configs(&self) -> [SensorConfig; 2] {
+        [self.high, self.low]
+    }
+}
+
+impl SensorController for IntensityBasedController {
+    fn config(&self) -> SensorConfig {
+        if self.current_is_high {
+            self.high
+        } else {
+            self.low
+        }
+    }
+
+    fn observe(&mut self, input: &ControllerInput) -> SensorConfig {
+        self.current_is_high = input.intensity_g_per_s > self.estimator.threshold_g_per_s;
+        self.config()
+    }
+
+    fn reset(&mut self) {
+        self.current_is_high = true;
+    }
+
+    fn name(&self) -> String {
+        "intensity-based (NK et al.)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adasense_data::Activity;
+    use adasense_sensor::{AveragingWindow, SamplingFrequency};
+
+    fn controller() -> IntensityBasedController {
+        IntensityBasedController::new(
+            SensorConfig::new(SamplingFrequency::F100, AveragingWindow::A128),
+            SensorConfig::new(SamplingFrequency::F25, AveragingWindow::A32),
+        )
+    }
+
+    fn input(intensity: f64) -> ControllerInput {
+        ControllerInput { predicted: Activity::Walk, confidence: 0.9, intensity_g_per_s: intensity }
+    }
+
+    #[test]
+    fn starts_in_the_high_power_configuration() {
+        assert_eq!(controller().config().label(), "F100_A128");
+    }
+
+    #[test]
+    fn switches_to_low_power_for_calm_signals_and_back_for_intense_ones() {
+        let mut c = controller();
+        let threshold = IntensityEstimator::calibrated().threshold_g_per_s;
+        let low = c.observe(&input(threshold * 0.2));
+        assert_eq!(low, c.low_config());
+        let high = c.observe(&input(threshold * 3.0));
+        assert_eq!(high, c.high_config());
+    }
+
+    #[test]
+    fn reset_returns_to_high_power() {
+        let mut c = controller();
+        c.observe(&input(0.0));
+        assert_eq!(c.config(), c.low_config());
+        c.reset();
+        assert_eq!(c.config(), c.high_config());
+    }
+
+    #[test]
+    fn custom_threshold_is_honoured() {
+        let mut c = controller().with_estimator(IntensityEstimator::with_threshold(100.0));
+        // Even a fairly energetic signal stays below an absurdly high threshold.
+        assert_eq!(c.observe(&input(50.0)), c.low_config());
+    }
+
+    #[test]
+    fn exposes_both_configurations() {
+        let c = controller();
+        assert_eq!(c.configs(), [c.high_config(), c.low_config()]);
+        assert!(!c.name().is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Adaptive sensing controllers.
+//!
+//! A controller decides, after every classification epoch, which sensor
+//! configuration the accelerometer should use for the next epoch (Fig. 3).  Four
+//! policies are provided:
+//!
+//! * [`SpotController`] — the paper's State Prediction Optimization Technique
+//!   (Section IV-D), optionally with the confidence extension (Section IV-E).
+//! * [`StaticController`] — the fixed high-power baseline used throughout Section V.
+//! * [`IntensityBasedController`] — the related-work baseline of NK et al. [8],
+//!   which switches between two configurations based on signal intensity.
+
+mod intensity;
+mod spot;
+mod static_hold;
+
+pub use intensity::IntensityBasedController;
+pub use spot::SpotController;
+pub use static_hold::StaticController;
+
+use adasense_data::Activity;
+use adasense_sensor::SensorConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::training::ExperimentSpec;
+
+/// What the controller gets to see after each classification epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerInput {
+    /// The activity the classifier recognized for the last batch.
+    pub predicted: Activity,
+    /// The classifier's softmax confidence for that activity.
+    pub confidence: f64,
+    /// Mean absolute derivative of the batch (g/s summed over axes) — the quantity
+    /// the intensity-based baseline switches on.  AdaSense's own controllers ignore
+    /// it (the paper highlights that avoiding this computation saves processing).
+    pub intensity_g_per_s: f64,
+}
+
+/// A policy that selects the sensor configuration for the next epoch.
+pub trait SensorController {
+    /// The configuration the sensor should currently be using.
+    fn config(&self) -> SensorConfig;
+
+    /// Feeds one classification result to the controller and returns the
+    /// configuration for the next epoch.
+    fn observe(&mut self, input: &ControllerInput) -> SensorConfig;
+
+    /// Resets the controller to its initial state (highest-power configuration).
+    fn reset(&mut self);
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> String;
+}
+
+/// A declarative description of a controller, used to configure simulations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ControllerKind {
+    /// Keep the sensor at the high-power `F100_A128` configuration forever
+    /// (the paper's accuracy/power baseline).
+    StaticHigh,
+    /// Keep the sensor at an arbitrary fixed configuration.
+    Static {
+        /// The configuration to hold.
+        config: SensorConfig,
+    },
+    /// The SPOT finite state machine over the four Pareto configurations.
+    Spot {
+        /// Number of consecutive stable epochs before stepping down one state.
+        stability_threshold: u32,
+    },
+    /// SPOT with the confidence extension: only activity changes reported with at
+    /// least this confidence reset the FSM to the high-power state.
+    SpotWithConfidence {
+        /// Number of consecutive stable epochs before stepping down one state.
+        stability_threshold: u32,
+        /// Minimum confidence for an activity change to be trusted.
+        confidence_threshold: f64,
+    },
+    /// The intensity-based approach of NK et al. [8].
+    IntensityBased,
+}
+
+impl ControllerKind {
+    /// Instantiates the controller described by `self`, using the Pareto states and
+    /// intensity-baseline configurations implied by `spec`.
+    pub fn build(&self, spec: &ExperimentSpec) -> Box<dyn SensorController> {
+        match *self {
+            ControllerKind::StaticHigh => Box::new(StaticController::high_power()),
+            ControllerKind::Static { config } => Box::new(StaticController::new(config)),
+            ControllerKind::Spot { stability_threshold } => {
+                Box::new(SpotController::paper(stability_threshold))
+            }
+            ControllerKind::SpotWithConfidence { stability_threshold, confidence_threshold } => {
+                Box::new(SpotController::paper_with_confidence(
+                    stability_threshold,
+                    confidence_threshold,
+                ))
+            }
+            ControllerKind::IntensityBased => {
+                let [high, low] = spec.intensity_configs();
+                Box::new(IntensityBasedController::new(high, low))
+            }
+        }
+    }
+
+    /// A short label used in report tables.
+    pub fn label(&self) -> String {
+        match self {
+            ControllerKind::StaticHigh => "static F100_A128".to_string(),
+            ControllerKind::Static { config } => format!("static {config}"),
+            ControllerKind::Spot { stability_threshold } => {
+                format!("SPOT (threshold {stability_threshold}s)")
+            }
+            ControllerKind::SpotWithConfidence { stability_threshold, confidence_threshold } => {
+                format!("SPOT+confidence {confidence_threshold} (threshold {stability_threshold}s)")
+            }
+            ControllerKind::IntensityBased => "intensity-based (NK et al.)".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(activity: Activity) -> ControllerInput {
+        ControllerInput { predicted: activity, confidence: 0.95, intensity_g_per_s: 0.0 }
+    }
+
+    #[test]
+    fn controller_kind_builds_every_variant() {
+        let spec = ExperimentSpec::quick();
+        let kinds = [
+            ControllerKind::StaticHigh,
+            ControllerKind::Static { config: SensorConfig::paper_pareto_front()[2] },
+            ControllerKind::Spot { stability_threshold: 3 },
+            ControllerKind::SpotWithConfidence { stability_threshold: 3, confidence_threshold: 0.85 },
+            ControllerKind::IntensityBased,
+        ];
+        for kind in kinds {
+            let mut controller = kind.build(&spec);
+            assert!(!kind.label().is_empty());
+            let before = controller.config();
+            let after = controller.observe(&input(Activity::Sit));
+            assert_eq!(controller.config(), after);
+            controller.reset();
+            let _ = before;
+        }
+    }
+
+    #[test]
+    fn every_controller_starts_at_a_known_configuration() {
+        let spec = ExperimentSpec::quick();
+        let high = SensorConfig::paper_pareto_front()[0];
+        assert_eq!(ControllerKind::StaticHigh.build(&spec).config(), high);
+        assert_eq!(ControllerKind::Spot { stability_threshold: 5 }.build(&spec).config(), high);
+        assert_eq!(ControllerKind::IntensityBased.build(&spec).config(), high);
+    }
+}

@@ -1,0 +1,283 @@
+//! The State Prediction Optimization Technique (SPOT) finite state machine.
+//!
+//! SPOT (Section IV-D) walks down a list of sensor configurations ordered from
+//! highest to lowest power.  Every classification epoch it compares the current
+//! prediction to the previous one:
+//!
+//! * **C1** — same activity, counter below the stability threshold: increment the
+//!   counter, stay in the current state.
+//! * **C2** — same activity, counter reaches the stability threshold: move to the
+//!   next lower-power state and restart the counter.
+//! * **C3** — the activity changed: jump back to the first (highest-power) state.
+//! * **C4** — same activity while already in the last state: stay there.
+//!
+//! The confidence extension (Section IV-E) only honours C3 when the classifier
+//! reports the change with a confidence above the configured threshold; low
+//! confidence changes are treated as sensor noise and ignored.
+
+use adasense_data::Activity;
+use adasense_sensor::SensorConfig;
+use serde::{Deserialize, Serialize};
+
+use super::{ControllerInput, SensorController};
+
+/// The SPOT adaptive sensing controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpotController {
+    states: Vec<SensorConfig>,
+    stability_threshold: u32,
+    confidence_threshold: Option<f64>,
+    state: usize,
+    counter: u32,
+    last_activity: Option<Activity>,
+}
+
+impl SpotController {
+    /// Creates a SPOT controller over an explicit list of states (ordered from
+    /// highest to lowest power).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty.
+    pub fn new(states: Vec<SensorConfig>, stability_threshold: u32) -> Self {
+        assert!(!states.is_empty(), "SPOT needs at least one state");
+        Self {
+            states,
+            stability_threshold,
+            confidence_threshold: None,
+            state: 0,
+            counter: 0,
+            last_activity: None,
+        }
+    }
+
+    /// SPOT over the paper's four Pareto-optimal configurations.
+    pub fn paper(stability_threshold: u32) -> Self {
+        Self::new(SensorConfig::paper_pareto_front().to_vec(), stability_threshold)
+    }
+
+    /// Adds the confidence extension: only changes reported with confidence strictly
+    /// greater than `confidence_threshold` reset the FSM.
+    pub fn with_confidence(mut self, confidence_threshold: f64) -> Self {
+        self.confidence_threshold = Some(confidence_threshold);
+        self
+    }
+
+    /// SPOT with confidence over the paper's Pareto states (the paper uses 0.85).
+    pub fn paper_with_confidence(stability_threshold: u32, confidence_threshold: f64) -> Self {
+        Self::paper(stability_threshold).with_confidence(confidence_threshold)
+    }
+
+    /// The ordered state list.
+    pub fn states(&self) -> &[SensorConfig] {
+        &self.states
+    }
+
+    /// The index of the currently active state.
+    pub fn state_index(&self) -> usize {
+        self.state
+    }
+
+    /// The stability threshold (epochs of stable activity before stepping down).
+    pub fn stability_threshold(&self) -> u32 {
+        self.stability_threshold
+    }
+
+    /// The confidence threshold, if the confidence extension is enabled.
+    pub fn confidence_threshold(&self) -> Option<f64> {
+        self.confidence_threshold
+    }
+
+    /// The activity the FSM currently compares new predictions against
+    /// ("Last Activity" in the paper's transition conditions), if any observation
+    /// has been made yet.
+    pub fn last_activity(&self) -> Option<Activity> {
+        self.last_activity
+    }
+
+    /// Whether an observed change should be trusted (confidence gate).
+    fn change_is_trusted(&self, confidence: f64) -> bool {
+        match self.confidence_threshold {
+            Some(threshold) => confidence > threshold,
+            None => true,
+        }
+    }
+}
+
+impl SensorController for SpotController {
+    fn config(&self) -> SensorConfig {
+        self.states[self.state]
+    }
+
+    fn observe(&mut self, input: &ControllerInput) -> SensorConfig {
+        match self.last_activity {
+            None => {
+                // First observation: nothing to compare against yet.
+                self.last_activity = Some(input.predicted);
+            }
+            Some(last) if last == input.predicted => {
+                // C1 / C2 / C4: stable activity.
+                if self.state + 1 < self.states.len() {
+                    self.counter += 1;
+                    if self.counter >= self.stability_threshold {
+                        self.state += 1;
+                        self.counter = 0;
+                    }
+                }
+            }
+            Some(_) => {
+                if self.change_is_trusted(input.confidence) {
+                    // C3: the activity changed — return to the high-accuracy state.
+                    self.state = 0;
+                    self.counter = 0;
+                    self.last_activity = Some(input.predicted);
+                }
+                // An untrusted change is treated as noise: state, counter and the
+                // remembered activity all stay as they were.
+            }
+        }
+        self.config()
+    }
+
+    fn reset(&mut self) {
+        self.state = 0;
+        self.counter = 0;
+        self.last_activity = None;
+    }
+
+    fn name(&self) -> String {
+        match self.confidence_threshold {
+            Some(c) => format!("SPOT+confidence({c})"),
+            None => "SPOT".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stable(activity: Activity) -> ControllerInput {
+        ControllerInput { predicted: activity, confidence: 0.99, intensity_g_per_s: 0.0 }
+    }
+
+    fn with_confidence(activity: Activity, confidence: f64) -> ControllerInput {
+        ControllerInput { predicted: activity, confidence, intensity_g_per_s: 0.0 }
+    }
+
+    #[test]
+    fn starts_at_the_highest_power_state() {
+        let spot = SpotController::paper(5);
+        assert_eq!(spot.config(), SensorConfig::paper_pareto_front()[0]);
+        assert_eq!(spot.state_index(), 0);
+    }
+
+    #[test]
+    fn steps_down_after_the_stability_threshold() {
+        let mut spot = SpotController::paper(3);
+        // First observation establishes the activity, then 3 stable epochs per step.
+        spot.observe(&stable(Activity::Sit));
+        for _ in 0..2 {
+            spot.observe(&stable(Activity::Sit));
+            assert_eq!(spot.state_index(), 0);
+        }
+        spot.observe(&stable(Activity::Sit));
+        assert_eq!(spot.state_index(), 1, "third stable epoch crosses the threshold");
+        for _ in 0..3 {
+            spot.observe(&stable(Activity::Sit));
+        }
+        assert_eq!(spot.state_index(), 2);
+        for _ in 0..3 {
+            spot.observe(&stable(Activity::Sit));
+        }
+        assert_eq!(spot.state_index(), 3);
+    }
+
+    #[test]
+    fn stays_in_the_last_state_while_stable() {
+        let mut spot = SpotController::paper(1);
+        spot.observe(&stable(Activity::Walk));
+        for _ in 0..20 {
+            spot.observe(&stable(Activity::Walk));
+        }
+        assert_eq!(spot.state_index(), 3, "must not step past the last state");
+    }
+
+    #[test]
+    fn any_activity_change_resets_to_the_first_state() {
+        let mut spot = SpotController::paper(1);
+        spot.observe(&stable(Activity::Walk));
+        for _ in 0..5 {
+            spot.observe(&stable(Activity::Walk));
+        }
+        assert!(spot.state_index() > 0);
+        spot.observe(&stable(Activity::Sit));
+        assert_eq!(spot.state_index(), 0);
+        // And the new activity becomes the reference for stability counting.
+        spot.observe(&stable(Activity::Sit));
+        spot.observe(&stable(Activity::Sit));
+        assert!(spot.state_index() > 0 || spot.stability_threshold() > 2);
+    }
+
+    #[test]
+    fn low_confidence_changes_are_ignored_with_the_confidence_extension() {
+        let mut spot = SpotController::paper_with_confidence(1, 0.85);
+        spot.observe(&stable(Activity::Walk));
+        for _ in 0..5 {
+            spot.observe(&stable(Activity::Walk));
+        }
+        let deep_state = spot.state_index();
+        assert!(deep_state > 0);
+        // A noisy, low-confidence "change" must not reset the FSM…
+        spot.observe(&with_confidence(Activity::Sit, 0.5));
+        assert_eq!(spot.state_index(), deep_state);
+        // …but a confident change must.
+        spot.observe(&with_confidence(Activity::Sit, 0.95));
+        assert_eq!(spot.state_index(), 0);
+    }
+
+    #[test]
+    fn plain_spot_resets_even_on_low_confidence_changes() {
+        let mut spot = SpotController::paper(1);
+        spot.observe(&stable(Activity::Walk));
+        for _ in 0..5 {
+            spot.observe(&stable(Activity::Walk));
+        }
+        spot.observe(&with_confidence(Activity::Sit, 0.4));
+        assert_eq!(spot.state_index(), 0);
+    }
+
+    #[test]
+    fn zero_threshold_descends_every_stable_epoch() {
+        let mut spot = SpotController::paper(0);
+        spot.observe(&stable(Activity::Stand));
+        spot.observe(&stable(Activity::Stand));
+        assert_eq!(spot.state_index(), 1);
+        spot.observe(&stable(Activity::Stand));
+        assert_eq!(spot.state_index(), 2);
+    }
+
+    #[test]
+    fn reset_restores_the_initial_state() {
+        let mut spot = SpotController::paper(1);
+        spot.observe(&stable(Activity::Walk));
+        for _ in 0..4 {
+            spot.observe(&stable(Activity::Walk));
+        }
+        spot.reset();
+        assert_eq!(spot.state_index(), 0);
+        assert_eq!(spot.config(), SensorConfig::paper_pareto_front()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn empty_state_list_is_rejected() {
+        let _ = SpotController::new(Vec::new(), 3);
+    }
+
+    #[test]
+    fn names_identify_the_variant() {
+        assert_eq!(SpotController::paper(1).name(), "SPOT");
+        assert!(SpotController::paper_with_confidence(1, 0.85).name().contains("confidence"));
+    }
+}

@@ -1,0 +1,79 @@
+//! The fixed-configuration baseline controller.
+
+use adasense_sensor::{AveragingWindow, SamplingFrequency, SensorConfig};
+use serde::{Deserialize, Serialize};
+
+use super::{ControllerInput, SensorController};
+
+/// A controller that never changes the sensor configuration.
+///
+/// With the high-power `F100_A128` configuration this is the paper's baseline: "we
+/// prevented the controller from switching among different sensor configurations"
+/// (Section V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticController {
+    config: SensorConfig,
+}
+
+impl StaticController {
+    /// Creates a controller pinned to `config`.
+    pub fn new(config: SensorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The paper's baseline: pinned to `F100_A128`.
+    pub fn high_power() -> Self {
+        Self::new(SensorConfig::new(SamplingFrequency::F100, AveragingWindow::A128))
+    }
+}
+
+impl SensorController for StaticController {
+    fn config(&self) -> SensorConfig {
+        self.config
+    }
+
+    fn observe(&mut self, _input: &ControllerInput) -> SensorConfig {
+        self.config
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> String {
+        format!("static {}", self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adasense_data::Activity;
+
+    #[test]
+    fn never_changes_configuration() {
+        let mut controller = StaticController::high_power();
+        let initial = controller.config();
+        for activity in Activity::ALL {
+            let next = controller.observe(&ControllerInput {
+                predicted: activity,
+                confidence: 0.3,
+                intensity_g_per_s: 100.0,
+            });
+            assert_eq!(next, initial);
+        }
+        controller.reset();
+        assert_eq!(controller.config(), initial);
+    }
+
+    #[test]
+    fn high_power_baseline_is_f100_a128() {
+        assert_eq!(StaticController::high_power().config().label(), "F100_A128");
+        assert!(StaticController::high_power().name().contains("F100_A128"));
+    }
+
+    #[test]
+    fn arbitrary_configurations_are_held() {
+        let config = SensorConfig::new(SamplingFrequency::F12_5, AveragingWindow::A8);
+        let controller = StaticController::new(config);
+        assert_eq!(controller.config(), config);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type of the AdaSense framework.
+
+use std::fmt;
+
+/// Errors returned by the AdaSense framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdaSenseError {
+    /// A configuration value was invalid (empty configuration list, bad fraction, …).
+    InvalidSpec {
+        /// What was wrong with the specification.
+        reason: String,
+    },
+    /// Training could not be performed (for example, an empty training set).
+    Training {
+        /// What went wrong during training.
+        reason: String,
+    },
+    /// A simulation could not be run (for example, an empty scenario).
+    Simulation {
+        /// What went wrong during simulation.
+        reason: String,
+    },
+    /// A controller was asked to operate on a configuration it does not know.
+    UnknownConfiguration {
+        /// The label of the unknown configuration.
+        label: String,
+    },
+}
+
+impl AdaSenseError {
+    /// Creates an [`AdaSenseError::InvalidSpec`] error.
+    pub fn invalid_spec(reason: impl Into<String>) -> Self {
+        Self::InvalidSpec { reason: reason.into() }
+    }
+
+    /// Creates an [`AdaSenseError::Training`] error.
+    pub fn training(reason: impl Into<String>) -> Self {
+        Self::Training { reason: reason.into() }
+    }
+
+    /// Creates an [`AdaSenseError::Simulation`] error.
+    pub fn simulation(reason: impl Into<String>) -> Self {
+        Self::Simulation { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for AdaSenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdaSenseError::InvalidSpec { reason } => write!(f, "invalid specification: {reason}"),
+            AdaSenseError::Training { reason } => write!(f, "training failed: {reason}"),
+            AdaSenseError::Simulation { reason } => write!(f, "simulation failed: {reason}"),
+            AdaSenseError::UnknownConfiguration { label } => {
+                write!(f, "unknown sensor configuration `{label}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdaSenseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let errors = [
+            AdaSenseError::invalid_spec("no configurations"),
+            AdaSenseError::training("empty training set"),
+            AdaSenseError::simulation("empty scenario"),
+            AdaSenseError::UnknownConfiguration { label: "F1_A1".into() },
+        ];
+        for error in errors {
+            let message = error.to_string();
+            assert!(!message.is_empty());
+            assert!(message.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AdaSenseError>();
+    }
+}

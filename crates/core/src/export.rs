@@ -1,0 +1,176 @@
+//! CSV export of simulation and experiment reports.
+//!
+//! The paper's figures are plots; these helpers render the corresponding series in
+//! a plotting-friendly CSV form so the benchmark binaries (or a downstream user) can
+//! pipe them straight into a plotting tool.
+
+use crate::dse::DseReport;
+use crate::experiments::{IbaComparisonReport, StabilitySweepReport};
+use crate::simulation::SimulationReport;
+
+/// CSV of a simulation run: one row per classified epoch
+/// (`t_s,config,current_ua,predicted,actual,confidence,correct`).
+pub fn simulation_to_csv(report: &SimulationReport) -> String {
+    let mut out = String::from("t_s,config,current_ua,predicted,actual,confidence,correct\n");
+    for r in report.records() {
+        out.push_str(&format!(
+            "{:.1},{},{:.3},{},{},{:.4},{}\n",
+            r.t_s,
+            r.config.label(),
+            r.current_ua,
+            r.predicted.name(),
+            r.actual.name(),
+            r.confidence,
+            r.correct
+        ));
+    }
+    out
+}
+
+/// CSV of a design-space exploration: one row per configuration
+/// (`config,current_ua,accuracy,pareto`).
+pub fn dse_to_csv(report: &DseReport) -> String {
+    let mut out = String::from("config,current_ua,accuracy,pareto\n");
+    for e in &report.evaluations {
+        let on_front = report.pareto.iter().any(|p| p.config == e.config);
+        out.push_str(&format!(
+            "{},{:.3},{:.5},{}\n",
+            e.config.label(),
+            e.current_ua,
+            e.accuracy,
+            on_front
+        ));
+    }
+    out
+}
+
+/// CSV of the stability-threshold sweep (Fig. 6a/6b series).
+pub fn stability_sweep_to_csv(report: &StabilitySweepReport) -> String {
+    let mut out = String::from(
+        "threshold_s,baseline_accuracy,spot_accuracy,spot_confidence_accuracy,\
+         baseline_current_ua,spot_current_ua,spot_confidence_current_ua\n",
+    );
+    for p in &report.points {
+        out.push_str(&format!(
+            "{},{:.5},{:.5},{:.5},{:.3},{:.3},{:.3}\n",
+            p.threshold_s,
+            p.baseline_accuracy,
+            p.spot_accuracy,
+            p.spot_confidence_accuracy,
+            p.baseline_current_ua,
+            p.spot_current_ua,
+            p.spot_confidence_current_ua
+        ));
+    }
+    out
+}
+
+/// CSV of the AdaSense vs intensity-based comparison (Fig. 7 bars).
+pub fn iba_comparison_to_csv(report: &IbaComparisonReport) -> String {
+    let mut out =
+        String::from("setting,adasense_current_ua,adasense_accuracy,iba_current_ua,iba_accuracy\n");
+    for r in &report.rows {
+        out.push_str(&format!(
+            "{},{:.3},{:.5},{:.3},{:.5}\n",
+            r.setting.label(),
+            r.adasense_current_ua,
+            r.adasense_accuracy,
+            r.iba_current_ua,
+            r.iba_accuracy
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ControllerKind;
+    use crate::simulation::{ScenarioSpec, Simulator};
+    use crate::training::{ExperimentSpec, TrainedSystem};
+    use adasense_data::{ActivityChangeSetting, DatasetSpec};
+    use adasense_ml::TrainerConfig;
+
+    fn tiny_system() -> (ExperimentSpec, TrainedSystem) {
+        let spec = ExperimentSpec {
+            dataset: DatasetSpec { windows_per_class_per_config: 6, ..DatasetSpec::quick() },
+            trainer: TrainerConfig { epochs: 10, ..TrainerConfig::default() },
+            ..ExperimentSpec::quick()
+        };
+        let system = TrainedSystem::train(&spec).expect("training succeeds");
+        (spec, system)
+    }
+
+    #[test]
+    fn simulation_csv_has_a_row_per_record_plus_header() {
+        let (spec, system) = tiny_system();
+        let report = Simulator::new(&spec, &system)
+            .with_controller(ControllerKind::Spot { stability_threshold: 2 })
+            .run(ScenarioSpec::sit_then_walk(6.0, 6.0))
+            .unwrap();
+        let csv = simulation_to_csv(&report);
+        assert_eq!(csv.lines().count(), report.records().len() + 1);
+        assert!(csv.starts_with("t_s,config"));
+        assert!(csv.contains("F100_A128"));
+    }
+
+    #[test]
+    fn sweep_and_comparison_csv_round_numbers_sensibly() {
+        use crate::experiments::{
+            iba_comparison, stability_sweep, IbaComparisonSettings, StabilitySweepSettings,
+        };
+        let (spec, system) = tiny_system();
+        let sweep = stability_sweep(
+            &spec,
+            &system,
+            &StabilitySweepSettings {
+                thresholds: vec![3],
+                scenario_duration_s: 30.0,
+                scenarios_per_point: 1,
+                setting: ActivityChangeSetting::Medium,
+                ..StabilitySweepSettings::quick()
+            },
+        )
+        .unwrap();
+        let csv = stability_sweep_to_csv(&sweep);
+        assert_eq!(csv.lines().count(), 2);
+
+        let comparison = iba_comparison(
+            &spec,
+            &system,
+            &IbaComparisonSettings {
+                scenario_duration_s: 30.0,
+                scenarios_per_setting: 1,
+                ..IbaComparisonSettings::quick()
+            },
+        )
+        .unwrap();
+        let csv = iba_comparison_to_csv(&comparison);
+        assert_eq!(csv.lines().count(), 4, "header plus one row per setting");
+        assert!(csv.contains("High") && csv.contains("Low"));
+    }
+
+    #[test]
+    fn dse_csv_marks_pareto_membership() {
+        use crate::dse::{ConfigEvaluation, DseReport};
+        use crate::pareto::{dominated_points, pareto_front};
+        use adasense_sensor::SensorConfig;
+        let evaluations: Vec<ConfigEvaluation> = SensorConfig::paper_pareto_front()
+            .iter()
+            .enumerate()
+            .map(|(i, &config)| ConfigEvaluation {
+                config,
+                accuracy: 0.98 - 0.02 * i as f64,
+                current_ua: 190.0 - 50.0 * i as f64,
+            })
+            .collect();
+        let report = DseReport {
+            pareto: pareto_front(&evaluations),
+            dominated: dominated_points(&evaluations),
+            evaluations,
+        };
+        let csv = dse_to_csv(&report);
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.contains(",true"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Pareto-front extraction over the accuracy / current trade-off.
+//!
+//! Fig. 2 of the paper plots the 16 Table I configurations in the (current,
+//! accuracy) plane and keeps the four that "dominate the others": no other
+//! configuration has both higher accuracy and lower current.  This module provides
+//! that dominance analysis for arbitrary evaluation sets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dse::ConfigEvaluation;
+
+/// Whether `a` dominates `b` in the accuracy-vs-current sense: at least as accurate
+/// and at most as power-hungry, and strictly better in at least one of the two.
+pub fn dominates(a: &ConfigEvaluation, b: &ConfigEvaluation) -> bool {
+    let no_worse = a.accuracy >= b.accuracy && a.current_ua <= b.current_ua;
+    let strictly_better = a.accuracy > b.accuracy || a.current_ua < b.current_ua;
+    no_worse && strictly_better
+}
+
+/// Returns the Pareto-optimal subset of `evaluations`, sorted from highest to lowest
+/// current (i.e. from the high-accuracy end to the low-power end, the order SPOT
+/// uses for its states).
+pub fn pareto_front(evaluations: &[ConfigEvaluation]) -> Vec<ConfigEvaluation> {
+    let mut front: Vec<ConfigEvaluation> = evaluations
+        .iter()
+        .filter(|candidate| !evaluations.iter().any(|other| dominates(other, candidate)))
+        .cloned()
+        .collect();
+    front.sort_by(|a, b| {
+        b.current_ua.partial_cmp(&a.current_ua).expect("currents are finite").then(
+            b.accuracy.partial_cmp(&a.accuracy).expect("accuracies are finite"),
+        )
+    });
+    front
+}
+
+/// A point of the accuracy/current plane that was dominated, together with one of
+/// the configurations that dominate it (for reporting, e.g. the paper's
+/// `F6.25_A128` vs `F12.5_A16` example).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DominatedBy {
+    /// The dominated evaluation.
+    pub dominated: ConfigEvaluation,
+    /// One evaluation that dominates it.
+    pub by: ConfigEvaluation,
+}
+
+/// Lists every dominated configuration together with a configuration dominating it.
+pub fn dominated_points(evaluations: &[ConfigEvaluation]) -> Vec<DominatedBy> {
+    let mut out = Vec::new();
+    for candidate in evaluations {
+        if let Some(better) = evaluations.iter().find(|other| dominates(other, candidate)) {
+            out.push(DominatedBy { dominated: candidate.clone(), by: better.clone() });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adasense_sensor::SensorConfig;
+
+    fn eval(label_index: usize, accuracy: f64, current_ua: f64) -> ConfigEvaluation {
+        let configs = SensorConfig::table_i();
+        ConfigEvaluation { config: configs[label_index], accuracy, current_ua }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        let a = eval(0, 0.95, 100.0);
+        let b = eval(1, 0.95, 100.0);
+        assert!(!dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+        let c = eval(2, 0.96, 100.0);
+        assert!(dominates(&c, &a));
+        let d = eval(3, 0.95, 90.0);
+        assert!(dominates(&d, &a));
+    }
+
+    #[test]
+    fn pareto_front_removes_dominated_points() {
+        let points = vec![
+            eval(0, 0.98, 190.0),
+            eval(8, 0.96, 95.0),
+            eval(10, 0.94, 30.0),
+            eval(14, 0.92, 16.0),
+            // Dominated: same current as eval(10) but lower accuracy.
+            eval(4, 0.90, 95.0),
+        ];
+        let front = pareto_front(&points);
+        assert_eq!(front.len(), 4);
+        assert!(front.iter().all(|e| e.accuracy >= 0.92));
+        // Sorted from highest to lowest current.
+        for pair in front.windows(2) {
+            assert!(pair[0].current_ua >= pair[1].current_ua);
+        }
+    }
+
+    #[test]
+    fn dominated_points_reports_a_dominating_witness() {
+        let points = vec![eval(0, 0.98, 190.0), eval(4, 0.93, 95.0), eval(10, 0.95, 30.0)];
+        let dominated = dominated_points(&points);
+        assert_eq!(dominated.len(), 1);
+        assert_eq!(dominated[0].dominated.config, points[1].config);
+        assert_eq!(dominated[0].by.config, points[2].config);
+    }
+
+    #[test]
+    fn single_point_is_its_own_front() {
+        let points = vec![eval(5, 0.9, 50.0)];
+        assert_eq!(pareto_front(&points), points);
+        assert!(dominated_points(&points).is_empty());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+}

@@ -1,0 +1,379 @@
+//! The closed-loop AdaSense simulator.
+//!
+//! The simulator plays a scheduled activity timeline through the simulated
+//! accelerometer, classifying the most recent two-second window once per second
+//! (Fig. 1) and letting the configured controller pick the sensor configuration for
+//! the next second (Fig. 3).  The sensor's charge consumption is integrated per
+//! one-second residency interval, which is exactly the accounting behind the
+//! paper's power numbers (Figs. 5–7).
+//!
+//! One simplification relative to real hardware: after a configuration switch the
+//! next window is re-sampled entirely under the new configuration instead of mixing
+//! samples from two configurations.  Residency is dominated by seconds-long stable
+//! periods, so this does not change any of the reported quantities noticeably.
+
+use std::collections::BTreeMap;
+
+use adasense_data::{Activity, ActivityChangeSetting, ActivitySchedule, ActivityTrace};
+use adasense_dsp::IntensityEstimator;
+use adasense_sensor::{Accelerometer, Charge, SensorConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::controller::{ControllerInput, ControllerKind};
+use crate::error::AdaSenseError;
+use crate::training::{ExperimentSpec, TrainedSystem};
+
+/// A scenario to simulate: an activity timeline plus the randomness seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// The ground-truth activity timeline.
+    pub schedule: ActivitySchedule,
+    /// Seed for subject variation and sensor noise.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// Creates a scenario from an explicit schedule.
+    pub fn from_schedule(schedule: ActivitySchedule, seed: u64) -> Self {
+        Self { schedule, seed }
+    }
+
+    /// The Fig. 5 scenario: sit for `sit_s` seconds, then walk for `walk_s` seconds.
+    pub fn sit_then_walk(sit_s: f64, walk_s: f64) -> Self {
+        Self { schedule: ActivitySchedule::sit_then_walk(sit_s, walk_s), seed: 5 }
+    }
+
+    /// A randomized scenario with the dwell-time distribution of the given user
+    /// activity setting (High / Medium / Low, as in Fig. 7).
+    pub fn random(setting: ActivityChangeSetting, duration_s: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self { schedule: ActivitySchedule::random(setting, duration_s, &mut rng), seed }
+    }
+
+    /// Total duration of the scenario, in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.schedule.total_duration_s()
+    }
+}
+
+/// One per-second record of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// End time of the epoch (the classification instant), in seconds.
+    pub t_s: f64,
+    /// Sensor configuration active during this epoch.
+    pub config: SensorConfig,
+    /// Sensor current during this epoch, in µA.
+    pub current_ua: f64,
+    /// The classifier's output for the window ending at `t_s`.
+    pub predicted: Activity,
+    /// The ground-truth activity at `t_s`.
+    pub actual: Activity,
+    /// The classifier's confidence for `predicted`.
+    pub confidence: f64,
+    /// Whether `predicted == actual`.
+    pub correct: bool,
+}
+
+/// The result of one closed-loop simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Label of the controller that produced this run.
+    pub controller: String,
+    /// Per-epoch records (one per second once the first window has filled).
+    pub records: Vec<EpochRecord>,
+    /// Total sensor charge over the run, in µC.
+    pub total_charge: Charge,
+    /// Simulated duration, in seconds.
+    pub duration_s: f64,
+    /// Seconds spent in each configuration (keyed by configuration label).
+    pub seconds_in_config: BTreeMap<String, f64>,
+}
+
+impl SimulationReport {
+    /// Recognition accuracy over every classified epoch (0–1).
+    pub fn accuracy(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.correct).count() as f64 / self.records.len() as f64
+    }
+
+    /// Average sensor current over the whole run, in µA.
+    pub fn average_current_ua(&self) -> f64 {
+        self.total_charge.average_current_ua(self.duration_s)
+    }
+
+    /// The per-epoch records.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// Fractional power reduction of this run relative to a baseline current
+    /// (e.g. the static `F100_A128` run), in the range `0..=1` for an improvement.
+    pub fn power_reduction_vs(&self, baseline_current_ua: f64) -> f64 {
+        if baseline_current_ua <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.average_current_ua() / baseline_current_ua
+    }
+
+    /// The fraction of time spent in the given configuration.
+    pub fn residency(&self, config: SensorConfig) -> f64 {
+        if self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        self.seconds_in_config.get(&config.label()).copied().unwrap_or(0.0) / self.duration_s
+    }
+
+    /// Renders the per-second current trace as `(t, µA)` pairs — the series plotted
+    /// in Fig. 5b.
+    pub fn current_trace(&self) -> Vec<(f64, f64)> {
+        self.records.iter().map(|r| (r.t_s, r.current_ua)).collect()
+    }
+}
+
+/// The closed-loop simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    spec: &'a ExperimentSpec,
+    system: &'a TrainedSystem,
+    controller: ControllerKind,
+    window_s: f64,
+    epoch_s: f64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator around a trained system.  The controller defaults to the
+    /// static high-power baseline; select another one with
+    /// [`Simulator::with_controller`].
+    pub fn new(spec: &'a ExperimentSpec, system: &'a TrainedSystem) -> Self {
+        Self { spec, system, controller: ControllerKind::StaticHigh, window_s: 2.0, epoch_s: 1.0 }
+    }
+
+    /// Selects the adaptive sensing controller to simulate.
+    pub fn with_controller(mut self, controller: ControllerKind) -> Self {
+        self.controller = controller;
+        self
+    }
+
+    /// The controller this simulator will run.
+    pub fn controller(&self) -> ControllerKind {
+        self.controller
+    }
+
+    /// Runs the closed loop over `scenario`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Simulation`] if the scenario is empty or shorter
+    /// than one classification window.
+    pub fn run(&self, scenario: ScenarioSpec) -> Result<SimulationReport, AdaSenseError> {
+        let duration = scenario.duration_s();
+        if scenario.schedule.is_empty() {
+            return Err(AdaSenseError::simulation("the scenario schedule is empty"));
+        }
+        if duration < self.window_s {
+            return Err(AdaSenseError::simulation(format!(
+                "the scenario lasts {duration} s which is shorter than one {} s window",
+                self.window_s
+            )));
+        }
+
+        let mut trace_rng = StdRng::seed_from_u64(scenario.seed.wrapping_add(1));
+        let trace = ActivityTrace::from_schedule(scenario.schedule.clone(), &mut trace_rng);
+        let mut noise_rng = StdRng::seed_from_u64(scenario.seed.wrapping_add(2));
+
+        let mut controller = self.controller.build(self.spec);
+        controller.reset();
+        let intensity_estimator = IntensityEstimator::calibrated();
+
+        let extractor = self.system.extractor();
+        let energy = self.spec.dataset.energy_model;
+        let use_bank = matches!(self.controller, ControllerKind::IntensityBased);
+
+        let mut records = Vec::new();
+        let mut total_charge = Charge::ZERO;
+        let mut seconds_in_config: BTreeMap<String, f64> = BTreeMap::new();
+
+        let steps = (duration / self.epoch_s).floor() as usize;
+        for k in 0..steps {
+            let config = controller.config();
+            total_charge += energy.charge_over(config, self.epoch_s);
+            *seconds_in_config.entry(config.label()).or_insert(0.0) += self.epoch_s;
+
+            let t_end = (k + 1) as f64 * self.epoch_s;
+            if t_end + 1e-9 < self.window_s {
+                continue; // still filling the first buffer
+            }
+
+            // Sense the last window under the active configuration.
+            let accel = Accelerometer::new(config)
+                .with_energy_model(energy)
+                .with_noise_model(self.spec.dataset.noise_model);
+            let samples = accel.capture(&trace, t_end - self.window_s, self.window_s, &mut noise_rng);
+
+            // Classify with the unified model, or with the per-configuration bank
+            // when simulating the intensity-based baseline.
+            let classifier = if use_bank {
+                self.system
+                    .bank_classifier(config)
+                    .map(|m| &m.model)
+                    .unwrap_or_else(|| self.system.unified_classifier())
+            } else {
+                self.system.unified_classifier()
+            };
+            let features = extractor.extract(&samples, config.frequency.hz());
+            let prediction = classifier.predict(features.as_slice());
+            let predicted = Activity::from_index(prediction.class)
+                .unwrap_or(Activity::Sit);
+            let actual = trace
+                .activity_at(t_end - 1e-6)
+                .expect("non-empty schedule always reports an activity");
+
+            records.push(EpochRecord {
+                t_s: t_end,
+                config,
+                current_ua: energy.current_ua(config),
+                predicted,
+                actual,
+                confidence: prediction.confidence,
+                correct: predicted == actual,
+            });
+
+            controller.observe(&ControllerInput {
+                predicted,
+                confidence: prediction.confidence,
+                intensity_g_per_s: intensity_estimator.intensity(&samples),
+            });
+        }
+
+        Ok(SimulationReport {
+            controller: self.controller.label(),
+            records,
+            total_charge,
+            duration_s: steps as f64 * self.epoch_s,
+            seconds_in_config,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adasense_data::DatasetSpec;
+    use adasense_ml::TrainerConfig;
+    use std::sync::OnceLock;
+
+    /// A tiny trained system shared by the tests in this module (training even a
+    /// small system takes a little while, so build it once).
+    fn shared_system() -> &'static (ExperimentSpec, TrainedSystem) {
+        static SYSTEM: OnceLock<(ExperimentSpec, TrainedSystem)> = OnceLock::new();
+        SYSTEM.get_or_init(|| {
+            let spec = ExperimentSpec {
+                dataset: DatasetSpec { windows_per_class_per_config: 10, ..DatasetSpec::quick() },
+                trainer: TrainerConfig { epochs: 25, ..TrainerConfig::default() },
+                ..ExperimentSpec::quick()
+            };
+            let system = TrainedSystem::train(&spec).expect("training succeeds");
+            (spec, system)
+        })
+    }
+
+    #[test]
+    fn static_baseline_never_leaves_the_high_power_configuration() {
+        let (spec, system) = shared_system();
+        let report = Simulator::new(spec, system)
+            .with_controller(ControllerKind::StaticHigh)
+            .run(ScenarioSpec::sit_then_walk(15.0, 15.0))
+            .expect("simulation runs");
+        assert_eq!(report.seconds_in_config.len(), 1);
+        assert!(report.residency(SensorConfig::paper_pareto_front()[0]) > 0.999);
+        assert!(report.average_current_ua() > 150.0);
+        // 30 one-second epochs, classified from the end of the first 2 s window on.
+        assert_eq!(report.records().len(), 29, "one record per second after the first window");
+    }
+
+    #[test]
+    fn spot_reduces_power_compared_to_the_static_baseline() {
+        let (spec, system) = shared_system();
+        let scenario = ScenarioSpec::sit_then_walk(30.0, 30.0);
+        let baseline = Simulator::new(spec, system)
+            .with_controller(ControllerKind::StaticHigh)
+            .run(scenario.clone())
+            .unwrap();
+        let spot = Simulator::new(spec, system)
+            .with_controller(ControllerKind::Spot { stability_threshold: 3 })
+            .run(scenario)
+            .unwrap();
+        assert!(
+            spot.average_current_ua() < baseline.average_current_ua(),
+            "SPOT {} µA should be below the baseline {} µA",
+            spot.average_current_ua(),
+            baseline.average_current_ua()
+        );
+        assert!(spot.power_reduction_vs(baseline.average_current_ua()) > 0.0);
+    }
+
+    #[test]
+    fn spot_visits_lower_power_states_when_the_activity_is_stable() {
+        let (spec, system) = shared_system();
+        let report = Simulator::new(spec, system)
+            .with_controller(ControllerKind::Spot { stability_threshold: 2 })
+            .run(ScenarioSpec::sit_then_walk(40.0, 5.0))
+            .unwrap();
+        let lowest = SensorConfig::paper_pareto_front()[3];
+        assert!(
+            report.residency(lowest) > 0.2,
+            "expected noticeable residency in {lowest}, got {}",
+            report.residency(lowest)
+        );
+    }
+
+    #[test]
+    fn reports_are_internally_consistent() {
+        let (spec, system) = shared_system();
+        let report = Simulator::new(spec, system)
+            .with_controller(ControllerKind::SpotWithConfidence {
+                stability_threshold: 2,
+                confidence_threshold: 0.85,
+            })
+            .run(ScenarioSpec::sit_then_walk(10.0, 10.0))
+            .unwrap();
+        // Residencies sum to the duration.
+        let total: f64 = report.seconds_in_config.values().sum();
+        assert!((total - report.duration_s).abs() < 1e-9);
+        // The accuracy is the fraction of correct records.
+        let correct = report.records().iter().filter(|r| r.correct).count();
+        assert!((report.accuracy() - correct as f64 / report.records().len() as f64).abs() < 1e-12);
+        // The current trace has one point per record.
+        assert_eq!(report.current_trace().len(), report.records().len());
+    }
+
+    #[test]
+    fn degenerate_scenarios_are_rejected() {
+        let (spec, system) = shared_system();
+        let simulator = Simulator::new(spec, system);
+        let empty = ScenarioSpec::from_schedule(ActivitySchedule::default(), 0);
+        assert!(matches!(simulator.run(empty), Err(AdaSenseError::Simulation { .. })));
+        let too_short = ScenarioSpec::sit_then_walk(0.5, 0.5);
+        assert!(simulator.run(too_short).is_err());
+    }
+
+    #[test]
+    fn intensity_baseline_switches_between_its_two_configurations() {
+        let (spec, system) = shared_system();
+        let report = Simulator::new(spec, system)
+            .with_controller(ControllerKind::IntensityBased)
+            .run(ScenarioSpec::sit_then_walk(20.0, 20.0))
+            .unwrap();
+        let [high, low] = spec.intensity_configs();
+        let high_res = report.residency(high);
+        let low_res = report.residency(low);
+        assert!(high_res > 0.0, "walking should keep the sensor in normal mode some of the time");
+        assert!(low_res > 0.0, "sitting should allow the low-power configuration");
+        assert!((high_res + low_res - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the core framework: Pareto dominance, controller
+//! construction and report invariants that must hold for arbitrary inputs.
+
+use adasense::dse::ConfigEvaluation;
+use adasense::pareto::{dominated_points, dominates, pareto_front};
+use adasense::prelude::*;
+use proptest::prelude::*;
+
+fn any_config() -> impl Strategy<Value = SensorConfig> {
+    prop::sample::select(SensorConfig::table_i())
+}
+
+fn any_evaluation() -> impl Strategy<Value = ConfigEvaluation> {
+    (any_config(), 0.5f64..1.0, 5.0f64..250.0).prop_map(|(config, accuracy, current_ua)| {
+        ConfigEvaluation { config, accuracy, current_ua }
+    })
+}
+
+proptest! {
+    /// No member of the Pareto front is dominated by any evaluated point, and every
+    /// non-member is dominated by at least one point.
+    #[test]
+    fn pareto_front_is_exactly_the_non_dominated_set(
+        evaluations in prop::collection::vec(any_evaluation(), 1..24)
+    ) {
+        let front = pareto_front(&evaluations);
+        prop_assert!(!front.is_empty());
+        for member in &front {
+            for other in &evaluations {
+                prop_assert!(!dominates(other, member));
+            }
+        }
+        let dominated = dominated_points(&evaluations);
+        // Every evaluation is either on the front or listed as dominated (points
+        // that tie exactly with a front member on both axes count as non-dominated).
+        for e in &evaluations {
+            let on_front = front.iter().any(|f| f.config == e.config
+                && f.accuracy == e.accuracy
+                && f.current_ua == e.current_ua);
+            let is_dominated = dominated.iter().any(|d| d.dominated.config == e.config
+                && d.dominated.accuracy == e.accuracy
+                && d.dominated.current_ua == e.current_ua);
+            prop_assert!(on_front || !dominates(&front[0], e) || is_dominated);
+        }
+    }
+
+    /// Dominance is irreflexive and asymmetric.
+    #[test]
+    fn dominance_is_a_strict_partial_order(a in any_evaluation(), b in any_evaluation()) {
+        prop_assert!(!dominates(&a, &a));
+        if dominates(&a, &b) {
+            prop_assert!(!dominates(&b, &a));
+        }
+    }
+
+    /// The front is sorted from the high-power end to the low-power end, which is
+    /// the order SPOT expects its states in.
+    #[test]
+    fn pareto_front_is_sorted_by_decreasing_current(
+        evaluations in prop::collection::vec(any_evaluation(), 1..24)
+    ) {
+        let front = pareto_front(&evaluations);
+        for pair in front.windows(2) {
+            prop_assert!(pair[0].current_ua >= pair[1].current_ua);
+        }
+    }
+
+    /// A SPOT controller built over any non-empty suffix of the Table I list starts
+    /// at its first state and never reports a configuration outside its state list.
+    #[test]
+    fn spot_only_reports_configured_states(
+        start in 0usize..15,
+        len in 1usize..6,
+        threshold in 0u32..10,
+        seed in 0u64..1000,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let table = SensorConfig::table_i();
+        let states: Vec<SensorConfig> =
+            table.iter().cycle().skip(start).take(len).copied().collect();
+        let mut spot = SpotController::new(states.clone(), threshold);
+        prop_assert_eq!(spot.config(), states[0]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let activity = Activity::ALL[rng.random_range(0..Activity::COUNT)];
+            let config = spot.observe(&ControllerInput {
+                predicted: activity,
+                confidence: rng.random_range(0.3..1.0),
+                intensity_g_per_s: rng.random_range(0.0..15.0),
+            });
+            prop_assert!(states.contains(&config));
+        }
+    }
+
+    /// Scenario construction: a random scenario of any setting and duration covers
+    /// at least the requested duration and reports a ground-truth activity at every
+    /// probed instant.
+    #[test]
+    fn scenarios_cover_their_duration(
+        duration in 10.0f64..400.0,
+        seed in 0u64..500,
+        setting_index in 0usize..3,
+    ) {
+        let setting = ActivityChangeSetting::ALL[setting_index];
+        let scenario = ScenarioSpec::random(setting, duration, seed);
+        prop_assert!(scenario.duration_s() >= duration);
+        for k in 0..10 {
+            let t = duration * k as f64 / 10.0;
+            prop_assert!(scenario.schedule.activity_at(t).is_some());
+        }
+    }
+}

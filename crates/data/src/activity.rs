@@ -1,0 +1,126 @@
+//! The six daily-activity classes recognized by the AdaSense HAR framework.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the six daily activities classified by the paper's HAR framework
+/// (Section III): *sit, stand, walk, go upstairs, go downstairs, lie down*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Activity {
+    /// Sitting still.
+    Sit,
+    /// Standing still.
+    Stand,
+    /// Walking on level ground.
+    Walk,
+    /// Walking up stairs.
+    Upstairs,
+    /// Walking down stairs.
+    Downstairs,
+    /// Lying down.
+    LieDown,
+}
+
+impl Activity {
+    /// All six activities, in a fixed order that doubles as the classifier's class
+    /// index order.
+    pub const ALL: [Activity; 6] = [
+        Activity::Sit,
+        Activity::Stand,
+        Activity::Walk,
+        Activity::Upstairs,
+        Activity::Downstairs,
+        Activity::LieDown,
+    ];
+
+    /// Number of activity classes.
+    pub const COUNT: usize = 6;
+
+    /// The classifier output index of this activity.
+    ///
+    /// ```
+    /// use adasense_data::Activity;
+    /// assert_eq!(Activity::Walk.index(), 2);
+    /// assert_eq!(Activity::from_index(2), Some(Activity::Walk));
+    /// ```
+    pub fn index(self) -> usize {
+        match self {
+            Activity::Sit => 0,
+            Activity::Stand => 1,
+            Activity::Walk => 2,
+            Activity::Upstairs => 3,
+            Activity::Downstairs => 4,
+            Activity::LieDown => 5,
+        }
+    }
+
+    /// The activity corresponding to a classifier output index, if any.
+    pub fn from_index(index: usize) -> Option<Activity> {
+        Activity::ALL.get(index).copied()
+    }
+
+    /// Whether the paper's intensity-based baseline (NK et al. [8]) considers this a
+    /// low-intensity activity (stand, sit, lie down) as opposed to a locomotion
+    /// activity (walk, upstairs, downstairs).
+    pub fn is_low_intensity(self) -> bool {
+        matches!(self, Activity::Sit | Activity::Stand | Activity::LieDown)
+    }
+
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activity::Sit => "sit",
+            Activity::Stand => "stand",
+            Activity::Walk => "walk",
+            Activity::Upstairs => "upstairs",
+            Activity::Downstairs => "downstairs",
+            Activity::LieDown => "lie down",
+        }
+    }
+}
+
+impl fmt::Display for Activity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_six_activities() {
+        assert_eq!(Activity::ALL.len(), Activity::COUNT);
+    }
+
+    #[test]
+    fn indices_are_dense_and_round_trip() {
+        for (i, activity) in Activity::ALL.iter().enumerate() {
+            assert_eq!(activity.index(), i);
+            assert_eq!(Activity::from_index(i), Some(*activity));
+        }
+        assert_eq!(Activity::from_index(6), None);
+    }
+
+    #[test]
+    fn intensity_split_matches_the_paper() {
+        // Section V-D: low-intensity = stand, sit, lie down; intense = walk, stairs.
+        assert!(Activity::Sit.is_low_intensity());
+        assert!(Activity::Stand.is_low_intensity());
+        assert!(Activity::LieDown.is_low_intensity());
+        assert!(!Activity::Walk.is_low_intensity());
+        assert!(!Activity::Upstairs.is_low_intensity());
+        assert!(!Activity::Downstairs.is_low_intensity());
+    }
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut names: Vec<&str> = Activity::ALL.iter().map(|a| a.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+        assert!(names.iter().all(|n| !n.is_empty()));
+    }
+}

@@ -1,0 +1,193 @@
+//! Turning an activity schedule into a continuous 3-axis acceleration trace.
+//!
+//! [`ActivityTrace`] realizes one [`ActivitySignal`](crate::signal::ActivitySignal)
+//! per schedule segment (each with its own subject variation) and exposes the whole
+//! timeline as a single [`SignalSource`].  Segment boundaries are cross-faded over a
+//! short transition window so the trace has no unphysical discontinuities.
+
+use adasense_sensor::SignalSource;
+use rand::Rng;
+
+use crate::activity::Activity;
+use crate::schedule::ActivitySchedule;
+use crate::signal::{ActivitySignal, ActivitySignalModel, SubjectParams};
+
+/// Duration of the cross-fade between consecutive segments, in seconds.
+const TRANSITION_S: f64 = 0.4;
+
+/// A continuous acceleration trace realizing an [`ActivitySchedule`].
+#[derive(Debug, Clone)]
+pub struct ActivityTrace {
+    schedule: ActivitySchedule,
+    /// Realized signal and start time of each segment.
+    segments: Vec<(f64, ActivitySignal)>,
+}
+
+impl ActivityTrace {
+    /// Realizes `schedule` with per-segment subject variation drawn from `rng`.
+    pub fn from_schedule<R: Rng + ?Sized>(schedule: ActivitySchedule, rng: &mut R) -> Self {
+        let mut segments = Vec::with_capacity(schedule.len());
+        let mut start = 0.0;
+        for segment in schedule.segments() {
+            let subject = SubjectParams::sample(rng);
+            let signal = ActivitySignalModel::canonical(segment.activity).realize(&subject);
+            segments.push((start, signal));
+            start += segment.duration_s;
+        }
+        Self { schedule, segments }
+    }
+
+    /// A trace consisting of a single activity with the given subject parameters.
+    pub fn single(activity: Activity, duration_s: f64, subject: &SubjectParams) -> Self {
+        let schedule =
+            ActivitySchedule::builder().then(activity, duration_s).build();
+        let signal = ActivitySignalModel::canonical(activity).realize(subject);
+        Self { schedule, segments: vec![(0.0, signal)] }
+    }
+
+    /// The schedule underlying this trace (ground truth for the simulator).
+    pub fn schedule(&self) -> &ActivitySchedule {
+        &self.schedule
+    }
+
+    /// Total duration of the trace, in seconds.
+    pub fn total_duration_s(&self) -> f64 {
+        self.schedule.total_duration_s()
+    }
+
+    /// The ground-truth activity at time `t`, if the trace is non-empty.
+    pub fn activity_at(&self, t: f64) -> Option<Activity> {
+        self.schedule.activity_at(t)
+    }
+
+    /// Index of the segment active at time `t` (clamped to the first/last segment).
+    fn segment_index_at(&self, t: f64) -> usize {
+        if self.segments.is_empty() {
+            return 0;
+        }
+        match self.segments.binary_search_by(|(start, _)| {
+            start.partial_cmp(&t).expect("segment start times are finite")
+        }) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// The analog acceleration at time `t` seconds, cross-fading near boundaries.
+    pub fn value(&self, t: f64) -> [f64; 3] {
+        if self.segments.is_empty() {
+            return [0.0, 0.0, 1.0];
+        }
+        let i = self.segment_index_at(t);
+        let (start, signal) = &self.segments[i];
+        let current = signal.value(t);
+        // Cross-fade from the previous segment just after a boundary.
+        if i > 0 {
+            let into = t - start;
+            if into >= 0.0 && into < TRANSITION_S {
+                let w = into / TRANSITION_S;
+                let previous = self.segments[i - 1].1.value(t);
+                return [
+                    (1.0 - w) * previous[0] + w * current[0],
+                    (1.0 - w) * previous[1] + w * current[1],
+                    (1.0 - w) * previous[2] + w * current[2],
+                ];
+            }
+        }
+        current
+    }
+}
+
+impl SignalSource for ActivityTrace {
+    fn sample(&self, t: f64) -> [f64; 3] {
+        self.value(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ActivityChangeSetting;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trace_matches_schedule_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let schedule = ActivitySchedule::sit_then_walk(60.0, 60.0);
+        let trace = ActivityTrace::from_schedule(schedule, &mut rng);
+        assert_eq!(trace.activity_at(10.0), Some(Activity::Sit));
+        assert_eq!(trace.activity_at(90.0), Some(Activity::Walk));
+        assert_eq!(trace.total_duration_s(), 120.0);
+    }
+
+    #[test]
+    fn walking_section_has_more_motion_than_sitting_section() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let trace = ActivityTrace::from_schedule(ActivitySchedule::sit_then_walk(60.0, 60.0), &mut rng);
+        let variance = |from: f64, to: f64| {
+            let n = 500;
+            let values: Vec<f64> = (0..n)
+                .map(|k| trace.value(from + (to - from) * k as f64 / n as f64)[2])
+                .collect();
+            let mean = values.iter().sum::<f64>() / n as f64;
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64
+        };
+        assert!(variance(70.0, 110.0) > 20.0 * variance(10.0, 50.0));
+    }
+
+    #[test]
+    fn trace_is_continuous_across_boundaries() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trace = ActivityTrace::from_schedule(ActivitySchedule::sit_then_walk(10.0, 10.0), &mut rng);
+        // Sample densely around the 10 s boundary and verify there is no jump larger
+        // than what the cross-fade plus signal slope allows.
+        let dt = 1e-3;
+        let mut max_jump = 0.0f64;
+        let mut t = 9.5;
+        while t < 10.5 {
+            let a = trace.value(t);
+            let b = trace.value(t + dt);
+            for axis in 0..3 {
+                max_jump = max_jump.max((b[axis] - a[axis]).abs());
+            }
+            t += dt;
+        }
+        assert!(max_jump < 0.05, "trace should not jump discontinuously, got {max_jump}");
+    }
+
+    #[test]
+    fn empty_schedule_yields_flat_gravity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let trace = ActivityTrace::from_schedule(ActivitySchedule::default(), &mut rng);
+        assert_eq!(trace.value(3.0), [0.0, 0.0, 1.0]);
+        assert_eq!(trace.activity_at(3.0), None);
+    }
+
+    #[test]
+    fn single_activity_trace_has_one_segment() {
+        let trace = ActivityTrace::single(Activity::Upstairs, 30.0, &SubjectParams::neutral());
+        assert_eq!(trace.schedule().len(), 1);
+        assert_eq!(trace.activity_at(15.0), Some(Activity::Upstairs));
+    }
+
+    #[test]
+    fn random_schedule_traces_are_reproducible_per_seed() {
+        let make = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let schedule = ActivitySchedule::random(ActivityChangeSetting::Medium, 120.0, &mut rng);
+            ActivityTrace::from_schedule(schedule, &mut rng)
+        };
+        let a = make(9);
+        let b = make(9);
+        let c = make(10);
+        for k in 0..20 {
+            let t = k as f64 * 5.3;
+            assert_eq!(a.value(t), b.value(t));
+        }
+        // Different seeds should (overwhelmingly likely) differ somewhere.
+        let differs = (0..20).any(|k| a.value(k as f64 * 5.3) != c.value(k as f64 * 5.3));
+        assert!(differs);
+    }
+}

@@ -1,0 +1,139 @@
+//! Haar discrete wavelet transform.
+//!
+//! The related work the paper builds on (Bhat et al. [12], Zhu et al. [16]) uses
+//! wavelet coefficients as a *more expensive* alternative to statistical features,
+//! and chooses feature sets dynamically based on the power budget.  AdaSense's
+//! argument is that its cheap statistical + low-frequency-Fourier features are
+//! enough; this module provides the Haar DWT so that claim can be tested as an
+//! ablation (accuracy and cost with wavelet-augmented features versus the paper's
+//! 15-dimensional vector — see the `features` bench).
+
+/// One level of the Haar wavelet transform: returns `(approximation, detail)`
+/// coefficient vectors of half the input length.
+///
+/// An odd trailing sample is carried into the approximation unchanged (periodic
+/// padding is not required for feature extraction purposes).
+pub fn haar_level(signal: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let pairs = signal.len() / 2;
+    let mut approximation = Vec::with_capacity(pairs + signal.len() % 2);
+    let mut detail = Vec::with_capacity(pairs);
+    let scale = std::f64::consts::FRAC_1_SQRT_2;
+    for k in 0..pairs {
+        let a = signal[2 * k];
+        let b = signal[2 * k + 1];
+        approximation.push((a + b) * scale);
+        detail.push((a - b) * scale);
+    }
+    if signal.len() % 2 == 1 {
+        approximation.push(signal[signal.len() - 1]);
+    }
+    (approximation, detail)
+}
+
+/// Multi-level Haar decomposition: returns the final approximation followed by the
+/// detail vectors from the coarsest to the finest level.
+///
+/// Decomposition stops early once the approximation has a single sample.
+pub fn haar_decompose(signal: &[f64], levels: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let mut approximation = signal.to_vec();
+    let mut details = Vec::with_capacity(levels);
+    for _ in 0..levels {
+        if approximation.len() < 2 {
+            break;
+        }
+        let (next, detail) = haar_level(&approximation);
+        details.push(detail);
+        approximation = next;
+    }
+    details.reverse();
+    (approximation, details)
+}
+
+/// Energy (sum of squares) of a coefficient vector — the usual wavelet feature.
+pub fn band_energy(coefficients: &[f64]) -> f64 {
+    coefficients.iter().map(|c| c * c).sum()
+}
+
+/// Per-level Haar detail energies of `signal`, from the coarsest to the finest
+/// level — a compact wavelet feature vector of length `levels` (missing levels are
+/// reported as zero energy).
+pub fn haar_band_energies(signal: &[f64], levels: usize) -> Vec<f64> {
+    let (_, details) = haar_decompose(signal, levels);
+    let mut energies: Vec<f64> = details.iter().map(|d| band_energy(d)).collect();
+    while energies.len() < levels {
+        energies.insert(0, 0.0);
+    }
+    energies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_level_of_a_constant_signal_has_zero_detail() {
+        let (approx, detail) = haar_level(&[3.0, 3.0, 3.0, 3.0]);
+        assert_eq!(approx.len(), 2);
+        assert!(detail.iter().all(|d| d.abs() < 1e-12));
+        // Approximation carries the (scaled) signal level.
+        assert!((approx[0] - 3.0 * 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transform_preserves_energy() {
+        let signal: Vec<f64> = (0..64).map(|k| ((k * 13 % 7) as f64 - 3.0) * 0.5).collect();
+        let input_energy = band_energy(&signal);
+        let (approx, detail) = haar_level(&signal);
+        let output_energy = band_energy(&approx) + band_energy(&detail);
+        assert!((input_energy - output_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_level_decomposition_has_the_expected_shapes() {
+        let signal = vec![1.0; 32];
+        let (approx, details) = haar_decompose(&signal, 3);
+        assert_eq!(approx.len(), 4);
+        assert_eq!(details.len(), 3);
+        assert_eq!(details[0].len(), 4, "coarsest detail first");
+        assert_eq!(details[2].len(), 16, "finest detail last");
+    }
+
+    #[test]
+    fn decomposition_stops_when_the_signal_runs_out() {
+        let (approx, details) = haar_decompose(&[1.0, 2.0], 5);
+        assert_eq!(approx.len(), 1);
+        assert_eq!(details.len(), 1);
+    }
+
+    #[test]
+    fn odd_lengths_are_handled() {
+        let (approx, detail) = haar_level(&[1.0, 2.0, 3.0]);
+        assert_eq!(approx.len(), 2);
+        assert_eq!(detail.len(), 1);
+        assert_eq!(approx[1], 3.0);
+    }
+
+    #[test]
+    fn fast_oscillations_concentrate_energy_in_fine_details() {
+        // A Nyquist-rate alternation lives entirely in the finest detail band.
+        let alternating: Vec<f64> = (0..64).map(|k| if k % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let energies = haar_band_energies(&alternating, 3);
+        assert_eq!(energies.len(), 3);
+        let finest = energies[2];
+        assert!(finest > 0.9 * band_energy(&alternating));
+        assert!(energies[0] < 1e-9);
+    }
+
+    #[test]
+    fn missing_levels_are_padded_with_zero_energy() {
+        let energies = haar_band_energies(&[1.0, 2.0], 4);
+        assert_eq!(energies.len(), 4);
+        assert!(energies[..3].iter().take(3).all(|e| *e == 0.0));
+    }
+
+    #[test]
+    fn empty_signal_is_all_zero() {
+        let energies = haar_band_energies(&[], 3);
+        assert_eq!(energies, vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,245 @@
+//! The unified fixed-size feature vector of AdaSense (Section III-B).
+//!
+//! For every buffered batch the extractor computes, per axis:
+//!
+//! * the mean and the standard deviation (the "statistical features"), and
+//! * the magnitudes of the Fourier components at 1, 2 and 3 Hz ("the first three
+//!   coefficients in each coordinate, representing the frequency components up to
+//!   3 Hz").
+//!
+//! That is 3 × (2 + 3) = 15 numbers regardless of how many samples the batch
+//! contains, which is what allows a single classifier to serve every sensor
+//! configuration.  The Fourier magnitudes are normalized by the number of samples so
+//! that the *value* of a feature — not just the vector's size — is comparable across
+//! sampling frequencies.
+
+use adasense_sensor::Sample3;
+use serde::{Deserialize, Serialize};
+
+use crate::fft::goertzel_magnitude;
+use crate::stats::split_axes;
+
+/// Dimension of the unified feature vector (3 means + 3 standard deviations +
+/// 3 axes × 3 Fourier magnitudes).
+pub const FEATURE_DIM: usize = 15;
+
+/// A fixed-size feature vector extracted from one batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    values: Vec<f64>,
+}
+
+impl FeatureVector {
+    /// Wraps a raw feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have [`FEATURE_DIM`] elements.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), FEATURE_DIM, "feature vector must have {FEATURE_DIM} elements");
+        Self { values }
+    }
+
+    /// The feature values as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of features (always [`FEATURE_DIM`]).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always false; present for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The per-axis means `[x, y, z]`.
+    pub fn means(&self) -> [f64; 3] {
+        [self.values[0], self.values[1], self.values[2]]
+    }
+
+    /// The per-axis standard deviations `[x, y, z]`.
+    pub fn stds(&self) -> [f64; 3] {
+        [self.values[3], self.values[4], self.values[5]]
+    }
+
+    /// The Fourier magnitudes for `axis` (0 = x, 1 = y, 2 = z) at 1, 2 and 3 Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis > 2`.
+    pub fn fourier(&self, axis: usize) -> [f64; 3] {
+        assert!(axis < 3, "axis must be 0, 1 or 2");
+        let base = 6 + axis * 3;
+        [self.values[base], self.values[base + 1], self.values[base + 2]]
+    }
+
+    /// Consumes the vector and returns the raw values.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.values
+    }
+}
+
+impl AsRef<[f64]> for FeatureVector {
+    fn as_ref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl From<FeatureVector> for Vec<f64> {
+    fn from(v: FeatureVector) -> Vec<f64> {
+        v.values
+    }
+}
+
+/// Extracts the unified feature vector from accelerometer batches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureExtractor {
+    /// The physical frequencies (Hz) whose Fourier magnitudes are extracted.
+    pub fourier_frequencies_hz: [f64; 3],
+}
+
+impl FeatureExtractor {
+    /// The paper's extractor: Fourier components at 1, 2 and 3 Hz.
+    pub fn paper() -> Self {
+        Self { fourier_frequencies_hz: [1.0, 2.0, 3.0] }
+    }
+
+    /// Extracts features from `samples` recorded at `sample_rate_hz`.
+    ///
+    /// Returns an all-zero vector when `samples` is empty.
+    pub fn extract(&self, samples: &[Sample3], sample_rate_hz: f64) -> FeatureVector {
+        if samples.is_empty() {
+            return FeatureVector::new(vec![0.0; FEATURE_DIM]);
+        }
+        let [x, y, z] = split_axes(samples);
+        let n = samples.len() as f64;
+        let duration_s = n / sample_rate_hz;
+
+        let mut values = Vec::with_capacity(FEATURE_DIM);
+        // Means.
+        for axis in [&x, &y, &z] {
+            values.push(axis.iter().sum::<f64>() / n);
+        }
+        // Standard deviations.
+        for (axis, mean) in [&x, &y, &z].iter().zip([values[0], values[1], values[2]]) {
+            let var = axis.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+            values.push(var.sqrt());
+        }
+        // Low-frequency Fourier magnitudes, amplitude-normalized (×2/n) so that a
+        // sinusoid of amplitude A at exactly one of the probe frequencies yields
+        // a feature value of ~A independent of the batch length.
+        for axis in [&x, &y, &z] {
+            for &f in &self.fourier_frequencies_hz {
+                let bin = f * duration_s;
+                let magnitude = goertzel_magnitude(axis, bin);
+                values.push(2.0 * magnitude / n);
+            }
+        }
+        FeatureVector::new(values)
+    }
+}
+
+impl Default for FeatureExtractor {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(rate_hz: f64, seconds: f64, f: impl Fn(f64) -> [f64; 3]) -> Vec<Sample3> {
+        let n = (rate_hz * seconds).round() as usize;
+        (0..n)
+            .map(|k| {
+                let t = k as f64 / rate_hz;
+                let v = f(t);
+                Sample3::new(t, v[0], v[1], v[2])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn feature_dimension_is_fifteen_for_every_rate() {
+        let extractor = FeatureExtractor::paper();
+        for rate in [100.0, 50.0, 25.0, 12.5, 6.25] {
+            let samples = batch(rate, 2.0, |t| [0.0, 0.1, 1.0 + 0.2 * (6.0 * t).sin()]);
+            let features = extractor.extract(&samples, rate);
+            assert_eq!(features.len(), FEATURE_DIM);
+        }
+    }
+
+    #[test]
+    fn means_and_stds_are_in_the_expected_slots() {
+        let extractor = FeatureExtractor::paper();
+        let samples = batch(50.0, 2.0, |_| [0.5, -0.25, 1.0]);
+        let features = extractor.extract(&samples, 50.0);
+        assert!((features.means()[0] - 0.5).abs() < 1e-12);
+        assert!((features.means()[1] + 0.25).abs() < 1e-12);
+        assert!((features.means()[2] - 1.0).abs() < 1e-12);
+        assert!(features.stds().iter().all(|s| *s < 1e-12));
+    }
+
+    #[test]
+    fn fourier_feature_recovers_tone_amplitude_across_rates() {
+        let extractor = FeatureExtractor::paper();
+        // 2 Hz vertical tone of amplitude 0.3: the 2 Hz z-axis feature should be
+        // ~0.3 at every sampling rate (that is the whole point of the unified
+        // feature extraction).
+        for rate in [100.0, 50.0, 25.0, 12.5] {
+            let samples = batch(rate, 2.0, |t| {
+                [0.0, 0.0, 1.0 + 0.3 * (std::f64::consts::TAU * 2.0 * t).sin()]
+            });
+            let features = extractor.extract(&samples, rate);
+            let z_fourier = features.fourier(2);
+            assert!(
+                (z_fourier[1] - 0.3).abs() < 0.05,
+                "rate {rate}: 2 Hz magnitude {} should be ~0.3",
+                z_fourier[1]
+            );
+            assert!(z_fourier[0] < 0.1, "1 Hz magnitude should be small");
+        }
+    }
+
+    #[test]
+    fn static_posture_has_near_zero_fourier_features() {
+        let extractor = FeatureExtractor::paper();
+        let samples = batch(25.0, 2.0, |_| [0.1, 0.05, 0.99]);
+        let features = extractor.extract(&samples, 25.0);
+        for axis in 0..3 {
+            for v in features.fourier(axis) {
+                assert!(v.abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_yields_zero_vector() {
+        let extractor = FeatureExtractor::paper();
+        let features = extractor.extract(&[], 50.0);
+        assert_eq!(features.as_slice(), &[0.0; FEATURE_DIM]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature vector must have")]
+    fn wrong_size_vectors_are_rejected() {
+        let _ = FeatureVector::new(vec![1.0; 3]);
+    }
+
+    #[test]
+    fn accessors_are_consistent_with_the_raw_slice() {
+        let values: Vec<f64> = (0..FEATURE_DIM as u32).map(f64::from).collect();
+        let v = FeatureVector::new(values.clone());
+        assert_eq!(v.as_slice(), values.as_slice());
+        assert_eq!(v.means(), [0.0, 1.0, 2.0]);
+        assert_eq!(v.stds(), [3.0, 4.0, 5.0]);
+        assert_eq!(v.fourier(0), [6.0, 7.0, 8.0]);
+        assert_eq!(v.fourier(2), [12.0, 13.0, 14.0]);
+        let back: Vec<f64> = v.into();
+        assert_eq!(back, values);
+    }
+}

@@ -1,0 +1,196 @@
+//! Activity-intensity estimation for the intensity-based baseline.
+//!
+//! NK et al. [8] — the baseline AdaSense is compared against in Fig. 7 — "define the
+//! intensity of the activity using the first derivative of the accelerometer
+//! readings" and switch the sensor to low-power mode for low-intensity activities.
+//! This module provides that computation; the paper notes that AdaSense avoids it
+//! ("Data Processing Overhead", Section V-D), which is one of the reasons it saves
+//! more energy.
+
+use adasense_sensor::Sample3;
+use serde::{Deserialize, Serialize};
+
+/// Mean absolute first derivative of the accelerometer readings, summed over the
+/// three axes, in g/s.
+///
+/// Returns 0 for fewer than two samples.
+pub fn mean_absolute_derivative(samples: &[Sample3]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for pair in samples.windows(2) {
+        let dt = pair[1].t - pair[0].t;
+        if dt <= 0.0 {
+            continue;
+        }
+        let d = pair[1] - pair[0];
+        total += (d.x.abs() + d.y.abs() + d.z.abs()) / dt;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Moving-average smoothing over a time window (used before differentiation so that
+/// measurement noise — whose raw derivative grows with the sampling rate — does not
+/// drown the gait signal).
+fn smooth(samples: &[Sample3], window_s: f64) -> Vec<Sample3> {
+    if samples.len() < 2 || window_s <= 0.0 {
+        return samples.to_vec();
+    }
+    let dt = (samples.last().expect("len >= 2").t - samples[0].t) / (samples.len() - 1) as f64;
+    let k = if dt > 0.0 { ((window_s / dt).round() as usize).max(1) } else { 1 };
+    if k <= 1 {
+        return samples.to_vec();
+    }
+    let half = k / 2;
+    (0..samples.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(samples.len());
+            let n = (hi - lo) as f64;
+            let mut acc = Sample3::new(samples[i].t, 0.0, 0.0, 0.0);
+            for s in &samples[lo..hi] {
+                acc = acc + *s;
+            }
+            acc / n
+        })
+        .collect()
+}
+
+/// A thresholded intensity detector: is the wearer doing an intense (locomotion)
+/// activity or a low-intensity (posture) activity?
+///
+/// The intensity is the mean absolute derivative of a lightly smoothed version of
+/// the batch; without the smoothing, the derivative of white measurement noise grows
+/// linearly with the sampling rate and would swamp the gait signal at the
+/// high-power configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntensityEstimator {
+    /// Derivative threshold (g/s, summed over axes) above which the activity counts
+    /// as intense.
+    pub threshold_g_per_s: f64,
+    /// Length of the moving-average smoothing window applied before
+    /// differentiation, in seconds.
+    pub smoothing_window_s: f64,
+}
+
+impl IntensityEstimator {
+    /// A threshold calibrated for the default BMI160 noise model: postures land near
+    /// the smoothed noise floor (≲2 g/s), locomotion well above (≳6 g/s).
+    pub fn calibrated() -> Self {
+        Self { threshold_g_per_s: 4.0, smoothing_window_s: 0.06 }
+    }
+
+    /// Creates an estimator with an explicit threshold and the default smoothing.
+    pub fn with_threshold(threshold_g_per_s: f64) -> Self {
+        Self { threshold_g_per_s, ..Self::calibrated() }
+    }
+
+    /// Estimates the intensity of a batch (mean absolute derivative of the smoothed
+    /// signal, g/s).
+    pub fn intensity(&self, samples: &[Sample3]) -> f64 {
+        mean_absolute_derivative(&smooth(samples, self.smoothing_window_s))
+    }
+
+    /// Whether a batch looks like an intense (locomotion) activity.
+    pub fn is_intense(&self, samples: &[Sample3]) -> bool {
+        self.intensity(samples) > self.threshold_g_per_s
+    }
+}
+
+impl Default for IntensityEstimator {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(rate_hz: f64, seconds: f64, f: impl Fn(f64) -> f64) -> Vec<Sample3> {
+        let n = (rate_hz * seconds).round() as usize;
+        (0..n)
+            .map(|k| {
+                let t = k as f64 / rate_hz;
+                Sample3::new(t, 0.0, 0.0, f(t))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn constant_signal_has_zero_derivative() {
+        let samples = batch(50.0, 2.0, |_| 1.0);
+        assert_eq!(mean_absolute_derivative(&samples), 0.0);
+        assert_eq!(IntensityEstimator::calibrated().intensity(&samples), 0.0);
+    }
+
+    #[test]
+    fn faster_oscillations_have_larger_derivatives() {
+        let slow = batch(50.0, 2.0, |t| (std::f64::consts::TAU * 0.5 * t).sin());
+        let fast = batch(50.0, 2.0, |t| (std::f64::consts::TAU * 3.0 * t).sin());
+        assert!(mean_absolute_derivative(&fast) > 3.0 * mean_absolute_derivative(&slow));
+    }
+
+    #[test]
+    fn short_inputs_are_zero() {
+        assert_eq!(mean_absolute_derivative(&[]), 0.0);
+        assert_eq!(mean_absolute_derivative(&[Sample3::new(0.0, 1.0, 2.0, 3.0)]), 0.0);
+        assert_eq!(IntensityEstimator::calibrated().intensity(&[]), 0.0);
+    }
+
+    #[test]
+    fn estimator_separates_postures_from_locomotion_like_signals() {
+        let estimator = IntensityEstimator::with_threshold(1.0);
+        let posture = batch(50.0, 2.0, |t| 1.0 + 0.01 * (std::f64::consts::TAU * 0.4 * t).sin());
+        let walking = batch(50.0, 2.0, |t| 1.0 + 0.3 * (std::f64::consts::TAU * 1.9 * t).sin());
+        assert!(!estimator.is_intense(&posture));
+        assert!(estimator.is_intense(&walking));
+    }
+
+    #[test]
+    fn smoothing_suppresses_white_noise_but_keeps_the_gait_derivative() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut noise = |std: f64| std * (rng.random::<f64>() - 0.5) * 3.46; // ~uniform with given std
+        let noisy_posture: Vec<Sample3> = (0..200)
+            .map(|k| {
+                let t = k as f64 / 100.0;
+                Sample3::new(t, noise(0.025), noise(0.025), 1.0 + noise(0.025))
+            })
+            .collect();
+        let estimator = IntensityEstimator::calibrated();
+        let raw = mean_absolute_derivative(&noisy_posture);
+        let smoothed = estimator.intensity(&noisy_posture);
+        assert!(smoothed < raw * 0.5, "smoothing should cut the noise floor ({smoothed} vs {raw})");
+        assert!(
+            smoothed < estimator.threshold_g_per_s,
+            "a noisy posture must stay below the calibrated threshold ({smoothed})"
+        );
+    }
+
+    #[test]
+    fn derivative_is_rate_independent_for_the_same_waveform() {
+        // The smoothed intensity approximates a property of the underlying analog
+        // signal, so it should be roughly the same at 25 Hz and 100 Hz.
+        let estimator = IntensityEstimator::calibrated();
+        let f = |t: f64| 1.0 + 0.3 * (std::f64::consts::TAU * 1.9 * t).sin();
+        let slow_rate = estimator.intensity(&batch(25.0, 2.0, f));
+        let fast_rate = estimator.intensity(&batch(100.0, 2.0, f));
+        let ratio = slow_rate / fast_rate;
+        assert!((0.7..1.3).contains(&ratio), "ratio {ratio} should be near 1");
+    }
+
+    #[test]
+    fn calibrated_threshold_sits_between_posture_and_locomotion_regimes() {
+        let t = IntensityEstimator::calibrated().threshold_g_per_s;
+        assert!(t > 2.0 && t < 7.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Linear-interpolation resampling.
+//!
+//! The related work discussed in Section II (Liu et al. / Williamson et al. [17])
+//! normalizes variable-rate sensor data by linear interpolation before
+//! classification.  AdaSense itself does not need resampling — that is the point of
+//! its unified feature extraction — but the function is provided so the alternative
+//! strategy can be compared and used in ablations.
+
+use adasense_sensor::Sample3;
+
+/// Resamples `samples` to `target_rate_hz` by linear interpolation.
+///
+/// The output covers the same time span as the input (from the first to the last
+/// input timestamp).  Returns an empty vector for fewer than two input samples or a
+/// non-positive target rate.
+pub fn resample_linear(samples: &[Sample3], target_rate_hz: f64) -> Vec<Sample3> {
+    if samples.len() < 2 || target_rate_hz <= 0.0 {
+        return Vec::new();
+    }
+    let start = samples.first().expect("len >= 2").t;
+    let end = samples.last().expect("len >= 2").t;
+    let period = 1.0 / target_rate_hz;
+    let count = ((end - start) / period).floor() as usize + 1;
+    let mut out = Vec::with_capacity(count);
+    let mut cursor = 0usize;
+    for k in 0..count {
+        let t = start + k as f64 * period;
+        while cursor + 1 < samples.len() - 1 && samples[cursor + 1].t <= t {
+            cursor += 1;
+        }
+        let a = samples[cursor];
+        let b = samples[(cursor + 1).min(samples.len() - 1)];
+        let span = b.t - a.t;
+        let w = if span <= 0.0 { 0.0 } else { ((t - a.t) / span).clamp(0.0, 1.0) };
+        out.push(Sample3::new(
+            t,
+            a.x + w * (b.x - a.x),
+            a.y + w * (b.y - a.y),
+            a.z + w * (b.z - a.z),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(rate_hz: f64, seconds: f64) -> Vec<Sample3> {
+        let n = (rate_hz * seconds).round() as usize;
+        (0..n)
+            .map(|k| {
+                let t = k as f64 / rate_hz;
+                Sample3::new(t, t, 2.0 * t, -t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn upsampling_a_ramp_is_exact() {
+        let input = ramp(10.0, 2.0);
+        let output = resample_linear(&input, 40.0);
+        assert!(output.len() > input.len());
+        for s in &output {
+            assert!((s.x - s.t).abs() < 1e-9);
+            assert!((s.y - 2.0 * s.t).abs() < 1e-9);
+            assert!((s.z + s.t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn downsampling_preserves_time_span() {
+        let input = ramp(100.0, 2.0);
+        let output = resample_linear(&input, 12.5);
+        let last_in = input.last().unwrap().t;
+        let last_out = output.last().unwrap().t;
+        assert!(last_out <= last_in + 1e-9);
+        assert!(last_in - last_out < 1.0 / 12.5);
+    }
+
+    #[test]
+    fn output_rate_is_the_requested_rate() {
+        let input = ramp(25.0, 4.0);
+        let output = resample_linear(&input, 50.0);
+        for pair in output.windows(2) {
+            assert!((pair[1].t - pair[0].t - 0.02).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_empty_output() {
+        assert!(resample_linear(&[], 10.0).is_empty());
+        assert!(resample_linear(&[Sample3::new(0.0, 1.0, 1.0, 1.0)], 10.0).is_empty());
+        assert!(resample_linear(&ramp(10.0, 1.0), 0.0).is_empty());
+        assert!(resample_linear(&ramp(10.0, 1.0), -5.0).is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-axis statistics of an accelerometer batch.
+//!
+//! The paper's statistical features are the mean and standard deviation of each axis
+//! over the buffered batch (Section III-B).  A few extra quantities (RMS, min, max,
+//! peak-to-peak) are provided for analyses and the intensity-based baseline.
+
+use adasense_sensor::Sample3;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a scalar sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AxisStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Root mean square.
+    pub rms: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl AxisStats {
+    /// Computes statistics over `values`.
+    ///
+    /// Returns all-zero statistics for an empty slice.
+    ///
+    /// ```
+    /// use adasense_dsp::AxisStats;
+    /// let s = AxisStats::of(&[1.0, 2.0, 3.0]);
+    /// assert_eq!(s.mean, 2.0);
+    /// assert!((s.std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    /// ```
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let rms = (values.iter().map(|v| v * v).sum::<f64>() / n).sqrt();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Self { mean, std: var.sqrt(), rms, min, max }
+    }
+
+    /// Peak-to-peak range (`max - min`).
+    pub fn peak_to_peak(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// Splits a batch of 3-axis samples into per-axis scalar vectors `[x, y, z]`.
+pub fn split_axes(samples: &[Sample3]) -> [Vec<f64>; 3] {
+    let mut x = Vec::with_capacity(samples.len());
+    let mut y = Vec::with_capacity(samples.len());
+    let mut z = Vec::with_capacity(samples.len());
+    for s in samples {
+        x.push(s.x);
+        y.push(s.y);
+        z.push(s.z);
+    }
+    [x, y, z]
+}
+
+/// Per-axis statistics of a batch of 3-axis samples, in `[x, y, z]` order.
+pub fn per_axis_stats(samples: &[Sample3]) -> [AxisStats; 3] {
+    let [x, y, z] = split_axes(samples);
+    [AxisStats::of(&x), AxisStats::of(&y), AxisStats::of(&z)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sequence_has_zero_std() {
+        let s = AxisStats::of(&[5.0; 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.rms, 5.0);
+        assert_eq!(s.peak_to_peak(), 0.0);
+    }
+
+    #[test]
+    fn empty_input_gives_default() {
+        assert_eq!(AxisStats::of(&[]), AxisStats::default());
+    }
+
+    #[test]
+    fn known_values() {
+        let s = AxisStats::of(&[1.0, -1.0, 1.0, -1.0]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std, 1.0);
+        assert_eq!(s.rms, 1.0);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 1.0);
+        assert_eq!(s.peak_to_peak(), 2.0);
+    }
+
+    #[test]
+    fn per_axis_stats_separates_axes() {
+        let samples = vec![
+            Sample3::new(0.0, 1.0, 2.0, 3.0),
+            Sample3::new(0.1, 3.0, 2.0, 1.0),
+        ];
+        let [x, y, z] = per_axis_stats(&samples);
+        assert_eq!(x.mean, 2.0);
+        assert_eq!(y.std, 0.0);
+        assert_eq!(z.mean, 2.0);
+    }
+
+    #[test]
+    fn split_axes_preserves_order() {
+        let samples = vec![
+            Sample3::new(0.0, 1.0, 4.0, 7.0),
+            Sample3::new(0.1, 2.0, 5.0, 8.0),
+            Sample3::new(0.2, 3.0, 6.0, 9.0),
+        ];
+        let [x, y, z] = split_axes(&samples);
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![4.0, 5.0, 6.0]);
+        assert_eq!(z, vec![7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn rms_exceeds_mean_for_oscillating_signal() {
+        let values: Vec<f64> = (0..100).map(|k| (k as f64 * 0.3).sin()).collect();
+        let s = AxisStats::of(&values);
+        assert!(s.rms > s.mean.abs());
+    }
+}

@@ -1,0 +1,199 @@
+//! The classification batch buffer of the HAR framework (Fig. 1).
+//!
+//! The paper buffers the accelerometer stream and, every second, pushes the most
+//! recent *two seconds* of data through feature extraction and classification —
+//! i.e. consecutive batches overlap by one second so the classifier sees some
+//! context from the previous batch.
+//!
+//! [`BatchBuffer`] implements exactly that: samples are pushed as they arrive, and
+//! every `hop_s` seconds of new data a batch covering the last `window_s` seconds is
+//! emitted.
+
+use adasense_sensor::Sample3;
+use serde::{Deserialize, Serialize};
+
+/// A sliding window buffer that emits overlapping batches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchBuffer {
+    window_s: f64,
+    hop_s: f64,
+    samples: Vec<Sample3>,
+    /// End time (exclusive) of the last emitted batch, if any.
+    last_emit_end: Option<f64>,
+    /// Time of the first sample ever pushed.
+    start_time: Option<f64>,
+}
+
+impl BatchBuffer {
+    /// Creates a buffer emitting `window_s`-second batches every `hop_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` or `hop_s` is not strictly positive, or if the hop is
+    /// larger than the window (that would drop samples between batches).
+    pub fn new(window_s: f64, hop_s: f64) -> Self {
+        assert!(window_s > 0.0, "window must be positive");
+        assert!(hop_s > 0.0, "hop must be positive");
+        assert!(hop_s <= window_s, "hop must not exceed the window");
+        Self { window_s, hop_s, samples: Vec::new(), last_emit_end: None, start_time: None }
+    }
+
+    /// The paper's buffer: 2-second window, 1-second hop.
+    pub fn paper() -> Self {
+        Self::new(2.0, 1.0)
+    }
+
+    /// Window length in seconds.
+    pub fn window_s(&self) -> f64 {
+        self.window_s
+    }
+
+    /// Hop (emission period) in seconds.
+    pub fn hop_s(&self) -> f64 {
+        self.hop_s
+    }
+
+    /// Number of samples currently retained.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the buffer currently holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Pushes one sample; returns a batch if this sample completes one.
+    ///
+    /// The first batch is emitted once `window_s` seconds of data have accumulated;
+    /// subsequent batches every `hop_s` seconds.  Batches contain every retained
+    /// sample whose timestamp lies within the last `window_s` seconds.
+    pub fn push(&mut self, sample: Sample3) -> Option<Vec<Sample3>> {
+        if self.start_time.is_none() {
+            self.start_time = Some(sample.t);
+        }
+        self.samples.push(sample);
+        let start = self.start_time.expect("set above");
+        let now = sample.t;
+        let due = match self.last_emit_end {
+            None => now - start >= self.window_s - 1e-9,
+            Some(last) => now - last >= self.hop_s - 1e-9,
+        };
+        if !due {
+            return None;
+        }
+        self.last_emit_end = Some(now);
+        // Drop samples that can never appear in a future window again.
+        let horizon = now - self.window_s + 1e-9;
+        let batch: Vec<Sample3> =
+            self.samples.iter().copied().filter(|s| s.t >= horizon).collect();
+        self.samples.retain(|s| s.t >= horizon - self.hop_s);
+        Some(batch)
+    }
+
+    /// Pushes a slice of samples, collecting every batch they complete.
+    pub fn push_all(&mut self, samples: &[Sample3]) -> Vec<Vec<Sample3>> {
+        samples.iter().filter_map(|&s| self.push(s)).collect()
+    }
+
+    /// Clears all buffered samples and emission state.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.last_emit_end = None;
+        self.start_time = None;
+    }
+}
+
+impl Default for BatchBuffer {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(rate_hz: f64, seconds: f64) -> Vec<Sample3> {
+        let n = (rate_hz * seconds).round() as usize;
+        (0..n).map(|k| Sample3::new(k as f64 / rate_hz, 0.0, 0.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn paper_buffer_emits_after_two_seconds_then_every_second() {
+        let mut buffer = BatchBuffer::paper();
+        let batches = buffer.push_all(&stream(50.0, 6.0));
+        // 6 seconds of data: batches at t≈2,3,4,5 (within the pushed range).
+        assert_eq!(batches.len(), 4);
+        // Each batch covers ~2 seconds => ~100 samples at 50 Hz.
+        for batch in &batches {
+            assert!((95..=101).contains(&batch.len()), "batch had {} samples", batch.len());
+        }
+    }
+
+    #[test]
+    fn batches_overlap_by_one_second() {
+        let mut buffer = BatchBuffer::paper();
+        let batches = buffer.push_all(&stream(25.0, 5.0));
+        assert!(batches.len() >= 2);
+        let first = &batches[0];
+        let second = &batches[1];
+        let first_times: std::collections::BTreeSet<i64> =
+            first.iter().map(|s| (s.t * 1000.0).round() as i64).collect();
+        let shared = second
+            .iter()
+            .filter(|s| first_times.contains(&((s.t * 1000.0).round() as i64)))
+            .count();
+        // Roughly one second of 25 Hz data is shared.
+        assert!((20..=27).contains(&shared), "shared {shared} samples");
+    }
+
+    #[test]
+    fn works_at_the_lowest_sampling_rate() {
+        let mut buffer = BatchBuffer::paper();
+        let batches = buffer.push_all(&stream(6.25, 4.0));
+        assert!(!batches.is_empty());
+        for batch in &batches {
+            assert!(batch.len() >= 12, "2 s at 6.25 Hz is at least 12 samples");
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut buffer = BatchBuffer::paper();
+        let _ = buffer.push_all(&stream(50.0, 3.0));
+        assert!(!buffer.is_empty());
+        buffer.reset();
+        assert!(buffer.is_empty());
+        // After a reset the next batch again requires a full window of data.
+        let batches = buffer.push_all(&stream(50.0, 1.5));
+        assert!(batches.is_empty());
+    }
+
+    #[test]
+    fn custom_window_and_hop() {
+        let mut buffer = BatchBuffer::new(1.0, 0.5);
+        let batches = buffer.push_all(&stream(20.0, 3.0));
+        // Batches due at 1.0, 1.5, 2.0, 2.5 (2.95 is the last sample).
+        assert_eq!(batches.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "hop must not exceed the window")]
+    fn rejects_hop_larger_than_window() {
+        let _ = BatchBuffer::new(1.0, 2.0);
+    }
+
+    #[test]
+    fn batch_contents_are_time_ordered_and_recent() {
+        let mut buffer = BatchBuffer::paper();
+        let batches = buffer.push_all(&stream(100.0, 10.0));
+        let last = batches.last().unwrap();
+        for pair in last.windows(2) {
+            assert!(pair[1].t > pair[0].t);
+        }
+        let span = last.last().unwrap().t - last.first().unwrap().t;
+        assert!(span <= 2.0 + 1e-9);
+        assert!(span >= 1.9);
+    }
+}

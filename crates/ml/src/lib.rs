@@ -1,0 +1,70 @@
+//! # adasense-ml
+//!
+//! From-scratch machine-learning substrate for the AdaSense (DAC 2020) reproduction.
+//!
+//! The paper's classifier is deliberately tiny: "one neural network with two layers:
+//! one hidden layer with RELU activation function and an output layer with 6 neurons
+//! and a softmax" (Section III-C), trained on feature vectors from several sensor
+//! configurations at once.  This crate implements everything needed to train and run
+//! that network without any external ML framework:
+//!
+//! * [`matrix`] — a small dense row-major matrix type with the operations needed for
+//!   forward and backward passes.
+//! * [`network`] — dense layers, ReLU, softmax and the [`Mlp`] multi-layer
+//!   perceptron with prediction + confidence output.
+//! * [`loss`] — softmax cross-entropy with gradient.
+//! * [`optimizer`] — stochastic gradient descent with momentum, and Adam.
+//! * [`normalize`] — per-feature z-score normalization (fit on training data, stored
+//!   with the model).
+//! * [`trainer`] — mini-batch training loop with deterministic shuffling.
+//! * [`metrics`] — accuracy and confusion matrices.
+//! * [`memory`] — classifier weight-memory accounting (for the paper's memory
+//!   comparison against per-configuration classifier banks).
+//!
+//! # Example
+//!
+//! ```
+//! use adasense_ml::prelude::*;
+//!
+//! // Learn a linearly separable toy problem.
+//! let x: Vec<Vec<f64>> = (0..40)
+//!     .map(|i| vec![f64::from(i % 2), f64::from(i % 2) * 0.5 + 0.1])
+//!     .collect();
+//! let y: Vec<usize> = (0..40).map(|i| (i % 2) as usize).collect();
+//! let config = MlpConfig::new(2, vec![8], 2);
+//! let trainer = Trainer::new(TrainerConfig { epochs: 200, ..TrainerConfig::default() });
+//! let outcome = trainer.train(&config, &x, &y, 7);
+//! assert!(accuracy(&outcome.model, &x, &y) > 0.95);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loss;
+pub mod matrix;
+pub mod memory;
+pub mod metrics;
+pub mod network;
+pub mod normalize;
+pub mod optimizer;
+pub mod trainer;
+
+pub use matrix::Matrix;
+pub use memory::MemoryFootprint;
+pub use metrics::{accuracy, ConfusionMatrix};
+pub use network::{Mlp, MlpConfig, Prediction};
+pub use normalize::Normalizer;
+pub use optimizer::{Optimizer, OptimizerKind};
+pub use trainer::{Trainer, TrainerConfig, TrainingOutcome};
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::loss::{cross_entropy, softmax};
+    pub use crate::matrix::Matrix;
+    pub use crate::memory::MemoryFootprint;
+    pub use crate::metrics::{accuracy, ConfusionMatrix};
+    pub use crate::network::{Mlp, MlpConfig, Prediction};
+    pub use crate::normalize::Normalizer;
+    pub use crate::optimizer::{Optimizer, OptimizerKind};
+    pub use crate::trainer::{Trainer, TrainerConfig, TrainingOutcome};
+}

@@ -1,0 +1,138 @@
+//! Softmax and cross-entropy loss.
+
+use crate::matrix::Matrix;
+
+/// Numerically stable softmax of one logit vector.
+///
+/// ```
+/// use adasense_ml::loss::softmax;
+/// let p = softmax(&[1.0, 1.0, 1.0]);
+/// assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// ```
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|v| v / sum).collect()
+}
+
+/// Row-wise softmax of a logits matrix.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    let cols = logits.cols();
+    for r in 0..logits.rows() {
+        let probs = softmax(logits.row(r));
+        for c in 0..cols {
+            out.set(r, c, probs[c]);
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy of row-wise probabilities against integer labels.
+///
+/// # Panics
+///
+/// Panics if the number of labels differs from the number of rows or a label is out
+/// of range.
+pub fn cross_entropy(probabilities: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(probabilities.rows(), labels.len(), "one label per row required");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < probabilities.cols(), "label {label} out of range");
+        let p = probabilities.get(r, label).max(1e-12);
+        total -= p.ln();
+    }
+    total / labels.len() as f64
+}
+
+/// Gradient of the mean softmax cross-entropy with respect to the logits:
+/// `(softmax(logits) - onehot(labels)) / batch_size`.
+pub fn softmax_cross_entropy_grad(logits: &Matrix, labels: &[usize]) -> (f64, Matrix) {
+    let probs = softmax_rows(logits);
+    let loss = cross_entropy(&probs, labels);
+    let mut grad = probs;
+    let n = labels.len().max(1) as f64;
+    for (r, &label) in labels.iter().enumerate() {
+        grad.set(r, label, grad.get(r, label) - 1.0);
+    }
+    let grad = grad.map(|v| v / n);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_preserves_order() {
+        let p = softmax(&[3.0, 1.0, -2.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] > p[1] && p[1] > p[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let p = softmax(&[1000.0, -1000.0]);
+        assert!(p[0] > 0.999 && p[1] < 1e-12);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_zero() {
+        let probs = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert!(cross_entropy(&probs, &[0, 1]) < 1e-9);
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_prediction_is_log_classes() {
+        let probs = Matrix::from_rows(&[vec![0.25; 4]]);
+        assert!((cross_entropy(&probs, &[2]) - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Matrix::from_rows(&[vec![0.3, -0.2, 0.7], vec![-1.0, 0.4, 0.1]]);
+        let labels = [2usize, 1usize];
+        let (_, grad) = softmax_cross_entropy_grad(&logits, &labels);
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut plus = logits.clone();
+                plus.set(r, c, plus.get(r, c) + eps);
+                let mut minus = logits.clone();
+                minus.set(r, c, minus.get(r, c) - eps);
+                let lp = cross_entropy(&softmax_rows(&plus), &labels);
+                let lm = cross_entropy(&softmax_rows(&minus), &labels);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - grad.get(r, c)).abs() < 1e-5,
+                    "grad mismatch at ({r},{c}): analytic {} numeric {numeric}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_labels_are_rejected() {
+        let probs = Matrix::from_rows(&[vec![0.5, 0.5]]);
+        let _ = cross_entropy(&probs, &[3]);
+    }
+}

@@ -1,0 +1,297 @@
+//! A minimal dense row-major matrix.
+//!
+//! Only the operations needed by the MLP forward/backward passes are provided; the
+//! goal is clarity and testability, not BLAS-level performance (the paper's network
+//! has a few hundred weights, so even a naive implementation classifies a window in
+//! microseconds).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length must be rows × cols");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from nested rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The `(rows, cols)` shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The element at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, value: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// A view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The underlying flat row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying flat row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must match: {}×{} times {}×{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Element-wise product with another matrix of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "shapes must match for element-wise product");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect(),
+        }
+    }
+
+    /// Adds a row vector to every row (broadcast), returning a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != cols`.
+    pub fn add_row_broadcast(&self, bias: &[f64]) -> Matrix {
+        assert_eq!(bias.len(), self.cols, "bias length must equal the number of columns");
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[r * self.cols + c] += bias[c];
+            }
+        }
+        out
+    }
+
+    /// Sum of every column, as a vector of length `cols`.
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// `self += scale × rhs` for a matrix of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled(&mut self, rhs: &Matrix, scale: f64) {
+        assert_eq!(self.shape(), rhs.shape(), "shapes must match");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Total number of elements.
+    pub fn element_count(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn from_rows_matches_from_vec() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows × cols")]
+    fn from_vec_rejects_wrong_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let identity = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ]);
+        assert_eq!(a.matmul(&identity), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_rejects_mismatched_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn broadcast_and_column_sums() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = a.add_row_broadcast(&[10.0, 20.0]);
+        assert_eq!(b, Matrix::from_rows(&[vec![11.0, 22.0], vec![13.0, 24.0]]));
+        assert_eq!(a.column_sums(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn map_hadamard_and_add_scaled() {
+        let a = Matrix::from_rows(&[vec![1.0, -2.0], vec![3.0, -4.0]]);
+        assert_eq!(a.map(f64::abs).as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        let h = a.hadamard(&a);
+        assert_eq!(h.as_slice(), &[1.0, 4.0, 9.0, 16.0]);
+        let mut m = Matrix::zeros(2, 2);
+        m.add_scaled(&a, 2.0);
+        assert_eq!(m.as_slice(), &[2.0, -4.0, 6.0, -8.0]);
+    }
+
+    #[test]
+    fn empty_from_rows_is_empty_matrix() {
+        let m = Matrix::from_rows(&[]);
+        assert_eq!(m.shape(), (0, 0));
+        assert_eq!(m.element_count(), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Classifier weight-memory accounting.
+//!
+//! The paper's memory argument (Section V-D) is that AdaSense stores *one* network
+//! trained on data from all sensor configurations, whereas the intensity-based
+//! baseline retrains a separate network per configuration — so AdaSense needs `k×`
+//! less weight memory when the baseline uses `k` configurations.  This module
+//! computes those footprints for any architecture and weight precision.
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::{Mlp, MlpConfig};
+
+/// Weight-memory footprint of one or more classifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Number of stored classifiers.
+    pub models: usize,
+    /// Trainable parameters per classifier.
+    pub parameters_per_model: usize,
+    /// Bytes used to store one parameter.
+    pub bytes_per_parameter: usize,
+}
+
+impl MemoryFootprint {
+    /// Footprint of a single classifier with the given architecture, assuming the
+    /// given weight precision in bytes (4 for `f32`, the usual embedded choice).
+    pub fn single(config: &MlpConfig, bytes_per_parameter: usize) -> Self {
+        Self { models: 1, parameters_per_model: config.parameter_count(), bytes_per_parameter }
+    }
+
+    /// Footprint of a bank of `models` identical classifiers (the
+    /// one-network-per-configuration strategy of the baseline).
+    pub fn bank(config: &MlpConfig, models: usize, bytes_per_parameter: usize) -> Self {
+        Self { models, parameters_per_model: config.parameter_count(), bytes_per_parameter }
+    }
+
+    /// Footprint of an already-constructed model.
+    pub fn of_model(model: &Mlp, bytes_per_parameter: usize) -> Self {
+        Self { models: 1, parameters_per_model: model.parameter_count(), bytes_per_parameter }
+    }
+
+    /// Total bytes of weight storage.
+    pub fn total_bytes(&self) -> usize {
+        self.models * self.parameters_per_model * self.bytes_per_parameter
+    }
+
+    /// Total kilobytes of weight storage.
+    pub fn total_kib(&self) -> f64 {
+        self.total_bytes() as f64 / 1024.0
+    }
+
+    /// How many times larger `other` is than `self`.
+    ///
+    /// Returns infinity if `self` is empty.
+    pub fn savings_factor_vs(&self, other: &MemoryFootprint) -> f64 {
+        let own = self.total_bytes();
+        if own == 0 {
+            f64::INFINITY
+        } else {
+            other.total_bytes() as f64 / own as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_classifier_fits_in_a_few_kilobytes() {
+        let footprint = MemoryFootprint::single(&MlpConfig::paper(), 4);
+        // (15×24 + 24) + (24×6 + 6) = 534 parameters ≈ 2.1 KiB at f32.
+        assert_eq!(footprint.parameters_per_model, 534);
+        assert!(footprint.total_kib() < 4.0, "got {} KiB", footprint.total_kib());
+    }
+
+    #[test]
+    fn a_bank_of_four_networks_is_four_times_larger() {
+        let single = MemoryFootprint::single(&MlpConfig::paper(), 4);
+        let bank = MemoryFootprint::bank(&MlpConfig::paper(), 4, 4);
+        assert_eq!(bank.total_bytes(), 4 * single.total_bytes());
+        assert!((single.savings_factor_vs(&bank) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_scales_linearly() {
+        let f32_footprint = MemoryFootprint::single(&MlpConfig::paper(), 4);
+        let f64_footprint = MemoryFootprint::single(&MlpConfig::paper(), 8);
+        assert_eq!(f64_footprint.total_bytes(), 2 * f32_footprint.total_bytes());
+    }
+
+    #[test]
+    fn of_model_matches_config_count() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let model = Mlp::new(MlpConfig::paper(), &mut StdRng::seed_from_u64(0));
+        let from_model = MemoryFootprint::of_model(&model, 4);
+        let from_config = MemoryFootprint::single(&MlpConfig::paper(), 4);
+        assert_eq!(from_model.total_bytes(), from_config.total_bytes());
+    }
+
+    #[test]
+    fn empty_footprint_has_infinite_savings() {
+        let empty = MemoryFootprint { models: 0, parameters_per_model: 0, bytes_per_parameter: 4 };
+        let other = MemoryFootprint::single(&MlpConfig::paper(), 4);
+        assert!(empty.savings_factor_vs(&other).is_infinite());
+    }
+}

@@ -1,0 +1,155 @@
+//! Classification metrics: accuracy and confusion matrices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::Mlp;
+
+/// Fraction of samples whose predicted class matches the label.
+///
+/// Returns 0 for an empty evaluation set.
+pub fn accuracy(model: &Mlp, x: &[Vec<f64>], y: &[usize]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let correct = x.iter().zip(y).filter(|(xi, &yi)| model.predict(xi).class == yi).count();
+    correct as f64 / x.len() as f64
+}
+
+/// A square confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty confusion matrix for `classes` classes.
+    pub fn new(classes: usize) -> Self {
+        Self { classes, counts: vec![vec![0; classes]; classes] }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one (actual, predicted) observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.classes && predicted < self.classes, "class index out of range");
+        self.counts[actual][predicted] += 1;
+    }
+
+    /// Builds a confusion matrix by evaluating `model` on `(x, y)`.
+    pub fn evaluate(model: &Mlp, x: &[Vec<f64>], y: &[usize], classes: usize) -> Self {
+        let mut matrix = Self::new(classes);
+        for (xi, &yi) in x.iter().zip(y) {
+            matrix.record(yi, model.predict(xi).class);
+        }
+        matrix
+    }
+
+    /// The count at `(actual, predicted)`.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|row| row.iter().sum::<usize>()).sum()
+    }
+
+    /// Overall accuracy (trace / total); 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.classes).map(|c| self.counts[c][c]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Recall of class `c` (correct / actual occurrences); 0 when the class never
+    /// occurs.
+    pub fn recall(&self, c: usize) -> f64 {
+        let actual: usize = self.counts[c].iter().sum();
+        if actual == 0 {
+            0.0
+        } else {
+            self.counts[c][c] as f64 / actual as f64
+        }
+    }
+
+    /// Precision of class `c` (correct / predicted occurrences); 0 when the class is
+    /// never predicted.
+    pub fn precision(&self, c: usize) -> f64 {
+        let predicted: usize = (0..self.classes).map(|a| self.counts[a][c]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            self.counts[c][c] as f64 / predicted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::MlpConfig;
+    use crate::trainer::{Trainer, TrainerConfig};
+
+    #[test]
+    fn confusion_matrix_counts_and_accuracy() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record(0, 0);
+        m.record(0, 1);
+        m.record(1, 1);
+        m.record(2, 2);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.count(0, 1), 1);
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+        assert!((m.recall(0) - 0.5).abs() < 1e-12);
+        assert!((m.precision(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_accuracy() {
+        let m = ConfusionMatrix::new(4);
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.recall(1), 0.0);
+        assert_eq!(m.precision(2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_record_panics() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(0, 2);
+    }
+
+    #[test]
+    fn accuracy_and_confusion_agree_on_a_trained_model() {
+        let x: Vec<Vec<f64>> =
+            (0..60).map(|i| vec![f64::from(i % 2) * 2.0, 1.0 - f64::from(i % 2)]).collect();
+        let y: Vec<usize> = (0..60).map(|i| (i % 2) as usize).collect();
+        let trainer = Trainer::new(TrainerConfig { epochs: 40, ..TrainerConfig::default() });
+        let model = trainer.train(&MlpConfig::new(2, vec![4], 2), &x, &y, 1).model;
+        let acc = accuracy(&model, &x, &y);
+        let confusion = ConfusionMatrix::evaluate(&model, &x, &y, 2);
+        assert!((acc - confusion.accuracy()).abs() < 1e-12);
+        assert!(acc > 0.95);
+    }
+
+    #[test]
+    fn accuracy_of_empty_set_is_zero() {
+        let trainer = Trainer::new(TrainerConfig { epochs: 1, ..TrainerConfig::default() });
+        let model = trainer
+            .train(&MlpConfig::new(1, vec![2], 2), &[vec![0.0], vec![1.0]], &[0, 1], 0)
+            .model;
+        assert_eq!(accuracy(&model, &[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Dense layers and the multi-layer perceptron used as the HAR classifier.
+//!
+//! The paper's classifier (Section III-C) is an MLP with one hidden ReLU layer and a
+//! 6-way softmax output.  [`MlpConfig`] defaults to that shape but allows deeper
+//! stacks for ablations.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::loss::softmax;
+use crate::matrix::Matrix;
+use crate::normalize::Normalizer;
+
+/// One fully connected layer: `y = x × W + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseLayer {
+    /// Weight matrix of shape (inputs × outputs).
+    pub weights: Matrix,
+    /// Bias vector of length `outputs`.
+    pub biases: Vec<f64>,
+}
+
+impl DenseLayer {
+    /// Creates a layer with Xavier/Glorot-uniform initialized weights.
+    pub fn xavier<R: Rng + ?Sized>(inputs: usize, outputs: usize, rng: &mut R) -> Self {
+        let limit = (6.0 / (inputs + outputs) as f64).sqrt();
+        let mut weights = Matrix::zeros(inputs, outputs);
+        for v in weights.as_mut_slice() {
+            *v = rng.random_range(-limit..limit);
+        }
+        Self { weights, biases: vec![0.0; outputs] }
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Number of outputs.
+    pub fn outputs(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of trainable parameters (weights + biases).
+    pub fn parameter_count(&self) -> usize {
+        self.weights.element_count() + self.biases.len()
+    }
+
+    /// Forward pass for a batch (rows = samples).
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        input.matmul(&self.weights).add_row_broadcast(&self.biases)
+    }
+}
+
+/// Architecture of an [`Mlp`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Number of input features.
+    pub input_dim: usize,
+    /// Sizes of the hidden ReLU layers.
+    pub hidden_dims: Vec<usize>,
+    /// Number of output classes.
+    pub output_dim: usize,
+}
+
+impl MlpConfig {
+    /// Creates an architecture description.
+    pub fn new(input_dim: usize, hidden_dims: Vec<usize>, output_dim: usize) -> Self {
+        Self { input_dim, hidden_dims, output_dim }
+    }
+
+    /// The paper's classifier shape: 15 features → one hidden ReLU layer → 6 classes.
+    ///
+    /// The hidden width is not stated in the paper; 24 neurons keeps the model within
+    /// a few kilobytes (the paper stresses that wearables "only have few KBs of
+    /// memory") while giving enough capacity for the six classes.
+    pub fn paper() -> Self {
+        Self::new(15, vec![24], 6)
+    }
+
+    /// Total number of trainable parameters of this architecture.
+    pub fn parameter_count(&self) -> usize {
+        let mut dims = Vec::with_capacity(self.hidden_dims.len() + 2);
+        dims.push(self.input_dim);
+        dims.extend_from_slice(&self.hidden_dims);
+        dims.push(self.output_dim);
+        dims.windows(2).map(|d| d[0] * d[1] + d[1]).sum()
+    }
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The result of classifying one feature vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Index of the most probable class.
+    pub class: usize,
+    /// Softmax probability of that class (the "confidence" used by SPOT with
+    /// confidence, Section IV-E).
+    pub confidence: f64,
+    /// Full per-class probability vector.
+    pub probabilities: Vec<f64>,
+}
+
+/// A multi-layer perceptron with ReLU hidden activations and softmax output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    config: MlpConfig,
+    layers: Vec<DenseLayer>,
+    normalizer: Option<Normalizer>,
+}
+
+impl Mlp {
+    /// Creates a network with Xavier-initialized weights.
+    pub fn new<R: Rng + ?Sized>(config: MlpConfig, rng: &mut R) -> Self {
+        let mut dims = Vec::with_capacity(config.hidden_dims.len() + 2);
+        dims.push(config.input_dim);
+        dims.extend_from_slice(&config.hidden_dims);
+        dims.push(config.output_dim);
+        let layers = dims.windows(2).map(|d| DenseLayer::xavier(d[0], d[1], rng)).collect();
+        Self { config, layers, normalizer: None }
+    }
+
+    /// The architecture of this network.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// The layers of this network.
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by the trainer).
+    pub(crate) fn layers_mut(&mut self) -> &mut [DenseLayer] {
+        &mut self.layers
+    }
+
+    /// Attaches a fitted input normalizer that is applied before every forward pass.
+    pub fn set_normalizer(&mut self, normalizer: Normalizer) {
+        self.normalizer = Some(normalizer);
+    }
+
+    /// The attached input normalizer, if any.
+    pub fn normalizer(&self) -> Option<&Normalizer> {
+        self.normalizer.as_ref()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(DenseLayer::parameter_count).sum()
+    }
+
+    /// Forward pass through every layer, returning the activations *after* each
+    /// layer (ReLU applied to hidden layers, raw logits for the last layer).
+    ///
+    /// The first element of the returned vector is the (normalized) input batch, so
+    /// the vector has `layers + 1` entries.  Used by the trainer for backpropagation.
+    pub(crate) fn forward_trace(&self, input: &Matrix) -> Vec<Matrix> {
+        let normalized = match &self.normalizer {
+            Some(n) => n.transform_matrix(input),
+            None => input.clone(),
+        };
+        let mut trace = Vec::with_capacity(self.layers.len() + 1);
+        trace.push(normalized);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let last = trace.last().expect("trace starts with the input");
+            let mut out = layer.forward(last);
+            if i + 1 < self.layers.len() {
+                out = out.map(|v| v.max(0.0));
+            }
+            trace.push(out);
+        }
+        trace
+    }
+
+    /// Raw logits for a batch of inputs (rows = samples).
+    pub fn logits(&self, input: &Matrix) -> Matrix {
+        self.forward_trace(input).pop().expect("trace is never empty")
+    }
+
+    /// Classifies a single feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` does not match the configured input dimension.
+    pub fn predict(&self, features: &[f64]) -> Prediction {
+        assert_eq!(
+            features.len(),
+            self.config.input_dim,
+            "expected {} features, got {}",
+            self.config.input_dim,
+            features.len()
+        );
+        let input = Matrix::from_rows(&[features.to_vec()]);
+        let logits = self.logits(&input);
+        let probabilities = softmax(logits.row(0));
+        let (class, &confidence) = probabilities
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+            .expect("output dimension is non-zero");
+        Prediction { class, confidence, probabilities: probabilities.clone() }
+    }
+
+    /// Classifies a batch of feature vectors.
+    pub fn predict_batch(&self, features: &[Vec<f64>]) -> Vec<Prediction> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_config_matches_the_described_architecture() {
+        let config = MlpConfig::paper();
+        assert_eq!(config.input_dim, 15);
+        assert_eq!(config.output_dim, 6);
+        assert_eq!(config.hidden_dims.len(), 1, "one hidden layer");
+    }
+
+    #[test]
+    fn parameter_count_formula_matches_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let config = MlpConfig::new(15, vec![24, 10], 6);
+        let mlp = Mlp::new(config.clone(), &mut rng);
+        assert_eq!(mlp.parameter_count(), config.parameter_count());
+        assert_eq!(config.parameter_count(), 15 * 24 + 24 + 24 * 10 + 10 + 10 * 6 + 6);
+    }
+
+    #[test]
+    fn prediction_probabilities_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(MlpConfig::paper(), &mut rng);
+        let p = mlp.predict(&vec![0.1; 15]);
+        assert!((p.probabilities.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.class < 6);
+        assert!((0.0..=1.0).contains(&p.confidence));
+        assert!((p.probabilities[p.class] - p.confidence).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 15 features")]
+    fn wrong_input_size_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(MlpConfig::paper(), &mut rng);
+        let _ = mlp.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn xavier_weights_are_within_the_expected_limit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = DenseLayer::xavier(15, 24, &mut rng);
+        let limit = (6.0 / 39.0f64).sqrt();
+        assert!(layer.weights.as_slice().iter().all(|w| w.abs() <= limit));
+        assert!(layer.biases.iter().all(|b| *b == 0.0));
+    }
+
+    #[test]
+    fn forward_trace_has_one_entry_per_layer_plus_input() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(MlpConfig::new(4, vec![8, 8], 3), &mut rng);
+        let input = Matrix::from_rows(&[vec![0.0, 1.0, -1.0, 0.5]]);
+        let trace = mlp.forward_trace(&input);
+        assert_eq!(trace.len(), 4);
+        // Hidden activations are non-negative because of ReLU.
+        assert!(trace[1].as_slice().iter().all(|v| *v >= 0.0));
+        assert!(trace[2].as_slice().iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn different_seeds_give_different_networks() {
+        let a = Mlp::new(MlpConfig::paper(), &mut StdRng::seed_from_u64(1));
+        let b = Mlp::new(MlpConfig::paper(), &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+        let c = Mlp::new(MlpConfig::paper(), &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, c, "same seed must reproduce the same network");
+    }
+
+    #[test]
+    fn predict_batch_matches_individual_predictions() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mlp = Mlp::new(MlpConfig::new(3, vec![5], 2), &mut rng);
+        let inputs = vec![vec![0.1, 0.2, 0.3], vec![-1.0, 0.0, 1.0]];
+        let batch = mlp.predict_batch(&inputs);
+        for (input, prediction) in inputs.iter().zip(&batch) {
+            assert_eq!(&mlp.predict(input), prediction);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-feature z-score normalization.
+//!
+//! The raw features mix quantities of very different scales (means around 1 g,
+//! Fourier magnitudes of a few hundredths of a g), so the classifier is trained on
+//! standardized inputs.  The fitted statistics are stored with the model and applied
+//! automatically at inference time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// Per-feature standardization: `x' = (x - mean) / std`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits a normalizer to a set of feature vectors.
+    ///
+    /// Features with (near-)zero variance get a standard deviation of 1 so they pass
+    /// through unscaled rather than blowing up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or rows have inconsistent lengths.
+    pub fn fit(data: &[Vec<f64>]) -> Self {
+        assert!(!data.is_empty(), "cannot fit a normalizer to an empty dataset");
+        let dim = data[0].len();
+        let n = data.len() as f64;
+        let mut means = vec![0.0; dim];
+        for row in data {
+            assert_eq!(row.len(), dim, "all feature vectors must have the same length");
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; dim];
+        for row in data {
+            for ((s, v), m) in stds.iter_mut().zip(row).zip(&means) {
+                *s += (v - m).powi(2);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-9 {
+                *s = 1.0;
+            }
+        }
+        Self { means, stds }
+    }
+
+    /// Number of features this normalizer was fitted on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardizes one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from the fitted dimension.
+    pub fn transform(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.dim(), "feature dimension mismatch");
+        features
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardizes a batch of feature vectors stored as matrix rows.
+    pub fn transform_matrix(&self, input: &Matrix) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..input.rows()).map(|r| self.transform(input.row(r))).collect();
+        Matrix::from_rows(&rows)
+    }
+
+    /// Standardizes a whole dataset.
+    pub fn transform_all(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        data.iter().map(|row| self.transform(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fitted_statistics_standardize_the_training_data() {
+        let data = vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]];
+        let normalizer = Normalizer::fit(&data);
+        let transformed = normalizer.transform_all(&data);
+        for c in 0..2 {
+            let mean: f64 = transformed.iter().map(|r| r[c]).sum::<f64>() / 3.0;
+            let var: f64 = transformed.iter().map(|r| (r[c] - mean).powi(2)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_features_pass_through_centred() {
+        let data = vec![vec![7.0], vec![7.0], vec![7.0]];
+        let normalizer = Normalizer::fit(&data);
+        assert_eq!(normalizer.transform(&[7.0]), vec![0.0]);
+        assert_eq!(normalizer.transform(&[9.0]), vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn fitting_an_empty_dataset_panics() {
+        let _ = Normalizer::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn transforming_the_wrong_dimension_panics() {
+        let normalizer = Normalizer::fit(&[vec![1.0, 2.0]]);
+        let _ = normalizer.transform(&[1.0]);
+    }
+
+    #[test]
+    fn matrix_transform_matches_vector_transform() {
+        let data = vec![vec![1.0, -5.0, 0.3], vec![2.0, 5.0, 0.9], vec![0.5, 0.0, 0.6]];
+        let normalizer = Normalizer::fit(&data);
+        let matrix = Matrix::from_rows(&data);
+        let transformed = normalizer.transform_matrix(&matrix);
+        for (r, row) in data.iter().enumerate() {
+            assert_eq!(transformed.row(r), normalizer.transform(row).as_slice());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Gradient-descent optimizers.
+//!
+//! The paper does not describe its training setup in detail, so two standard
+//! first-order optimizers are provided: SGD with momentum (the default) and Adam.
+//! Both operate on flat parameter slices; the trainer keeps one state buffer per
+//! layer parameter group.
+
+use serde::{Deserialize, Serialize};
+
+/// Which optimization algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Stochastic gradient descent with momentum.
+    Sgd {
+        /// Momentum coefficient (0 disables momentum).
+        momentum: f64,
+    },
+    /// Adam with the usual β₁/β₂/ε defaults.
+    Adam,
+}
+
+impl Default for OptimizerKind {
+    fn default() -> Self {
+        OptimizerKind::Sgd { momentum: 0.9 }
+    }
+}
+
+/// Optimizer state for one group of parameter buffers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    learning_rate: f64,
+    /// First-moment (or velocity) buffers, one per registered parameter group.
+    m: Vec<Vec<f64>>,
+    /// Second-moment buffers (Adam only).
+    v: Vec<Vec<f64>>,
+    /// Number of steps taken (for Adam bias correction).
+    steps: u64,
+}
+
+impl Optimizer {
+    /// Creates an optimizer for parameter groups of the given sizes.
+    pub fn new(kind: OptimizerKind, learning_rate: f64, group_sizes: &[usize]) -> Self {
+        Self {
+            kind,
+            learning_rate,
+            m: group_sizes.iter().map(|&n| vec![0.0; n]).collect(),
+            v: group_sizes.iter().map(|&n| vec![0.0; n]).collect(),
+            steps: 0,
+        }
+    }
+
+    /// The learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// Marks the start of a new optimization step (needed for Adam bias correction).
+    pub fn begin_step(&mut self) {
+        self.steps += 1;
+    }
+
+    /// Applies one update to parameter group `group` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range or the slice lengths do not match the
+    /// registered group size.
+    pub fn update(&mut self, group: usize, params: &mut [f64], grads: &[f64]) {
+        assert!(group < self.m.len(), "unknown parameter group {group}");
+        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        assert_eq!(params.len(), self.m[group].len(), "group size mismatch");
+        match self.kind {
+            OptimizerKind::Sgd { momentum } => {
+                let velocity = &mut self.m[group];
+                for ((p, &g), v) in params.iter_mut().zip(grads).zip(velocity.iter_mut()) {
+                    *v = momentum * *v - self.learning_rate * g;
+                    *p += *v;
+                }
+            }
+            OptimizerKind::Adam => {
+                const BETA1: f64 = 0.9;
+                const BETA2: f64 = 0.999;
+                const EPS: f64 = 1e-8;
+                let t = self.steps.max(1) as f64;
+                let m = &mut self.m[group];
+                let v = &mut self.v[group];
+                for (((p, &g), mi), vi) in
+                    params.iter_mut().zip(grads).zip(m.iter_mut()).zip(v.iter_mut())
+                {
+                    *mi = BETA1 * *mi + (1.0 - BETA1) * g;
+                    *vi = BETA2 * *vi + (1.0 - BETA2) * g * g;
+                    let m_hat = *mi / (1.0 - BETA1.powf(t));
+                    let v_hat = *vi / (1.0 - BETA2.powf(t));
+                    *p -= self.learning_rate * m_hat / (v_hat.sqrt() + EPS);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizing f(x) = (x - 3)² should converge to 3 with either optimizer.
+    fn minimize(kind: OptimizerKind, learning_rate: f64) -> f64 {
+        let mut x = vec![0.0f64];
+        let mut optimizer = Optimizer::new(kind, learning_rate, &[1]);
+        for _ in 0..500 {
+            optimizer.begin_step();
+            let grad = vec![2.0 * (x[0] - 3.0)];
+            optimizer.update(0, &mut x, &grad);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_a_quadratic() {
+        let x = minimize(OptimizerKind::Sgd { momentum: 0.9 }, 0.05);
+        assert!((x - 3.0).abs() < 1e-3, "got {x}");
+    }
+
+    #[test]
+    fn plain_sgd_converges_without_momentum() {
+        let x = minimize(OptimizerKind::Sgd { momentum: 0.0 }, 0.1);
+        assert!((x - 3.0).abs() < 1e-3, "got {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        let x = minimize(OptimizerKind::Adam, 0.05);
+        assert!((x - 3.0).abs() < 1e-2, "got {x}");
+    }
+
+    #[test]
+    fn groups_are_independent() {
+        let mut optimizer = Optimizer::new(OptimizerKind::Sgd { momentum: 0.5 }, 0.1, &[1, 2]);
+        let mut a = vec![1.0];
+        let mut b = vec![1.0, 2.0];
+        optimizer.begin_step();
+        optimizer.update(0, &mut a, &[1.0]);
+        optimizer.update(1, &mut b, &[0.0, 1.0]);
+        assert!((a[0] - 0.9).abs() < 1e-12);
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        assert!((b[1] - 1.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parameter group")]
+    fn unknown_group_panics() {
+        let mut optimizer = Optimizer::new(OptimizerKind::Adam, 0.1, &[1]);
+        let mut p = vec![0.0];
+        optimizer.update(5, &mut p, &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_gradient_length_panics() {
+        let mut optimizer = Optimizer::new(OptimizerKind::Adam, 0.1, &[2]);
+        let mut p = vec![0.0, 0.0];
+        optimizer.update(0, &mut p, &[0.0]);
+    }
+}

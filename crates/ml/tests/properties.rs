@@ -1,0 +1,98 @@
+//! Property-based tests for the machine-learning substrate.
+
+use adasense_ml::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0f64..5.0, len)
+}
+
+proptest! {
+    /// Softmax always produces a probability distribution.
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-50.0f64..50.0, 1..10)) {
+        let p = softmax(&logits);
+        prop_assert_eq!(p.len(), logits.len());
+        prop_assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// Matrix multiplication is associative (within floating-point tolerance) and the
+    /// transpose reverses the product order.
+    #[test]
+    fn matmul_transpose_identity(a in finite_vec(6), b in finite_vec(6), c in finite_vec(4)) {
+        let m_a = Matrix::from_vec(2, 3, a);
+        let m_b = Matrix::from_vec(3, 2, b);
+        let m_c = Matrix::from_vec(2, 2, c);
+        let left = m_a.matmul(&m_b).matmul(&m_c);
+        let right = m_a.matmul(&m_b.matmul(&m_c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+        let t = m_a.matmul(&m_b).transpose();
+        let t2 = m_b.transpose().matmul(&m_a.transpose());
+        for (x, y) in t.as_slice().iter().zip(t2.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// An untrained network still outputs valid probability distributions with a
+    /// consistent argmax/confidence pair, for any input.
+    #[test]
+    fn predictions_are_well_formed(features in finite_vec(15), seed in 0u64..500) {
+        let model = Mlp::new(MlpConfig::paper(), &mut StdRng::seed_from_u64(seed));
+        let p = model.predict(&features);
+        prop_assert!(p.class < 6);
+        prop_assert!((p.probabilities.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!((p.probabilities[p.class] - p.confidence).abs() < 1e-12);
+        for (i, prob) in p.probabilities.iter().enumerate() {
+            prop_assert!(*prob <= p.confidence + 1e-12, "class {i} beats the argmax");
+        }
+    }
+
+    /// Normalized training data has zero mean and unit variance per feature, and the
+    /// normalizer never produces non-finite values on in-range inputs.
+    #[test]
+    fn normalizer_standardizes(rows in prop::collection::vec(finite_vec(4), 2..40)) {
+        let normalizer = Normalizer::fit(&rows);
+        let transformed = normalizer.transform_all(&rows);
+        prop_assert!(transformed.iter().flatten().all(|v| v.is_finite()));
+        let n = rows.len() as f64;
+        for c in 0..4 {
+            let mean: f64 = transformed.iter().map(|r| r[c]).sum::<f64>() / n;
+            prop_assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    /// The memory footprint scales linearly in the number of stored models.
+    #[test]
+    fn memory_scales_with_bank_size(models in 1usize..16) {
+        let single = MemoryFootprint::single(&MlpConfig::paper(), 4);
+        let bank = MemoryFootprint::bank(&MlpConfig::paper(), models, 4);
+        prop_assert_eq!(bank.total_bytes(), models * single.total_bytes());
+    }
+}
+
+/// Training on a tiny synthetic problem reaches high accuracy from a variety of
+/// seeds — this is a smoke property rather than an exhaustive one, so it uses a
+/// handful of cases only.
+#[test]
+fn training_succeeds_across_seeds() {
+    let x: Vec<Vec<f64>> = (0..45)
+        .map(|i| {
+            let class = i % 3;
+            vec![class as f64 * 2.0, (class as f64 - 1.0) * 1.5]
+        })
+        .collect();
+    let y: Vec<usize> = (0..45).map(|i| i % 3).collect();
+    for seed in [1u64, 7, 42] {
+        let outcome = Trainer::new(TrainerConfig { epochs: 80, ..TrainerConfig::default() })
+            .train(&MlpConfig::new(2, vec![8], 3), &x, &y, seed);
+        assert!(
+            accuracy(&outcome.model, &x, &y) > 0.95,
+            "seed {seed} failed to learn the toy problem"
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! The simulated accelerometer front-end.
+//!
+//! [`Accelerometer`] turns a continuous analog [`SignalSource`] into the digital
+//! sample stream a real IMU would produce under a given [`SensorConfig`]:
+//!
+//! 1. For every output sample (at the configured output data rate) it evaluates the
+//!    analog signal at `averaging_window` points spaced by the internal sampling
+//!    period and averages them — exactly the BMI160's under-sampling averaging.
+//!    Because there is no anti-aliasing filter beyond this averaging, low output
+//!    rates genuinely alias high-frequency activity content, which is one of the two
+//!    physical accuracy-degradation mechanisms the paper relies on.
+//! 2. It adds averaging-dependent Gaussian measurement noise (the other mechanism).
+//! 3. It quantizes to the 16-bit ±2 g range of the BMI160.
+
+use rand::Rng;
+
+use crate::config::SensorConfig;
+use crate::energy::{Charge, EnergyModel};
+use crate::noise::NoiseModel;
+use crate::sample::Sample3;
+
+/// A continuous 3-axis acceleration signal, in g, defined for any time `t` (seconds).
+///
+/// Implementors are the "physical world" of the simulation: the `adasense-data` crate
+/// provides per-activity signal models, and tests use simple closures or constants.
+pub trait SignalSource {
+    /// The analog acceleration at time `t` seconds, as `[x, y, z]` in g.
+    fn sample(&self, t: f64) -> [f64; 3];
+}
+
+impl<F> SignalSource for F
+where
+    F: Fn(f64) -> [f64; 3],
+{
+    fn sample(&self, t: f64) -> [f64; 3] {
+        self(t)
+    }
+}
+
+/// Full-scale range of the simulated accelerometer, in g.
+const FULL_SCALE_G: f64 = 2.0;
+/// Number of quantization levels of the 16-bit output.
+const LEVELS: f64 = 65536.0;
+
+/// The simulated 3-axis accelerometer.
+///
+/// See the [module documentation](self) for the behavioural model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Accelerometer {
+    config: SensorConfig,
+    energy: EnergyModel,
+    noise: NoiseModel,
+    quantize: bool,
+}
+
+impl Accelerometer {
+    /// Creates an accelerometer with the default (BMI160-calibrated) energy and
+    /// noise models.
+    pub fn new(config: SensorConfig) -> Self {
+        Self {
+            config,
+            energy: EnergyModel::bmi160(),
+            noise: NoiseModel::bmi160(),
+            quantize: true,
+        }
+    }
+
+    /// Replaces the energy model.
+    pub fn with_energy_model(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Replaces the noise model.
+    pub fn with_noise_model(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Enables or disables output quantization (enabled by default).
+    pub fn with_quantization(mut self, quantize: bool) -> Self {
+        self.quantize = quantize;
+        self
+    }
+
+    /// The currently active sensor configuration.
+    pub fn config(&self) -> SensorConfig {
+        self.config
+    }
+
+    /// Switches the sensor to a different configuration.
+    ///
+    /// Switching is modelled as instantaneous; the per-switch energy overhead is
+    /// negligible compared to seconds-long residency and is ignored, as in the paper.
+    pub fn set_config(&mut self, config: SensorConfig) {
+        self.config = config;
+    }
+
+    /// The energy model in use.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// The noise model in use.
+    pub fn noise_model(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Average current drawn under the current configuration, in µA.
+    pub fn current_ua(&self) -> f64 {
+        self.energy.current_ua(self.config)
+    }
+
+    /// Charge consumed by staying in the current configuration for `seconds` seconds.
+    pub fn charge_over(&self, seconds: f64) -> Charge {
+        self.energy.charge_over(self.config, seconds)
+    }
+
+    /// Captures `duration` seconds of samples starting at time `start`.
+    ///
+    /// The returned vector contains `round(duration × odr)` samples with timestamps
+    /// `start + k / odr`.
+    pub fn capture<S, R>(&self, source: &S, start: f64, duration: f64, rng: &mut R) -> Vec<Sample3>
+    where
+        S: SignalSource + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let count = self.config.frequency.samples_in(duration);
+        let period = self.config.frequency.period_s();
+        let mut out = Vec::with_capacity(count);
+        for k in 0..count {
+            let t = start + k as f64 * period;
+            out.push(self.read_at(source, t, rng));
+        }
+        out
+    }
+
+    /// Produces the single output sample the sensor would report at time `t`.
+    pub fn read_at<S, R>(&self, source: &S, t: f64, rng: &mut R) -> Sample3
+    where
+        S: SignalSource + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let n_avg = self.config.averaging.samples();
+        let internal_period = 1.0 / self.energy.internal_rate_hz;
+        let mode = self.energy.operation_mode(self.config);
+
+        // Average the analog signal over the `n_avg` internal samples that precede
+        // the output instant.
+        let mut acc = [0.0f64; 3];
+        for i in 0..n_avg {
+            let ti = t - f64::from(n_avg - 1 - i) * internal_period;
+            let v = source.sample(ti);
+            acc[0] += v[0];
+            acc[1] += v[1];
+            acc[2] += v[2];
+        }
+        let inv = 1.0 / f64::from(n_avg);
+        let mut axes = [acc[0] * inv, acc[1] * inv, acc[2] * inv];
+
+        // Additive measurement noise (already scaled for the averaging window).
+        for axis in &mut axes {
+            *axis += self.noise.sample(self.config, mode, rng);
+        }
+
+        // Saturating 16-bit quantization over ±2 g.
+        if self.quantize {
+            for axis in &mut axes {
+                *axis = quantize(*axis);
+            }
+        }
+
+        Sample3::new(t, axes[0], axes[1], axes[2])
+    }
+}
+
+fn quantize(value: f64) -> f64 {
+    let clamped = value.clamp(-FULL_SCALE_G, FULL_SCALE_G);
+    let step = 2.0 * FULL_SCALE_G / LEVELS;
+    (clamped / step).round() * step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AveragingWindow, SamplingFrequency};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn flat(_t: f64) -> [f64; 3] {
+        [0.0, 0.0, 1.0]
+    }
+
+    fn sine(t: f64) -> [f64; 3] {
+        [0.0, 0.0, (2.0 * std::f64::consts::PI * 2.0 * t).sin()]
+    }
+
+    #[test]
+    fn capture_produces_the_expected_number_of_samples() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for (f, expected) in [
+            (SamplingFrequency::F100, 200),
+            (SamplingFrequency::F50, 100),
+            (SamplingFrequency::F25, 50),
+            (SamplingFrequency::F12_5, 25),
+            (SamplingFrequency::F6_25, 13),
+        ] {
+            let accel = Accelerometer::new(SensorConfig::new(f, AveragingWindow::A16));
+            let samples = accel.capture(&flat, 0.0, 2.0, &mut rng);
+            assert_eq!(samples.len(), expected, "{f}");
+        }
+    }
+
+    #[test]
+    fn timestamps_are_evenly_spaced() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let accel =
+            Accelerometer::new(SensorConfig::new(SamplingFrequency::F25, AveragingWindow::A8));
+        let samples = accel.capture(&flat, 10.0, 1.0, &mut rng);
+        assert_eq!(samples.len(), 25);
+        for (k, s) in samples.iter().enumerate() {
+            let expected = 10.0 + k as f64 * 0.04;
+            assert!((s.t - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noiseless_capture_of_constant_signal_is_exact_up_to_quantization() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let accel =
+            Accelerometer::new(SensorConfig::new(SamplingFrequency::F50, AveragingWindow::A128))
+                .with_noise_model(NoiseModel::noiseless());
+        let samples = accel.capture(&flat, 0.0, 1.0, &mut rng);
+        for s in samples {
+            assert!((s.z - 1.0).abs() < 1e-4, "z={} should be ~1 g", s.z);
+            assert!(s.x.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn averaging_attenuates_fast_signals() {
+        // A 2 Hz sine averaged over 128 internal samples (80 ms) is attenuated
+        // relative to an 8-sample (5 ms) average.
+        let mut rng = StdRng::seed_from_u64(3);
+        let wide = Accelerometer::new(SensorConfig::new(SamplingFrequency::F25, AveragingWindow::A128))
+            .with_noise_model(NoiseModel::noiseless());
+        let narrow = Accelerometer::new(SensorConfig::new(SamplingFrequency::F25, AveragingWindow::A8))
+            .with_noise_model(NoiseModel::noiseless());
+        let rms = |samples: &[Sample3]| {
+            (samples.iter().map(|s| s.z * s.z).sum::<f64>() / samples.len() as f64).sqrt()
+        };
+        let wide_rms = rms(&wide.capture(&sine, 0.0, 4.0, &mut rng));
+        let narrow_rms = rms(&narrow.capture(&sine, 0.0, 4.0, &mut rng));
+        assert!(
+            wide_rms < narrow_rms,
+            "A128 should attenuate a 2 Hz tone more than A8 ({wide_rms} vs {narrow_rms})"
+        );
+    }
+
+    #[test]
+    fn smaller_windows_are_noisier() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut std_of = |window| {
+            let accel = Accelerometer::new(SensorConfig::new(SamplingFrequency::F25, window));
+            let samples = accel.capture(&flat, 0.0, 40.0, &mut rng);
+            let mean = samples.iter().map(|s| s.z).sum::<f64>() / samples.len() as f64;
+            (samples.iter().map(|s| (s.z - mean).powi(2)).sum::<f64>() / samples.len() as f64)
+                .sqrt()
+        };
+        let noisy = std_of(AveragingWindow::A8);
+        let clean = std_of(AveragingWindow::A128);
+        assert!(noisy > clean, "A8 std {noisy} should exceed A128 std {clean}");
+    }
+
+    #[test]
+    fn quantization_clamps_to_full_scale() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let big = |_t: f64| [5.0, -5.0, 0.0];
+        let accel =
+            Accelerometer::new(SensorConfig::new(SamplingFrequency::F25, AveragingWindow::A8))
+                .with_noise_model(NoiseModel::noiseless());
+        let s = accel.read_at(&big, 0.0, &mut rng);
+        assert!(s.x <= 2.0 && s.x >= 1.99);
+        assert!(s.y >= -2.0 && s.y <= -1.99);
+    }
+
+    #[test]
+    fn set_config_changes_current_draw() {
+        let mut accel =
+            Accelerometer::new(SensorConfig::new(SamplingFrequency::F100, AveragingWindow::A128));
+        let high = accel.current_ua();
+        accel.set_config(SensorConfig::new(SamplingFrequency::F12_5, AveragingWindow::A8));
+        let low = accel.current_ua();
+        assert!(high > 4.0 * low, "high-power config should draw far more current");
+    }
+
+    #[test]
+    fn closures_work_as_signal_sources() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let accel =
+            Accelerometer::new(SensorConfig::new(SamplingFrequency::F12_5, AveragingWindow::A8))
+                .with_noise_model(NoiseModel::noiseless());
+        let source = |t: f64| [t.min(1.0), 0.0, 0.0];
+        let s = accel.read_at(&source, 2.0, &mut rng);
+        assert!((s.x - 1.0).abs() < 1e-4);
+    }
+}

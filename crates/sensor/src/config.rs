@@ -1,0 +1,378 @@
+//! Sensor configurations: sampling frequency × averaging window combinations.
+//!
+//! The paper explores 16 combinations (Table I) and finds that four of them form the
+//! Pareto front of the accuracy / current trade-off:
+//! `F100_A128`, `F50_A16`, `F12.5_A16` and `F12.5_A8`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Output data rate of the accelerometer.
+///
+/// The paper uses the BMI160's 100, 50, 25, 12.5 and 6.25 Hz output data rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SamplingFrequency {
+    /// 6.25 Hz output data rate.
+    F6_25,
+    /// 12.5 Hz output data rate.
+    F12_5,
+    /// 25 Hz output data rate.
+    F25,
+    /// 50 Hz output data rate.
+    F50,
+    /// 100 Hz output data rate.
+    F100,
+}
+
+impl SamplingFrequency {
+    /// All supported output data rates, from slowest to fastest.
+    pub const ALL: [SamplingFrequency; 5] = [
+        SamplingFrequency::F6_25,
+        SamplingFrequency::F12_5,
+        SamplingFrequency::F25,
+        SamplingFrequency::F50,
+        SamplingFrequency::F100,
+    ];
+
+    /// The output data rate in hertz.
+    ///
+    /// ```
+    /// use adasense_sensor::SamplingFrequency;
+    /// assert_eq!(SamplingFrequency::F12_5.hz(), 12.5);
+    /// ```
+    pub fn hz(self) -> f64 {
+        match self {
+            SamplingFrequency::F6_25 => 6.25,
+            SamplingFrequency::F12_5 => 12.5,
+            SamplingFrequency::F25 => 25.0,
+            SamplingFrequency::F50 => 50.0,
+            SamplingFrequency::F100 => 100.0,
+        }
+    }
+
+    /// Number of output samples produced over `seconds` seconds.
+    ///
+    /// The count is rounded to the nearest integer, which matches how the buffered
+    /// window sizes are described in the paper (e.g. 12 samples for a 2-second batch
+    /// at 6.25 Hz).
+    pub fn samples_in(self, seconds: f64) -> usize {
+        (self.hz() * seconds).round() as usize
+    }
+
+    /// Sampling period in seconds.
+    pub fn period_s(self) -> f64 {
+        1.0 / self.hz()
+    }
+
+    /// The label fragment used by the paper, e.g. `"F12.5"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            SamplingFrequency::F6_25 => "F6.25",
+            SamplingFrequency::F12_5 => "F12.5",
+            SamplingFrequency::F25 => "F25",
+            SamplingFrequency::F50 => "F50",
+            SamplingFrequency::F100 => "F100",
+        }
+    }
+}
+
+impl fmt::Display for SamplingFrequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Number of internal samples averaged to produce one output sample.
+///
+/// The BMI160's low-power mode supports "under-sampling averaging": the sensor wakes
+/// up, takes `N` internal samples, averages them and goes back to sleep.  Larger
+/// windows give less noisy readings but keep the sensor awake longer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AveragingWindow {
+    /// Average of 8 internal samples.
+    A8,
+    /// Average of 16 internal samples.
+    A16,
+    /// Average of 32 internal samples.
+    A32,
+    /// Average of 128 internal samples.
+    A128,
+}
+
+impl AveragingWindow {
+    /// All supported averaging windows, from smallest to largest.
+    pub const ALL: [AveragingWindow; 4] = [
+        AveragingWindow::A8,
+        AveragingWindow::A16,
+        AveragingWindow::A32,
+        AveragingWindow::A128,
+    ];
+
+    /// Number of internal samples averaged per output sample.
+    ///
+    /// ```
+    /// use adasense_sensor::AveragingWindow;
+    /// assert_eq!(AveragingWindow::A32.samples(), 32);
+    /// ```
+    pub fn samples(self) -> u32 {
+        match self {
+            AveragingWindow::A8 => 8,
+            AveragingWindow::A16 => 16,
+            AveragingWindow::A32 => 32,
+            AveragingWindow::A128 => 128,
+        }
+    }
+
+    /// The label fragment used by the paper, e.g. `"A16"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            AveragingWindow::A8 => "A8",
+            AveragingWindow::A16 => "A16",
+            AveragingWindow::A32 => "A32",
+            AveragingWindow::A128 => "A128",
+        }
+    }
+}
+
+impl fmt::Display for AveragingWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The sensor operation mode implied by a configuration.
+///
+/// In normal mode the sensor core stays powered continuously, so the averaging window
+/// does not affect current draw.  In low-power mode the sensor duty-cycles between
+/// active and suspend, so both the sampling frequency and the averaging window matter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperationMode {
+    /// Sensor core continuously powered.
+    Normal,
+    /// Sensor duty-cycles between active and suspend.
+    LowPower,
+}
+
+impl fmt::Display for OperationMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperationMode::Normal => f.write_str("normal"),
+            OperationMode::LowPower => f.write_str("low-power"),
+        }
+    }
+}
+
+/// A sampling-frequency / averaging-window combination (one point of Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SensorConfig {
+    /// Output data rate.
+    pub frequency: SamplingFrequency,
+    /// Under-sampling averaging window.
+    pub averaging: AveragingWindow,
+}
+
+impl SensorConfig {
+    /// Creates a configuration from a sampling frequency and averaging window.
+    ///
+    /// ```
+    /// use adasense_sensor::{AveragingWindow, SamplingFrequency, SensorConfig};
+    /// let c = SensorConfig::new(SamplingFrequency::F50, AveragingWindow::A16);
+    /// assert_eq!(c.label(), "F50_A16");
+    /// ```
+    pub fn new(frequency: SamplingFrequency, averaging: AveragingWindow) -> Self {
+        Self { frequency, averaging }
+    }
+
+    /// The 16 combinations evaluated by the paper (Table I).
+    pub fn table_i() -> Vec<SensorConfig> {
+        use AveragingWindow::*;
+        use SamplingFrequency::*;
+        vec![
+            SensorConfig::new(F100, A128),
+            SensorConfig::new(F50, A128),
+            SensorConfig::new(F25, A128),
+            SensorConfig::new(F12_5, A128),
+            SensorConfig::new(F6_25, A128),
+            SensorConfig::new(F25, A32),
+            SensorConfig::new(F12_5, A32),
+            SensorConfig::new(F6_25, A32),
+            SensorConfig::new(F50, A16),
+            SensorConfig::new(F25, A16),
+            SensorConfig::new(F12_5, A16),
+            SensorConfig::new(F6_25, A16),
+            SensorConfig::new(F50, A8),
+            SensorConfig::new(F25, A8),
+            SensorConfig::new(F12_5, A8),
+            SensorConfig::new(F6_25, A8),
+        ]
+    }
+
+    /// The full sampling-frequency × averaging-window cross product (20 combinations).
+    pub fn all_combinations() -> Vec<SensorConfig> {
+        let mut out = Vec::with_capacity(20);
+        for &f in &SamplingFrequency::ALL {
+            for &a in &AveragingWindow::ALL {
+                out.push(SensorConfig::new(f, a));
+            }
+        }
+        out
+    }
+
+    /// The four Pareto-optimal configurations reported by the paper (Fig. 2),
+    /// ordered from highest to lowest power.
+    ///
+    /// These are the SPOT controller's states.
+    pub fn paper_pareto_front() -> [SensorConfig; 4] {
+        use AveragingWindow::*;
+        use SamplingFrequency::*;
+        [
+            SensorConfig::new(F100, A128),
+            SensorConfig::new(F50, A16),
+            SensorConfig::new(F12_5, A16),
+            SensorConfig::new(F12_5, A8),
+        ]
+    }
+
+    /// The configuration label in the paper's naming scheme, e.g. `"F12.5_A8"`.
+    pub fn label(&self) -> String {
+        format!("{}_{}", self.frequency.label(), self.averaging.label())
+    }
+
+    /// Number of output samples produced over `seconds` seconds.
+    pub fn samples_in(&self, seconds: f64) -> usize {
+        self.frequency.samples_in(seconds)
+    }
+}
+
+impl fmt::Display for SensorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Error returned when parsing a [`SensorConfig`] label fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseConfigError {
+    label: String,
+}
+
+impl fmt::Display for ParseConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognized sensor configuration label `{}`", self.label)
+    }
+}
+
+impl std::error::Error for ParseConfigError {}
+
+impl FromStr for SensorConfig {
+    type Err = ParseConfigError;
+
+    /// Parses labels in the paper's naming scheme, e.g. `"F12.5_A8"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseConfigError { label: s.to_string() };
+        let (f_part, a_part) = s.split_once('_').ok_or_else(err)?;
+        let frequency = SamplingFrequency::ALL
+            .iter()
+            .copied()
+            .find(|f| f.label() == f_part)
+            .ok_or_else(err)?;
+        let averaging = AveragingWindow::ALL
+            .iter()
+            .copied()
+            .find(|a| a.label() == a_part)
+            .ok_or_else(err)?;
+        Ok(SensorConfig::new(frequency, averaging))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_are_ordered_by_rate() {
+        let hz: Vec<f64> = SamplingFrequency::ALL.iter().map(|f| f.hz()).collect();
+        for pair in hz.windows(2) {
+            assert!(pair[0] < pair[1], "ALL must be sorted ascending");
+        }
+    }
+
+    #[test]
+    fn averaging_windows_are_ordered_by_size() {
+        let n: Vec<u32> = AveragingWindow::ALL.iter().map(|a| a.samples()).collect();
+        for pair in n.windows(2) {
+            assert!(pair[0] < pair[1], "ALL must be sorted ascending");
+        }
+    }
+
+    #[test]
+    fn table_i_has_sixteen_unique_entries() {
+        let table = SensorConfig::table_i();
+        assert_eq!(table.len(), 16);
+        let mut dedup = table.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 16);
+    }
+
+    #[test]
+    fn table_i_is_a_subset_of_all_combinations() {
+        let all = SensorConfig::all_combinations();
+        for config in SensorConfig::table_i() {
+            assert!(all.contains(&config), "{config} missing from cross product");
+        }
+    }
+
+    #[test]
+    fn pareto_front_members_are_in_table_i() {
+        let table = SensorConfig::table_i();
+        for config in SensorConfig::paper_pareto_front() {
+            assert!(table.contains(&config), "{config} not in Table I");
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_naming() {
+        assert_eq!(
+            SensorConfig::new(SamplingFrequency::F12_5, AveragingWindow::A8).label(),
+            "F12.5_A8"
+        );
+        assert_eq!(
+            SensorConfig::new(SamplingFrequency::F100, AveragingWindow::A128).label(),
+            "F100_A128"
+        );
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_str() {
+        for config in SensorConfig::all_combinations() {
+            let parsed: SensorConfig = config.label().parse().expect("label should parse");
+            assert_eq!(parsed, config);
+        }
+    }
+
+    #[test]
+    fn parsing_rejects_garbage() {
+        assert!("F13_A9".parse::<SensorConfig>().is_err());
+        assert!("hello".parse::<SensorConfig>().is_err());
+        assert!("".parse::<SensorConfig>().is_err());
+    }
+
+    #[test]
+    fn sample_counts_match_window_sizes_from_the_paper() {
+        // Section III-A: 100 samples per second at 100 Hz, 50 at 50 Hz.
+        assert_eq!(SamplingFrequency::F100.samples_in(1.0), 100);
+        assert_eq!(SamplingFrequency::F50.samples_in(1.0), 50);
+        assert_eq!(SamplingFrequency::F6_25.samples_in(2.0), 13); // 12.5 rounds to 13
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all_types() {
+        assert!(!SamplingFrequency::F25.to_string().is_empty());
+        assert!(!AveragingWindow::A8.to_string().is_empty());
+        assert!(!OperationMode::Normal.to_string().is_empty());
+        assert!(!SensorConfig::paper_pareto_front()[0].to_string().is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! The 3-axis accelerometer sample type.
+
+use std::ops::{Add, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// One timestamped 3-axis accelerometer reading, in units of g.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Sample3 {
+    /// Time of the reading, in seconds from the start of the trace.
+    pub t: f64,
+    /// Acceleration along the x axis, in g.
+    pub x: f64,
+    /// Acceleration along the y axis, in g.
+    pub y: f64,
+    /// Acceleration along the z axis, in g.
+    pub z: f64,
+}
+
+impl Sample3 {
+    /// Creates a sample from a timestamp and the three axis values.
+    ///
+    /// ```
+    /// use adasense_sensor::Sample3;
+    /// let s = Sample3::new(0.5, 0.0, 0.0, 1.0);
+    /// assert_eq!(s.magnitude(), 1.0);
+    /// ```
+    pub fn new(t: f64, x: f64, y: f64, z: f64) -> Self {
+        Self { t, x, y, z }
+    }
+
+    /// Creates a sample at time zero from an `[x, y, z]` array.
+    pub fn from_axes(axes: [f64; 3]) -> Self {
+        Self { t: 0.0, x: axes[0], y: axes[1], z: axes[2] }
+    }
+
+    /// The axis values as an `[x, y, z]` array.
+    pub fn axes(&self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Euclidean norm of the acceleration vector, in g.
+    pub fn magnitude(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Returns a copy of the sample with the timestamp replaced.
+    pub fn at(mut self, t: f64) -> Self {
+        self.t = t;
+        self
+    }
+}
+
+impl Add for Sample3 {
+    type Output = Sample3;
+    /// Component-wise addition of the axis values; the timestamp of `self` is kept.
+    fn add(self, rhs: Sample3) -> Sample3 {
+        Sample3 { t: self.t, x: self.x + rhs.x, y: self.y + rhs.y, z: self.z + rhs.z }
+    }
+}
+
+impl Sub for Sample3 {
+    type Output = Sample3;
+    /// Component-wise subtraction of the axis values; the timestamp of `self` is kept.
+    fn sub(self, rhs: Sample3) -> Sample3 {
+        Sample3 { t: self.t, x: self.x - rhs.x, y: self.y - rhs.y, z: self.z - rhs.z }
+    }
+}
+
+impl Mul<f64> for Sample3 {
+    type Output = Sample3;
+    /// Scales the axis values; the timestamp is kept.
+    fn mul(self, rhs: f64) -> Sample3 {
+        Sample3 { t: self.t, x: self.x * rhs, y: self.y * rhs, z: self.z * rhs }
+    }
+}
+
+impl Div<f64> for Sample3 {
+    type Output = Sample3;
+    /// Divides the axis values; the timestamp is kept.
+    fn div(self, rhs: f64) -> Sample3 {
+        Sample3 { t: self.t, x: self.x / rhs, y: self.y / rhs, z: self.z / rhs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_of_unit_gravity_is_one() {
+        let s = Sample3::new(0.0, 0.0, 0.0, 1.0);
+        assert!((s.magnitude() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_is_component_wise() {
+        let a = Sample3::new(1.0, 1.0, 2.0, 3.0);
+        let b = Sample3::new(2.0, 0.5, 0.5, 0.5);
+        let sum = a + b;
+        assert_eq!(sum.axes(), [1.5, 2.5, 3.5]);
+        assert_eq!(sum.t, 1.0, "timestamp of the left operand is kept");
+        let diff = a - b;
+        assert_eq!(diff.axes(), [0.5, 1.5, 2.5]);
+        let scaled = a * 2.0;
+        assert_eq!(scaled.axes(), [2.0, 4.0, 6.0]);
+        let halved = a / 2.0;
+        assert_eq!(halved.axes(), [0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn from_axes_round_trips() {
+        let s = Sample3::from_axes([0.1, -0.2, 0.98]);
+        assert_eq!(s.axes(), [0.1, -0.2, 0.98]);
+        assert_eq!(s.t, 0.0);
+        assert_eq!(s.at(3.5).t, 3.5);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the sensor substrate.
+
+use adasense_sensor::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn any_frequency() -> impl Strategy<Value = SamplingFrequency> {
+    prop::sample::select(SamplingFrequency::ALL.to_vec())
+}
+
+fn any_window() -> impl Strategy<Value = AveragingWindow> {
+    prop::sample::select(AveragingWindow::ALL.to_vec())
+}
+
+fn any_config() -> impl Strategy<Value = SensorConfig> {
+    (any_frequency(), any_window()).prop_map(|(f, a)| SensorConfig::new(f, a))
+}
+
+proptest! {
+    /// Current is always between the suspend and (active + overheads) levels.
+    #[test]
+    fn current_is_bounded(config in any_config()) {
+        let model = EnergyModel::bmi160();
+        let current = model.current_ua(config);
+        prop_assert!(current >= model.suspend_current_ua);
+        prop_assert!(current <= model.active_current_ua + 25.0);
+    }
+
+    /// The duty cycle is a valid fraction.
+    #[test]
+    fn duty_cycle_is_a_fraction(config in any_config()) {
+        let model = EnergyModel::bmi160();
+        let duty = model.duty_cycle(config);
+        prop_assert!((0.0..=1.0).contains(&duty));
+    }
+
+    /// Charge accounting is additive over time splits.
+    #[test]
+    fn charge_is_additive(config in any_config(), a in 0.0f64..100.0, b in 0.0f64..100.0) {
+        let model = EnergyModel::bmi160();
+        let whole = model.charge_over(config, a + b).micro_coulombs();
+        let split = (model.charge_over(config, a) + model.charge_over(config, b)).micro_coulombs();
+        prop_assert!((whole - split).abs() < 1e-6 * (1.0 + whole.abs()));
+    }
+
+    /// Labels always round-trip through parsing.
+    #[test]
+    fn labels_round_trip(config in any_config()) {
+        let parsed: SensorConfig = config.label().parse().unwrap();
+        prop_assert_eq!(parsed, config);
+    }
+
+    /// A capture always yields round(odr × duration) samples with monotonically
+    /// increasing timestamps, regardless of configuration or seed.
+    #[test]
+    fn capture_sample_count_and_timestamps(
+        config in any_config(),
+        seed in 0u64..1000,
+        duration in 0.5f64..4.0,
+    ) {
+        let accel = Accelerometer::new(config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let source = |t: f64| [0.01 * t.sin(), 0.0, 1.0];
+        let samples = accel.capture(&source, 0.0, duration, &mut rng);
+        prop_assert_eq!(samples.len(), config.frequency.samples_in(duration));
+        for pair in samples.windows(2) {
+            prop_assert!(pair[1].t > pair[0].t);
+        }
+    }
+
+    /// Quantized outputs never exceed the ±2 g full-scale range.
+    #[test]
+    fn outputs_stay_within_full_scale(config in any_config(), seed in 0u64..1000) {
+        let accel = Accelerometer::new(config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let source = |t: f64| [3.0 * (7.0 * t).sin(), -3.0, 2.5];
+        for s in accel.capture(&source, 0.0, 1.0, &mut rng) {
+            for v in s.axes() {
+                prop_assert!(v.abs() <= 2.0 + 1e-9);
+            }
+        }
+    }
+
+    /// Reported output noise is never below the noise floor and never above the raw
+    /// single-sample noise (scaled by the low-power penalty) plus the floor.
+    #[test]
+    fn noise_std_is_bounded(config in any_config()) {
+        let noise = NoiseModel::bmi160();
+        for mode in [OperationMode::Normal, OperationMode::LowPower] {
+            let std = noise.output_noise_std_for(config, mode);
+            prop_assert!(std >= noise.noise_floor_g);
+            prop_assert!(std <= noise.noise_floor_g + noise.raw_noise_std_g * noise.low_power_factor);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: train the AdaSense HAR system on synthetic data and watch the SPOT
+//! controller cut the sensor's power draw on a simple sit-then-walk scenario.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use adasense_repro::adasense::prelude::*;
+
+fn main() -> Result<(), AdaSenseError> {
+    // 1. Describe the experiment.  `quick()` keeps the synthetic dataset small so
+    //    this example finishes in seconds; `ExperimentSpec::paper()` reproduces the
+    //    paper-scale ~7300-window dataset.
+    let spec = ExperimentSpec::quick();
+
+    // 2. Train the unified classifier (one network for all sensor configurations).
+    let system = TrainedSystem::train(&spec)?;
+    println!(
+        "unified classifier: {:.1}% held-out accuracy across {} configurations",
+        100.0 * system.unified_test_accuracy(),
+        spec.dataset.configs.len()
+    );
+    for (config, accuracy) in system.per_config_accuracy() {
+        println!("  {:<12} {:>5.1}%", config.label(), 100.0 * accuracy);
+    }
+
+    // 3. Simulate two minutes of activity: 60 s sitting, then 60 s walking.
+    let scenario = ScenarioSpec::sit_then_walk(60.0, 60.0);
+
+    let baseline = Simulator::new(&spec, &system)
+        .with_controller(ControllerKind::StaticHigh)
+        .run(scenario.clone())?;
+    let spot = Simulator::new(&spec, &system)
+        .with_controller(ControllerKind::Spot { stability_threshold: 9 })
+        .run(scenario.clone())?;
+    let spot_confidence = Simulator::new(&spec, &system)
+        .with_controller(ControllerKind::SpotWithConfidence {
+            stability_threshold: 9,
+            confidence_threshold: 0.85,
+        })
+        .run(scenario)?;
+
+    // 4. Compare.
+    println!("\ncontroller                     current(uA)  accuracy  power saving");
+    for report in [&baseline, &spot, &spot_confidence] {
+        println!(
+            "{:<30} {:>11.1} {:>8.1}% {:>12.1}%",
+            report.controller,
+            report.average_current_ua(),
+            100.0 * report.accuracy(),
+            100.0 * report.power_reduction_vs(baseline.average_current_ua())
+        );
+    }
+
+    // 5. Peek at the Fig. 5-style behaviour: when does SPOT reach the lowest state?
+    let lowest = SensorConfig::paper_pareto_front()[3];
+    if let Some(first) = spot.records().iter().find(|r| r.config == lowest) {
+        println!(
+            "\nSPOT settled into {} after {:.0} s of stable sitting",
+            lowest.label(),
+            first.t_s
+        );
+    }
+    Ok(())
+}

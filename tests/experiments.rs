@@ -1,0 +1,162 @@
+//! Integration tests for the experiment runners: quick-scale versions of every
+//! paper table/figure, checking the qualitative relationships the paper reports.
+
+use adasense_repro::adasense::dse::DesignSpaceExploration;
+use adasense_repro::adasense::experiments::{
+    behavioural_trace, config_table, iba_comparison, paper_memory_report, stability_sweep,
+    IbaComparisonSettings, StabilitySweepSettings,
+};
+use adasense_repro::adasense::prelude::*;
+use std::sync::OnceLock;
+
+fn shared() -> &'static (ExperimentSpec, TrainedSystem) {
+    static SYSTEM: OnceLock<(ExperimentSpec, TrainedSystem)> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        let spec = ExperimentSpec {
+            dataset: DatasetSpec { windows_per_class_per_config: 14, ..DatasetSpec::quick() },
+            ..ExperimentSpec::quick()
+        };
+        let system = TrainedSystem::train(&spec).expect("training the quick system succeeds");
+        (spec, system)
+    })
+}
+
+#[test]
+fn table1_report_lists_every_configuration_with_sensible_currents() {
+    let report = config_table(&EnergyModel::bmi160(), &NoiseModel::bmi160());
+    assert_eq!(report.rows.len(), 16);
+    for row in &report.rows {
+        assert!(row.current_ua > 5.0 && row.current_ua < 250.0, "{:?}", row);
+        assert!(row.duty_cycle > 0.0 && row.duty_cycle <= 1.0);
+        assert!(row.noise_std_g > 0.0);
+    }
+    // Normal-mode rows must be the large averaging windows at high rates.
+    let normal_rows: Vec<_> = report.rows.iter().filter(|r| r.mode == "normal").collect();
+    assert!(!normal_rows.is_empty());
+    assert!(normal_rows.iter().all(|r| r.duty_cycle >= 1.0));
+}
+
+#[test]
+fn fig2_design_space_pareto_front_is_consistent() {
+    let (spec, _) = shared();
+    // A small candidate set keeps this test quick while still exercising the
+    // dominance logic over trained accuracies.
+    let candidates = vec![
+        "F100_A128".parse().unwrap(),
+        "F50_A16".parse().unwrap(),
+        "F12.5_A16".parse().unwrap(),
+        "F12.5_A8".parse().unwrap(),
+        "F6.25_A128".parse().unwrap(),
+    ];
+    let report = DesignSpaceExploration::new(spec.clone())
+        .with_candidates(candidates)
+        .with_repeats(1)
+        .run()
+        .expect("exploration runs");
+    assert_eq!(report.evaluations.len(), 5);
+    assert!(!report.pareto.is_empty());
+    // No Pareto point may be dominated by any evaluation.
+    for p in &report.pareto {
+        for e in &report.evaluations {
+            let dominates = e.accuracy >= p.accuracy
+                && e.current_ua <= p.current_ua
+                && (e.accuracy > p.accuracy || e.current_ua < p.current_ua);
+            assert!(!dominates, "{} dominates Pareto member {}", e.config, p.config);
+        }
+    }
+    // The front is returned in decreasing-current order (SPOT state order).
+    for pair in report.pareto.windows(2) {
+        assert!(pair[0].current_ua >= pair[1].current_ua);
+    }
+}
+
+#[test]
+fn fig5_behavioural_trace_shows_the_step_down_and_reset_pattern() {
+    let (spec, system) = shared();
+    let report = behavioural_trace(spec, system, 4, 40.0, 40.0).expect("trace runs");
+    let records = report.simulation.records();
+    // The run starts at the high-power configuration…
+    assert_eq!(records.first().unwrap().config.label(), "F100_A128");
+    // …reaches the lowest-power configuration while sitting…
+    assert!(report.first_settle_s.is_some());
+    assert!(report.first_settle_s.unwrap() < 40.0);
+    // …and consumes more power right after the activity change than right before it.
+    // …and returns to the high-power configuration shortly after the activity
+    // change (the classifier needs a window or two of pure walking to report the
+    // change, the new configuration takes effect one epoch later, and with this
+    // small stability threshold it may already start stepping down again a few
+    // seconds after that — so assert the reset happened, not that it persists).
+    let high = SensorConfig::paper_pareto_front()[0];
+    assert!(
+        records.iter().any(|r| r.t_s >= 41.0 && r.t_s <= 47.0 && r.config == high),
+        "expected the sensor back at {high} shortly after the change, got {:?}",
+        records
+            .iter()
+            .filter(|r| r.t_s >= 41.0 && r.t_s <= 47.0)
+            .map(|r| r.config.label())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn fig6_sweep_power_grows_with_the_stability_threshold() {
+    let (spec, system) = shared();
+    let settings = StabilitySweepSettings {
+        thresholds: vec![2, 20],
+        scenario_duration_s: 120.0,
+        scenarios_per_point: 1,
+        setting: ActivityChangeSetting::Medium,
+        ..StabilitySweepSettings::quick()
+    };
+    let report = stability_sweep(spec, system, &settings).expect("sweep runs");
+    assert_eq!(report.points.len(), 2);
+    let low_threshold = &report.points[0];
+    let high_threshold = &report.points[1];
+    // Fig. 6b: a larger stability threshold keeps the sensor longer in the
+    // high-power state, so SPOT power grows with the threshold.
+    assert!(
+        high_threshold.spot_current_ua > low_threshold.spot_current_ua,
+        "SPOT power should increase with the threshold ({} vs {})",
+        high_threshold.spot_current_ua,
+        low_threshold.spot_current_ua
+    );
+    // Both are below the baseline.
+    assert!(low_threshold.spot_current_ua < low_threshold.baseline_current_ua);
+    assert!(high_threshold.spot_current_ua < high_threshold.baseline_current_ua);
+    // And the headline averages are positive savings.
+    assert!(report.average_spot_reduction() > 0.0);
+    assert!(report.average_spot_confidence_reduction() > 0.0);
+}
+
+#[test]
+fn fig7_comparison_reproduces_the_crossover_shape() {
+    let (spec, system) = shared();
+    let settings = IbaComparisonSettings {
+        scenario_duration_s: 180.0,
+        scenarios_per_setting: 2,
+        ..IbaComparisonSettings::quick()
+    };
+    let report = iba_comparison(spec, system, &settings).expect("comparison runs");
+    let low = report.row(ActivityChangeSetting::Low).unwrap();
+    let high = report.row(ActivityChangeSetting::High).unwrap();
+    // The paper's qualitative shape: for stable users AdaSense draws clearly less
+    // power than the intensity-based approach…
+    assert!(
+        low.adasense_current_ua < low.iba_current_ua,
+        "AdaSense ({}) should beat IbA ({}) in the Low setting",
+        low.adasense_current_ua,
+        low.iba_current_ua
+    );
+    // …and AdaSense's own power grows as the user becomes less stable.
+    assert!(high.adasense_current_ua > low.adasense_current_ua);
+}
+
+#[test]
+fn memory_report_matches_the_two_x_and_four_x_claims() {
+    let report = paper_memory_report(&MlpConfig::paper());
+    assert_eq!(report.adasense.models, 1);
+    assert_eq!(report.iba_bank.models, 2);
+    assert_eq!(report.per_config_bank.models, 4);
+    assert!((report.saving_vs_iba() - 2.0).abs() < 1e-9);
+    assert!((report.saving_vs_per_config_bank() - 4.0).abs() < 1e-9);
+}

@@ -1,0 +1,146 @@
+//! Cross-crate property-based tests: invariants that must hold for any activity,
+//! sensor configuration and seed.
+
+use adasense_repro::adasense::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn any_activity() -> impl Strategy<Value = Activity> {
+    prop::sample::select(Activity::ALL.to_vec())
+}
+
+fn any_config() -> impl Strategy<Value = SensorConfig> {
+    prop::sample::select(SensorConfig::table_i())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The unified feature vector is always 15-dimensional and finite, whatever the
+    /// activity, configuration or seed — the invariant that makes a single
+    /// classifier possible.
+    #[test]
+    fn features_are_uniform_across_the_whole_design_space(
+        activity in any_activity(),
+        config in any_config(),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let subject = SubjectParams::sample(&mut rng);
+        let signal = ActivitySignalModel::canonical(activity).realize(&subject);
+        let accel = Accelerometer::new(config);
+        let window = accel.capture(&signal, 0.0, 2.0, &mut rng);
+        let features = FeatureExtractor::paper().extract(&window, config.frequency.hz());
+        prop_assert_eq!(features.len(), FEATURE_DIM);
+        prop_assert!(features.as_slice().iter().all(|v| v.is_finite()));
+        prop_assert!(features.stds().iter().all(|v| *v >= 0.0));
+    }
+
+    /// SPOT never skips states on the way down, never steps below the last state,
+    /// and always returns to state 0 on a (trusted) activity change.
+    #[test]
+    fn spot_fsm_invariants(
+        threshold in 0u32..20,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut spot = SpotController::paper(threshold);
+        let mut previous_index = spot.state_index();
+        for _ in 0..200 {
+            let activity = Activity::ALL[(rng.random::<u32>() % 6) as usize];
+            // Bias towards repetition so the FSM actually descends sometimes.
+            let activity = if rng.random::<f64>() < 0.8 {
+                spot.last_activity().unwrap_or(activity)
+            } else {
+                activity
+            };
+            let changed = spot.last_activity().map(|l| l != activity).unwrap_or(false);
+            spot.observe(&ControllerInput {
+                predicted: activity,
+                confidence: 0.99,
+                intensity_g_per_s: 0.0,
+            });
+            let index = spot.state_index();
+            prop_assert!(index < spot.states().len());
+            if changed {
+                prop_assert_eq!(index, 0, "a trusted change must reset to the first state");
+            } else {
+                prop_assert!(
+                    index == previous_index || index == previous_index + 1,
+                    "stable activity may only hold or descend one state"
+                );
+            }
+            previous_index = index;
+        }
+    }
+
+    /// The energy model's Pareto-state currents are strictly decreasing regardless
+    /// of (positive) calibration constants.
+    #[test]
+    fn pareto_state_currents_decrease_for_any_calibration(
+        active in 120.0f64..260.0,
+        suspend in 0.5f64..8.0,
+        wakeup in 0.0f64..0.2,
+        digital in 0.0f64..0.2,
+    ) {
+        let model = EnergyModel {
+            active_current_ua: active,
+            suspend_current_ua: suspend,
+            internal_rate_hz: 1600.0,
+            wakeup_charge_uc: wakeup,
+            digital_overhead_ua_per_hz: digital,
+        };
+        let currents: Vec<f64> = SensorConfig::paper_pareto_front()
+            .iter()
+            .map(|c| model.current_ua(*c))
+            .collect();
+        for pair in currents.windows(2) {
+            prop_assert!(pair[0] > pair[1], "{currents:?}");
+        }
+    }
+
+    /// Simulation charge accounting is exactly residency-weighted current, for any
+    /// controller and seed (short scenarios keep this property test fast).
+    #[test]
+    fn simulation_energy_accounting_is_exact(seed in 0u64..50) {
+        let (spec, system) = shared_system();
+        let kind = match seed % 3 {
+            0 => ControllerKind::StaticHigh,
+            1 => ControllerKind::Spot { stability_threshold: (seed % 7) as u32 },
+            _ => ControllerKind::SpotWithConfidence {
+                stability_threshold: (seed % 7) as u32,
+                confidence_threshold: 0.85,
+            },
+        };
+        let report = Simulator::new(spec, system)
+            .with_controller(kind)
+            .run(ScenarioSpec::sit_then_walk(8.0, 8.0))
+            .unwrap();
+        let energy = spec.dataset.energy_model;
+        let expected: f64 = report
+            .seconds_in_config
+            .iter()
+            .map(|(label, seconds)| {
+                let config: SensorConfig = label.parse().unwrap();
+                energy.current_ua(config) * seconds
+            })
+            .sum();
+        prop_assert!((report.total_charge.micro_coulombs() - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+}
+
+use std::sync::OnceLock;
+
+fn shared_system() -> &'static (ExperimentSpec, TrainedSystem) {
+    static SYSTEM: OnceLock<(ExperimentSpec, TrainedSystem)> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        let spec = ExperimentSpec {
+            dataset: DatasetSpec { windows_per_class_per_config: 6, ..DatasetSpec::quick() },
+            trainer: TrainerConfig { epochs: 15, ..TrainerConfig::default() },
+            ..ExperimentSpec::quick()
+        };
+        let system = TrainedSystem::train(&spec).expect("training succeeds");
+        (spec, system)
+    })
+}
