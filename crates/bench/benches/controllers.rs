@@ -26,7 +26,10 @@ fn bench_controller_decisions(c: &mut Criterion) {
         ("spot", ControllerKind::Spot { stability_threshold: 10 }),
         (
             "spot_confidence",
-            ControllerKind::SpotWithConfidence { stability_threshold: 10, confidence_threshold: 0.85 },
+            ControllerKind::SpotWithConfidence {
+                stability_threshold: 10,
+                confidence_threshold: 0.85,
+            },
         ),
         ("static", ControllerKind::StaticHigh),
         ("intensity_based", ControllerKind::IntensityBased),

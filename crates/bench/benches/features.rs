@@ -52,8 +52,7 @@ fn bench_goertzel_vs_dft(c: &mut Criterion) {
     });
     group.bench_function("radix2_fft_256", |b| {
         b.iter(|| {
-            let mut padded: Vec<Complex> =
-                signal.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            let mut padded: Vec<Complex> = signal.iter().map(|&v| Complex::new(v, 0.0)).collect();
             padded.resize(256, Complex::default());
             fft_radix2(&mut padded);
             black_box(padded[4].magnitude())

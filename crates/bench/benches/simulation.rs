@@ -27,7 +27,10 @@ fn bench_simulation(c: &mut Criterion) {
         ("spot_t5", ControllerKind::Spot { stability_threshold: 5 }),
         (
             "spot_confidence_t5",
-            ControllerKind::SpotWithConfidence { stability_threshold: 5, confidence_threshold: 0.85 },
+            ControllerKind::SpotWithConfidence {
+                stability_threshold: 5,
+                confidence_threshold: 0.85,
+            },
         ),
         ("intensity_based", ControllerKind::IntensityBased),
     ];

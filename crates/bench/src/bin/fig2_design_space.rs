@@ -18,12 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "measured Pareto front ({} points): {}",
         report.pareto.len(),
-        report
-            .pareto_configs()
-            .iter()
-            .map(|c| c.label())
-            .collect::<Vec<_>>()
-            .join(" > ")
+        report.pareto_configs().iter().map(|c| c.label()).collect::<Vec<_>>().join(" > ")
     );
     println!(
         "paper Pareto front    (4 points): {}",

@@ -135,7 +135,10 @@ mod tests {
             ControllerKind::StaticHigh,
             ControllerKind::Static { config: SensorConfig::paper_pareto_front()[2] },
             ControllerKind::Spot { stability_threshold: 3 },
-            ControllerKind::SpotWithConfidence { stability_threshold: 3, confidence_threshold: 0.85 },
+            ControllerKind::SpotWithConfidence {
+                stability_threshold: 3,
+                confidence_threshold: 0.85,
+            },
             ControllerKind::IntensityBased,
         ];
         for kind in kinds {

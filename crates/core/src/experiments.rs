@@ -143,11 +143,7 @@ pub fn behavioural_trace(
         .with_controller(ControllerKind::Spot { stability_threshold })
         .run(scenario)?;
     let lowest = SensorConfig::paper_pareto_front()[3];
-    let first_settle_s = simulation
-        .records()
-        .iter()
-        .find(|r| r.config == lowest)
-        .map(|r| r.t_s);
+    let first_settle_s = simulation.records().iter().find(|r| r.config == lowest).map(|r| r.t_s);
     let resettle_after_change_s = simulation
         .records()
         .iter()
@@ -254,18 +250,13 @@ impl StabilitySweepReport {
     /// Average power reduction of SPOT with confidence vs the baseline (0–1).
     pub fn average_spot_confidence_reduction(&self) -> f64 {
         average(
-            self.points
-                .iter()
-                .map(|p| 1.0 - p.spot_confidence_current_ua / p.baseline_current_ua),
+            self.points.iter().map(|p| 1.0 - p.spot_confidence_current_ua / p.baseline_current_ua),
         )
     }
 
     /// Worst-case accuracy drop of SPOT vs the baseline across the sweep (0–1).
     pub fn max_spot_accuracy_drop(&self) -> f64 {
-        self.points
-            .iter()
-            .map(|p| p.baseline_accuracy - p.spot_accuracy)
-            .fold(0.0, f64::max)
+        self.points.iter().map(|p| p.baseline_accuracy - p.spot_accuracy).fold(0.0, f64::max)
     }
 
     /// Renders the Fig. 6a (accuracy) and Fig. 6b (power) series as a table.
@@ -562,7 +553,11 @@ impl MemoryReport {
 
 /// Builds the Section V-D memory comparison for the given classifier architecture,
 /// assuming `f32` weight storage.
-pub fn memory_report(architecture: &MlpConfig, spot_states: usize, iba_configs: usize) -> MemoryReport {
+pub fn memory_report(
+    architecture: &MlpConfig,
+    spot_states: usize,
+    iba_configs: usize,
+) -> MemoryReport {
     const BYTES_PER_PARAMETER: usize = 4;
     MemoryReport {
         adasense: MemoryFootprint::single(architecture, BYTES_PER_PARAMETER),
@@ -618,8 +613,9 @@ impl UnifiedVsBankReport {
 
     /// Renders the ablation as a table.
     pub fn to_table_string(&self) -> String {
-        let mut out =
-            String::from("configuration     unified_acc(%)  dedicated_acc(%)  dedicated_gain(pts)\n");
+        let mut out = String::from(
+            "configuration     unified_acc(%)  dedicated_acc(%)  dedicated_gain(pts)\n",
+        );
         for r in &self.rows {
             out.push_str(&format!(
                 "{:<17} {:>14.2} {:>17.2} {:>20.2}\n",

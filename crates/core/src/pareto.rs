@@ -27,9 +27,10 @@ pub fn pareto_front(evaluations: &[ConfigEvaluation]) -> Vec<ConfigEvaluation> {
         .cloned()
         .collect();
     front.sort_by(|a, b| {
-        b.current_ua.partial_cmp(&a.current_ua).expect("currents are finite").then(
-            b.accuracy.partial_cmp(&a.accuracy).expect("accuracies are finite"),
-        )
+        b.current_ua
+            .partial_cmp(&a.current_ua)
+            .expect("currents are finite")
+            .then(b.accuracy.partial_cmp(&a.accuracy).expect("accuracies are finite"))
     });
     front
 }

@@ -1,9 +1,9 @@
 //! The HAR pipeline of Fig. 1: buffer → feature extraction → classification.
 
+use adasense_data::Activity;
 use adasense_dsp::{BatchBuffer, FeatureExtractor, FeatureVector};
 use adasense_ml::{Mlp, Prediction};
 use adasense_sensor::{Sample3, SensorConfig};
-use adasense_data::Activity;
 use serde::{Deserialize, Serialize};
 
 /// The result of classifying one buffered batch.
@@ -59,7 +59,11 @@ impl HarPipeline {
     /// Classifies one already-assembled batch recorded under `config`.
     ///
     /// Returns `None` if the batch is empty.
-    pub fn classify_batch(&self, samples: &[Sample3], config: SensorConfig) -> Option<ClassifiedBatch> {
+    pub fn classify_batch(
+        &self,
+        samples: &[Sample3],
+        config: SensorConfig,
+    ) -> Option<ClassifiedBatch> {
         if samples.is_empty() {
             return None;
         }
@@ -79,7 +83,11 @@ impl HarPipeline {
     ///
     /// This is the on-device flavour of the pipeline: push samples as the sensor
     /// produces them and act on the occasional classification result.
-    pub fn push_sample(&mut self, sample: Sample3, config: SensorConfig) -> Option<ClassifiedBatch> {
+    pub fn push_sample(
+        &mut self,
+        sample: Sample3,
+        config: SensorConfig,
+    ) -> Option<ClassifiedBatch> {
         let batch = self.buffer.push(sample)?;
         self.classify_batch(&batch, config)
     }
@@ -134,7 +142,8 @@ mod tests {
     fn streaming_mode_emits_classifications_every_second() {
         let mut pipeline = untrained_pipeline();
         let config = SensorConfig::new(SamplingFrequency::F25, AveragingWindow::A16);
-        let signal = ActivitySignalModel::canonical(Activity::Sit).realize(&SubjectParams::neutral());
+        let signal =
+            ActivitySignalModel::canonical(Activity::Sit).realize(&SubjectParams::neutral());
         let accel = Accelerometer::new(config);
         let mut rng = StdRng::seed_from_u64(3);
         let samples = accel.capture(&signal, 0.0, 6.0, &mut rng);

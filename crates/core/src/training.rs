@@ -69,10 +69,14 @@ impl ExperimentSpec {
     /// classifier input size does not match the feature dimension.
     pub fn validate(&self) -> Result<(), AdaSenseError> {
         if self.dataset.configs.is_empty() {
-            return Err(AdaSenseError::invalid_spec("at least one sensor configuration is required"));
+            return Err(AdaSenseError::invalid_spec(
+                "at least one sensor configuration is required",
+            ));
         }
         if self.dataset.windows_per_class_per_config == 0 {
-            return Err(AdaSenseError::invalid_spec("windows_per_class_per_config must be non-zero"));
+            return Err(AdaSenseError::invalid_spec(
+                "windows_per_class_per_config must be non-zero",
+            ));
         }
         if !(self.train_fraction > 0.0 && self.train_fraction < 1.0) {
             return Err(AdaSenseError::invalid_spec(format!(
@@ -100,7 +104,10 @@ impl ExperimentSpec {
     /// The configurations the intensity-based baseline switches between:
     /// `[high, low]`.
     pub fn intensity_configs(&self) -> [SensorConfig; 2] {
-        [SensorConfig::new(SamplingFrequency::F100, AveragingWindow::A128), self.intensity_low_config]
+        [
+            SensorConfig::new(SamplingFrequency::F100, AveragingWindow::A128),
+            self.intensity_low_config,
+        ]
     }
 }
 
@@ -155,12 +162,14 @@ pub fn train_for_config(
     if dataset.is_empty() {
         return Err(AdaSenseError::training(format!("no windows generated for {config}")));
     }
-    let split = dataset.split(spec.train_fraction, spec.seed.wrapping_add(seed_offset).wrapping_add(1));
+    let split =
+        dataset.split(spec.train_fraction, spec.seed.wrapping_add(seed_offset).wrapping_add(1));
     let extractor = FeatureExtractor::paper();
     let (train_x, train_y) = features_and_labels(&extractor, &split.train);
     let (test_x, test_y) = features_and_labels(&extractor, &split.test);
     let trainer = Trainer::new(spec.trainer);
-    let outcome = trainer.train(&spec.architecture, &train_x, &train_y, spec.seed.wrapping_add(seed_offset));
+    let outcome =
+        trainer.train(&spec.architecture, &train_x, &train_y, spec.seed.wrapping_add(seed_offset));
     let test_accuracy = accuracy(&outcome.model, &test_x, &test_y);
     Ok(PerConfigModel { config, model: outcome.model, test_accuracy })
 }

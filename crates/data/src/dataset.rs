@@ -86,8 +86,7 @@ impl WindowDataset {
     /// Generates a dataset according to `spec`, deterministically from `seed`.
     pub fn generate(spec: &DatasetSpec, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut windows =
-            Vec::with_capacity(spec.total_windows());
+        let mut windows = Vec::with_capacity(spec.total_windows());
         for &config in &spec.configs {
             let accel = Accelerometer::new(config)
                 .with_energy_model(spec.energy_model)

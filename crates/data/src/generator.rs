@@ -39,8 +39,7 @@ impl ActivityTrace {
 
     /// A trace consisting of a single activity with the given subject parameters.
     pub fn single(activity: Activity, duration_s: f64, subject: &SubjectParams) -> Self {
-        let schedule =
-            ActivitySchedule::builder().then(activity, duration_s).build();
+        let schedule = ActivitySchedule::builder().then(activity, duration_s).build();
         let signal = ActivitySignalModel::canonical(activity).realize(subject);
         Self { schedule, segments: vec![(0.0, signal)] }
     }
@@ -85,7 +84,7 @@ impl ActivityTrace {
         // Cross-fade from the previous segment just after a boundary.
         if i > 0 {
             let into = t - start;
-            if into >= 0.0 && into < TRANSITION_S {
+            if (0.0..TRANSITION_S).contains(&into) {
                 let w = into / TRANSITION_S;
                 let previous = self.segments[i - 1].1.value(t);
                 return [
@@ -125,12 +124,12 @@ mod tests {
     #[test]
     fn walking_section_has_more_motion_than_sitting_section() {
         let mut rng = StdRng::seed_from_u64(2);
-        let trace = ActivityTrace::from_schedule(ActivitySchedule::sit_then_walk(60.0, 60.0), &mut rng);
+        let trace =
+            ActivityTrace::from_schedule(ActivitySchedule::sit_then_walk(60.0, 60.0), &mut rng);
         let variance = |from: f64, to: f64| {
             let n = 500;
-            let values: Vec<f64> = (0..n)
-                .map(|k| trace.value(from + (to - from) * k as f64 / n as f64)[2])
-                .collect();
+            let values: Vec<f64> =
+                (0..n).map(|k| trace.value(from + (to - from) * k as f64 / n as f64)[2]).collect();
             let mean = values.iter().sum::<f64>() / n as f64;
             values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64
         };
@@ -140,7 +139,8 @@ mod tests {
     #[test]
     fn trace_is_continuous_across_boundaries() {
         let mut rng = StdRng::seed_from_u64(3);
-        let trace = ActivityTrace::from_schedule(ActivitySchedule::sit_then_walk(10.0, 10.0), &mut rng);
+        let trace =
+            ActivityTrace::from_schedule(ActivitySchedule::sit_then_walk(10.0, 10.0), &mut rng);
         // Sample densely around the 10 s boundary and verify there is no jump larger
         // than what the cross-fade plus signal slope allows.
         let dt = 1e-3;

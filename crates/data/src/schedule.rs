@@ -184,11 +184,8 @@ pub enum ActivityChangeSetting {
 
 impl ActivityChangeSetting {
     /// All three settings in the order used by Fig. 7.
-    pub const ALL: [ActivityChangeSetting; 3] = [
-        ActivityChangeSetting::High,
-        ActivityChangeSetting::Medium,
-        ActivityChangeSetting::Low,
-    ];
+    pub const ALL: [ActivityChangeSetting; 3] =
+        [ActivityChangeSetting::High, ActivityChangeSetting::Medium, ActivityChangeSetting::Low];
 
     /// The dwell-time range (seconds) for one activity segment under this setting.
     pub fn dwell_range_s(self) -> (f64, f64) {

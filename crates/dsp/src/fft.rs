@@ -52,10 +52,7 @@ impl std::ops::Sub for Complex {
 impl std::ops::Mul for Complex {
     type Output = Complex;
     fn mul(self, rhs: Complex) -> Complex {
-        Complex::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Complex::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -208,9 +205,9 @@ mod tests {
     fn goertzel_matches_dft_on_integer_bins() {
         let signal = tone(50, 3.0, 1.0);
         let direct = dft_magnitudes(&signal, 6);
-        for k in 0..6 {
+        for (k, &d) in direct.iter().enumerate() {
             let g = goertzel_magnitude(&signal, k as f64);
-            assert!((g - direct[k]).abs() < 1e-9, "bin {k}: {g} vs {}", direct[k]);
+            assert!((g - d).abs() < 1e-9, "bin {k}: {g} vs {d}");
         }
     }
 

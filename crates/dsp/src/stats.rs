@@ -102,10 +102,7 @@ mod tests {
 
     #[test]
     fn per_axis_stats_separates_axes() {
-        let samples = vec![
-            Sample3::new(0.0, 1.0, 2.0, 3.0),
-            Sample3::new(0.1, 3.0, 2.0, 1.0),
-        ];
+        let samples = vec![Sample3::new(0.0, 1.0, 2.0, 3.0), Sample3::new(0.1, 3.0, 2.0, 1.0)];
         let [x, y, z] = per_axis_stats(&samples);
         assert_eq!(x.mean, 2.0);
         assert_eq!(y.std, 0.0);

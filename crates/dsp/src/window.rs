@@ -85,8 +85,7 @@ impl BatchBuffer {
         self.last_emit_end = Some(now);
         // Drop samples that can never appear in a future window again.
         let horizon = now - self.window_s + 1e-9;
-        let batch: Vec<Sample3> =
-            self.samples.iter().copied().filter(|s| s.t >= horizon).collect();
+        let batch: Vec<Sample3> = self.samples.iter().copied().filter(|s| s.t >= horizon).collect();
         self.samples.retain(|s| s.t >= horizon - self.hop_s);
         Some(batch)
     }

@@ -25,8 +25,8 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
     let cols = logits.cols();
     for r in 0..logits.rows() {
         let probs = softmax(logits.row(r));
-        for c in 0..cols {
-            out.set(r, c, probs[c]);
+        for (c, &p) in probs.iter().enumerate().take(cols) {
+            out.set(r, c, p);
         }
     }
     out

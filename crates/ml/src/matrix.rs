@@ -171,8 +171,8 @@ impl Matrix {
         assert_eq!(bias.len(), self.cols, "bias length must equal the number of columns");
         let mut out = self.clone();
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[r * self.cols + c] += bias[c];
+            for (c, &b) in bias.iter().enumerate() {
+                out.data[r * self.cols + c] += b;
             }
         }
         out
@@ -182,8 +182,8 @@ impl Matrix {
     pub fn column_sums(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.cols];
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[c] += self.data[r * self.cols + c];
+            for (c, sum) in out.iter_mut().enumerate() {
+                *sum += self.data[r * self.cols + c];
             }
         }
         out
@@ -244,11 +244,8 @@ mod tests {
     #[test]
     fn matmul_identity_is_noop() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
-        let identity = Matrix::from_rows(&[
-            vec![1.0, 0.0, 0.0],
-            vec![0.0, 1.0, 0.0],
-            vec![0.0, 0.0, 1.0],
-        ]);
+        let identity =
+            Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]]);
         assert_eq!(a.matmul(&identity), a);
     }
 

@@ -240,7 +240,7 @@ mod tests {
     fn prediction_probabilities_sum_to_one() {
         let mut rng = StdRng::seed_from_u64(1);
         let mlp = Mlp::new(MlpConfig::paper(), &mut rng);
-        let p = mlp.predict(&vec![0.1; 15]);
+        let p = mlp.predict(&[0.1; 15]);
         assert!((p.probabilities.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(p.class < 6);
         assert!((0.0..=1.0).contains(&p.confidence));

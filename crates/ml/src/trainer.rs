@@ -249,11 +249,16 @@ mod tests {
     #[test]
     fn normalizer_is_attached_when_requested() {
         let (x, y) = blobs(5);
-        let with = Trainer::new(TrainerConfig { epochs: 1, ..TrainerConfig::default() })
-            .train(&MlpConfig::new(2, vec![4], 3), &x, &y, 0);
+        let with = Trainer::new(TrainerConfig { epochs: 1, ..TrainerConfig::default() }).train(
+            &MlpConfig::new(2, vec![4], 3),
+            &x,
+            &y,
+            0,
+        );
         assert!(with.model.normalizer().is_some());
-        let without = Trainer::new(TrainerConfig { epochs: 1, normalize: false, ..TrainerConfig::default() })
-            .train(&MlpConfig::new(2, vec![4], 3), &x, &y, 0);
+        let without =
+            Trainer::new(TrainerConfig { epochs: 1, normalize: false, ..TrainerConfig::default() })
+                .train(&MlpConfig::new(2, vec![4], 3), &x, &y, 0);
         assert!(without.model.normalizer().is_none());
     }
 

@@ -88,8 +88,12 @@ fn training_succeeds_across_seeds() {
         .collect();
     let y: Vec<usize> = (0..45).map(|i| i % 3).collect();
     for seed in [1u64, 7, 42] {
-        let outcome = Trainer::new(TrainerConfig { epochs: 80, ..TrainerConfig::default() })
-            .train(&MlpConfig::new(2, vec![8], 3), &x, &y, seed);
+        let outcome = Trainer::new(TrainerConfig { epochs: 80, ..TrainerConfig::default() }).train(
+            &MlpConfig::new(2, vec![8], 3),
+            &x,
+            &y,
+            seed,
+        );
         assert!(
             accuracy(&outcome.model, &x, &y) > 0.95,
             "seed {seed} failed to learn the toy problem"

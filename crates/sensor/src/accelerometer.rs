@@ -57,12 +57,7 @@ impl Accelerometer {
     /// Creates an accelerometer with the default (BMI160-calibrated) energy and
     /// noise models.
     pub fn new(config: SensorConfig) -> Self {
-        Self {
-            config,
-            energy: EnergyModel::bmi160(),
-            noise: NoiseModel::bmi160(),
-            quantize: true,
-        }
+        Self { config, energy: EnergyModel::bmi160(), noise: NoiseModel::bmi160(), quantize: true }
     }
 
     /// Replaces the energy model.
@@ -242,10 +237,12 @@ mod tests {
         // A 2 Hz sine averaged over 128 internal samples (80 ms) is attenuated
         // relative to an 8-sample (5 ms) average.
         let mut rng = StdRng::seed_from_u64(3);
-        let wide = Accelerometer::new(SensorConfig::new(SamplingFrequency::F25, AveragingWindow::A128))
-            .with_noise_model(NoiseModel::noiseless());
-        let narrow = Accelerometer::new(SensorConfig::new(SamplingFrequency::F25, AveragingWindow::A8))
-            .with_noise_model(NoiseModel::noiseless());
+        let wide =
+            Accelerometer::new(SensorConfig::new(SamplingFrequency::F25, AveragingWindow::A128))
+                .with_noise_model(NoiseModel::noiseless());
+        let narrow =
+            Accelerometer::new(SensorConfig::new(SamplingFrequency::F25, AveragingWindow::A8))
+                .with_noise_model(NoiseModel::noiseless());
         let rms = |samples: &[Sample3]| {
             (samples.iter().map(|s| s.z * s.z).sum::<f64>() / samples.len() as f64).sqrt()
         };

@@ -103,12 +103,8 @@ pub enum AveragingWindow {
 
 impl AveragingWindow {
     /// All supported averaging windows, from smallest to largest.
-    pub const ALL: [AveragingWindow; 4] = [
-        AveragingWindow::A8,
-        AveragingWindow::A16,
-        AveragingWindow::A32,
-        AveragingWindow::A128,
-    ];
+    pub const ALL: [AveragingWindow; 4] =
+        [AveragingWindow::A8, AveragingWindow::A16, AveragingWindow::A32, AveragingWindow::A128];
 
     /// Number of internal samples averaged per output sample.
     ///
@@ -273,16 +269,10 @@ impl FromStr for SensorConfig {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || ParseConfigError { label: s.to_string() };
         let (f_part, a_part) = s.split_once('_').ok_or_else(err)?;
-        let frequency = SamplingFrequency::ALL
-            .iter()
-            .copied()
-            .find(|f| f.label() == f_part)
-            .ok_or_else(err)?;
-        let averaging = AveragingWindow::ALL
-            .iter()
-            .copied()
-            .find(|a| a.label() == a_part)
-            .ok_or_else(err)?;
+        let frequency =
+            SamplingFrequency::ALL.iter().copied().find(|f| f.label() == f_part).ok_or_else(err)?;
+        let averaging =
+            AveragingWindow::ALL.iter().copied().find(|a| a.label() == a_part).ok_or_else(err)?;
         Ok(SensorConfig::new(frequency, averaging))
     }
 }

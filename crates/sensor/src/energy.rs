@@ -219,15 +219,10 @@ mod tests {
     #[test]
     fn paper_pareto_states_have_strictly_decreasing_current() {
         let m = EnergyModel::bmi160();
-        let currents: Vec<f64> = SensorConfig::paper_pareto_front()
-            .iter()
-            .map(|c| m.current_ua(*c))
-            .collect();
+        let currents: Vec<f64> =
+            SensorConfig::paper_pareto_front().iter().map(|c| m.current_ua(*c)).collect();
         for pair in currents.windows(2) {
-            assert!(
-                pair[0] > pair[1],
-                "expected strictly decreasing currents, got {currents:?}"
-            );
+            assert!(pair[0] > pair[1], "expected strictly decreasing currents, got {currents:?}");
         }
     }
 
@@ -245,10 +240,8 @@ mod tests {
     fn current_is_monotone_in_frequency_for_fixed_window() {
         let m = EnergyModel::bmi160();
         for &a in &AveragingWindow::ALL {
-            let currents: Vec<f64> = SamplingFrequency::ALL
-                .iter()
-                .map(|&f| m.current_ua(cfg(f, a)))
-                .collect();
+            let currents: Vec<f64> =
+                SamplingFrequency::ALL.iter().map(|&f| m.current_ua(cfg(f, a))).collect();
             for pair in currents.windows(2) {
                 assert!(pair[0] <= pair[1] + 1e-9, "current must not decrease with rate");
             }
@@ -259,10 +252,8 @@ mod tests {
     fn current_is_monotone_in_window_for_fixed_frequency() {
         let m = EnergyModel::bmi160();
         for &f in &SamplingFrequency::ALL {
-            let currents: Vec<f64> = AveragingWindow::ALL
-                .iter()
-                .map(|&a| m.current_ua(cfg(f, a)))
-                .collect();
+            let currents: Vec<f64> =
+                AveragingWindow::ALL.iter().map(|&a| m.current_ua(cfg(f, a))).collect();
             for pair in currents.windows(2) {
                 assert!(pair[0] <= pair[1] + 1e-9, "current must not decrease with window");
             }

@@ -114,7 +114,9 @@ mod tests {
         let n = NoiseModel::bmi160();
         let stds: Vec<f64> = AveragingWindow::ALL
             .iter()
-            .map(|&a| n.output_noise_std_for(cfg(SamplingFrequency::F25, a), OperationMode::LowPower))
+            .map(|&a| {
+                n.output_noise_std_for(cfg(SamplingFrequency::F25, a), OperationMode::LowPower)
+            })
             .collect();
         for pair in stds.windows(2) {
             assert!(pair[0] > pair[1], "noise must shrink as the window grows: {stds:?}");
@@ -137,7 +139,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..10 {
             assert_eq!(
-                n.sample(cfg(SamplingFrequency::F50, AveragingWindow::A8), OperationMode::LowPower, &mut rng),
+                n.sample(
+                    cfg(SamplingFrequency::F50, AveragingWindow::A8),
+                    OperationMode::LowPower,
+                    &mut rng
+                ),
                 0.0
             );
         }

@@ -41,16 +41,10 @@ fn accuracy_degrades_monotonically_ish_from_best_to_worst_configuration() {
     // lowest-power one; that ordering is the entire premise of the Fig. 2 trade-off.
     let (_, system) = shared();
     let accuracies: Vec<(SensorConfig, f64)> = system.per_config_accuracy().to_vec();
-    let high = accuracies
-        .iter()
-        .find(|(c, _)| c.label() == "F100_A128")
-        .expect("high config evaluated")
-        .1;
-    let low = accuracies
-        .iter()
-        .find(|(c, _)| c.label() == "F12.5_A8")
-        .expect("low config evaluated")
-        .1;
+    let high =
+        accuracies.iter().find(|(c, _)| c.label() == "F100_A128").expect("high config evaluated").1;
+    let low =
+        accuracies.iter().find(|(c, _)| c.label() == "F12.5_A8").expect("low config evaluated").1;
     assert!(
         high + 1e-9 >= low,
         "expected F100_A128 ({high}) to be at least as accurate as F12.5_A8 ({low})"

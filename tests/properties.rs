@@ -4,7 +4,7 @@
 use adasense_repro::adasense::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn any_activity() -> impl Strategy<Value = Activity> {
     prop::sample::select(Activity::ALL.to_vec())

@@ -1,0 +1,26 @@
+//! Cheap full-closed-loop smoke test.
+//!
+//! This is the one test CI relies on to prove the whole stack is alive — spec →
+//! training → closed-loop SPOT simulation → report — without the heavier
+//! statistical assertions of `end_to_end.rs`. It must stay fast (one quick
+//! training run, one short scenario).
+
+use adasense_repro::adasense::prelude::*;
+
+#[test]
+fn quick_spec_trains_and_simulates_the_full_closed_loop() {
+    let spec = ExperimentSpec::quick();
+    let trained = TrainedSystem::train(&spec).expect("quick spec trains");
+
+    let report = Simulator::new(&spec, &trained)
+        .with_controller(ControllerKind::Spot { stability_threshold: 5 })
+        .run(ScenarioSpec::sit_then_walk(20.0, 20.0))
+        .expect("closed-loop simulation runs");
+
+    assert!(report.accuracy() > 0.0, "the closed loop must classify something correctly");
+    assert!(
+        report.average_current_ua() > 0.0,
+        "the energy model must account a positive average current"
+    );
+    assert!(!report.records().is_empty(), "the simulator must emit per-epoch records");
+}

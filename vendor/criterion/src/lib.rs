@@ -1,0 +1,181 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the API subset the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BatchSize`], [`criterion_group!`] and [`criterion_main!`] — backed by a
+//! simple wall-clock measurement loop instead of criterion's statistical
+//! machinery. Each benchmark runs a short warm-up, then iterates for a fixed
+//! time budget and reports the mean time per iteration on stdout.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-iteration setup cost hint; accepted for API parity, not acted upon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; batches are large.
+    SmallInput,
+    /// Setup output is moderately sized.
+    LargeInput,
+    /// Run setup before every routine call.
+    PerIteration,
+}
+
+/// Records timing for one benchmark target.
+pub struct Bencher {
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { total: Duration::ZERO, iterations: 0 }
+    }
+
+    /// Times `routine`, called repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, excluded from measurement.
+        black_box(routine());
+        let budget = measurement_budget();
+        let started = Instant::now();
+        while self.iterations < MIN_ITERATIONS || started.elapsed() < budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iterations += 1;
+            if self.iterations >= MAX_ITERATIONS {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let budget = measurement_budget();
+        let started = Instant::now();
+        while self.iterations < MIN_ITERATIONS || started.elapsed() < budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iterations += 1;
+            if self.iterations >= MAX_ITERATIONS {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iterations == 0 {
+            println!("{name:<50} (no iterations recorded)");
+            return;
+        }
+        let per_iter = self.total.as_nanos() / u128::from(self.iterations);
+        println!("{name:<50} {:>12} ns/iter ({} iterations)", per_iter, self.iterations);
+    }
+}
+
+const MIN_ITERATIONS: u64 = 5;
+const MAX_ITERATIONS: u64 = 100_000;
+
+fn measurement_budget() -> Duration {
+    std::env::var("ADASENSE_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or(Duration::from_millis(100), Duration::from_millis)
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `target` as the benchmark `id` and prints its timing.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut target: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        target(&mut bencher);
+        bencher.report(id.as_ref());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string() }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the stub's budget is time-based, not count-based.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `target` as `group/id` and prints its timing.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut target: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        target(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.as_ref()));
+        self
+    }
+
+    /// Ends the group. A no-op in the stub.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        std::env::set_var("ADASENSE_BENCH_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(10);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]` on its
+//! report/config types — no code path actually serializes through the traits
+//! (exports go through hand-written CSV/TSV writers in `adasense::export`). This
+//! stub therefore provides the two marker traits and re-exports no-op derive
+//! macros of the same names, which is exactly enough for the seed sources to
+//! compile unchanged while the build environment has no crates.io access.
+//!
+//! If a future PR needs real serialization, replace this vendored stub with the
+//! actual `serde` dependency and everything downstream keeps compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The no-op derive does not generate an implementation; the workspace never
+/// relies on one.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the vendored `serde` stub.
+//!
+//! `#[derive(Serialize, Deserialize)]` in this workspace only documents intent —
+//! nothing consumes the trait impls — so the derives expand to nothing. The
+//! `serde` helper attribute is declared so `#[serde(...)]` field attributes
+//! would be tolerated if a future type used them.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; exists so `#[derive(Serialize)]` resolves.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; exists so `#[derive(Deserialize)]` resolves.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
