@@ -1,0 +1,67 @@
+//! Fleet smoke run: simulates a population of wearables through the parallel
+//! fleet scheduler and verifies that the multi-threaded result is bit-identical
+//! to the single-threaded one with the same base seed.
+//!
+//! Run with `cargo run --release -p adasense-bench --bin fleet_sim`
+//! (add `--quick` for a reduced training set; `--devices N` and `--duration S`
+//! to change the population).  Exits non-zero if the determinism check fails.
+
+use adasense::prelude::*;
+use adasense_bench::{train_system, RunScale};
+
+/// The value following `name`, or an error if it is missing or not a number
+/// (a silently ignored typo would run the default fleet and still exit 0).
+fn arg_value(name: &str) -> Result<Option<u64>, String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == name {
+            let value = args.next().ok_or_else(|| format!("{name} requires a value"))?;
+            return value
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("{name} expects an integer, got `{value}`"));
+        }
+    }
+    Ok(None)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = RunScale::from_args();
+    let (spec, system) = train_system(scale)?;
+
+    let mut fleet = FleetSpec::smoke();
+    if let Some(devices) = arg_value("--devices")? {
+        fleet.devices = devices;
+    }
+    if let Some(duration) = arg_value("--duration")? {
+        fleet.duration_s = duration as f64;
+    }
+    let (devices, duration_s) = (fleet.devices, fleet.duration_s);
+
+    // Use at least 4 workers so the determinism check below always compares a
+    // genuinely multi-threaded run against the serial one, even on 1-core CI.
+    let scheduler = FleetScheduler::new(&spec, &system);
+    let scheduler = scheduler.with_threads(scheduler.worker_threads().max(4));
+    let threads = scheduler.worker_threads();
+    eprintln!("[fleet_sim] running {devices} devices × {duration_s} s on {threads} workers…");
+    let start = std::time::Instant::now();
+    let parallel = scheduler.run(&fleet)?;
+    let wall = start.elapsed();
+
+    println!("Fleet simulation — {devices} devices × {duration_s} s\n");
+    println!("{}", parallel.to_table_string());
+    let simulated_s: f64 = parallel.devices.iter().map(|d| d.duration_s).sum();
+    println!(
+        "wall clock: {:.2} s on {threads} workers ({:.0}x realtime)",
+        wall.as_secs_f64(),
+        simulated_s / wall.as_secs_f64().max(1e-9)
+    );
+
+    eprintln!("[fleet_sim] verifying bit-identity against a single-threaded run…");
+    let serial = scheduler.with_threads(1).run(&fleet)?;
+    if serial != parallel {
+        return Err("multi-threaded fleet run differs from the single-threaded run".into());
+    }
+    println!("determinism: {threads}-worker report is bit-identical to the 1-worker report");
+    Ok(())
+}

@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::controller::ControllerKind;
 use crate::error::AdaSenseError;
+use crate::fleet::{mean as average, FleetScheduler};
 use crate::simulation::{ScenarioSpec, SimulationReport, Simulator};
 use crate::training::{ExperimentSpec, TrainedSystem};
 
@@ -285,18 +286,13 @@ impl StabilitySweepReport {
     }
 }
 
-fn average(values: impl Iterator<Item = f64>) -> f64 {
-    let collected: Vec<f64> = values.collect();
-    if collected.is_empty() {
-        0.0
-    } else {
-        collected.iter().sum::<f64>() / collected.len() as f64
-    }
-}
-
 /// Runs the Fig. 6 sweep: for every stability threshold, simulates the baseline,
 /// SPOT and SPOT-with-confidence controllers over the same randomized scenarios and
 /// averages their accuracy and power.
+///
+/// All `thresholds × scenarios × 3` simulations are expanded into one job list and
+/// executed in parallel on the [`FleetScheduler`]; every simulation seeds its own
+/// randomness from the scenario, so the numbers are identical to a serial sweep.
 ///
 /// # Errors
 ///
@@ -313,29 +309,40 @@ pub fn stability_sweep(
     if settings.scenarios_per_point == 0 {
         return Err(AdaSenseError::invalid_spec("scenarios_per_point must be non-zero"));
     }
-    let mut points = Vec::with_capacity(settings.thresholds.len());
+
+    const CONTROLLERS_PER_POINT: usize = 3;
+    let mut jobs = Vec::with_capacity(
+        settings.thresholds.len() * settings.scenarios_per_point * CONTROLLERS_PER_POINT,
+    );
     for &threshold in &settings.thresholds {
-        let mut accumulators = [(0.0f64, 0.0f64); 3];
         for s in 0..settings.scenarios_per_point {
             let scenario = ScenarioSpec::random(
                 settings.setting,
                 settings.scenario_duration_s,
                 settings.seed.wrapping_add(s as u64),
             );
-            let controllers = [
-                ControllerKind::StaticHigh,
-                ControllerKind::Spot { stability_threshold: threshold },
+            jobs.push((scenario.clone(), ControllerKind::StaticHigh));
+            jobs.push((scenario.clone(), ControllerKind::Spot { stability_threshold: threshold }));
+            jobs.push((
+                scenario,
                 ControllerKind::SpotWithConfidence {
                     stability_threshold: threshold,
                     confidence_threshold: settings.confidence_threshold,
                 },
-            ];
-            for (slot, controller) in controllers.into_iter().enumerate() {
-                let report = Simulator::new(spec, system)
-                    .with_controller(controller)
-                    .run(scenario.clone())?;
-                accumulators[slot].0 += report.accuracy();
-                accumulators[slot].1 += report.average_current_ua();
+            ));
+        }
+    }
+    let reports = FleetScheduler::new(spec, system).run_scenarios(&jobs)?;
+
+    let mut points = Vec::with_capacity(settings.thresholds.len());
+    for (t, &threshold) in settings.thresholds.iter().enumerate() {
+        let mut accumulators = [(0.0f64, 0.0f64); CONTROLLERS_PER_POINT];
+        for s in 0..settings.scenarios_per_point {
+            let base = (t * settings.scenarios_per_point + s) * CONTROLLERS_PER_POINT;
+            for (slot, accumulator) in accumulators.iter_mut().enumerate() {
+                let report = &reports[base + slot];
+                accumulator.0 += report.accuracy();
+                accumulator.1 += report.average_current_ua();
             }
         }
         let n = settings.scenarios_per_point as f64;
@@ -451,6 +458,9 @@ impl IbaComparisonReport {
 /// Runs the Fig. 7 comparison between AdaSense and the intensity-based approach
 /// under the High / Medium / Low user activity settings.
 ///
+/// The `settings × scenarios × 2` simulations run in parallel on the
+/// [`FleetScheduler`]; results are identical to a serial run.
+///
 /// # Errors
 ///
 /// Returns [`AdaSenseError::InvalidSpec`] for degenerate settings and propagates
@@ -463,22 +473,30 @@ pub fn iba_comparison(
     if settings.scenarios_per_setting == 0 {
         return Err(AdaSenseError::invalid_spec("scenarios_per_setting must be non-zero"));
     }
-    let mut rows = Vec::with_capacity(ActivityChangeSetting::ALL.len());
+
+    let mut jobs =
+        Vec::with_capacity(ActivityChangeSetting::ALL.len() * settings.scenarios_per_setting * 2);
     for setting in ActivityChangeSetting::ALL {
-        let mut adasense = (0.0f64, 0.0f64);
-        let mut iba = (0.0f64, 0.0f64);
         for s in 0..settings.scenarios_per_setting {
             let scenario = ScenarioSpec::random(
                 setting,
                 settings.scenario_duration_s,
                 settings.seed.wrapping_add(1000 * s as u64),
             );
-            let adasense_report = Simulator::new(spec, system)
-                .with_controller(settings.adasense_controller)
-                .run(scenario.clone())?;
-            let iba_report = Simulator::new(spec, system)
-                .with_controller(ControllerKind::IntensityBased)
-                .run(scenario)?;
+            jobs.push((scenario.clone(), settings.adasense_controller));
+            jobs.push((scenario, ControllerKind::IntensityBased));
+        }
+    }
+    let reports = FleetScheduler::new(spec, system).run_scenarios(&jobs)?;
+
+    let mut rows = Vec::with_capacity(ActivityChangeSetting::ALL.len());
+    for (i, setting) in ActivityChangeSetting::ALL.into_iter().enumerate() {
+        let mut adasense = (0.0f64, 0.0f64);
+        let mut iba = (0.0f64, 0.0f64);
+        for s in 0..settings.scenarios_per_setting {
+            let base = (i * settings.scenarios_per_setting + s) * 2;
+            let adasense_report = &reports[base];
+            let iba_report = &reports[base + 1];
             adasense.0 += adasense_report.average_current_ua();
             adasense.1 += adasense_report.accuracy();
             iba.0 += iba_report.average_current_ua();

@@ -1,0 +1,603 @@
+//! Fleet-scale parallel simulation: thousands of simulated wearables at once.
+//!
+//! The ROADMAP's north star is a production-scale system serving populations of
+//! devices, and the related work (compressed-sensing and adaptive data-selection
+//! frameworks) evaluates adaptive sensing over large subject populations.  This
+//! module provides the machinery for that:
+//!
+//! * [`FleetSpec`] — N devices running a dwell-time scenario family, each with a
+//!   deterministic seed derived from `(base_seed, device_id)` (a splitmix64 mix),
+//!   so every device's whole life — schedule, subject variation, sensor noise —
+//!   is reproducible independently of scheduling order.
+//! * [`FleetScheduler`] — a `std::thread` worker pool pulling fixed-size device
+//!   chunks from a shared atomic queue.  Each chunk ticks its devices in
+//!   **lockstep** so their classifier calls are batched through one
+//!   [`Mlp::predict_batch`](adasense_ml::Mlp::predict_batch) forward pass per
+//!   tick.  Chunk boundaries depend only on the spec — never on the worker count
+//!   — so a fleet run is **bit-identical at any thread count**.
+//! * [`FleetReport`] — per-device [`DeviceSummary`] rows plus population
+//!   percentiles of power, accuracy and per-configuration residency.
+//!
+//! The scheduler also exposes [`FleetScheduler::run_scenarios`], an
+//! order-preserving parallel runner for explicit `(scenario, controller)` job
+//! lists; the Fig. 6 / Fig. 7 experiment sweeps run through it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use adasense_data::ActivityChangeSetting;
+use adasense_sensor::SensorConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::controller::ControllerKind;
+use crate::error::AdaSenseError;
+use crate::runtime::{DeviceRuntime, TickPhase};
+use crate::simulation::{ScenarioSpec, SimulationReport, Simulator};
+use crate::training::{ExperimentSpec, TrainedSystem};
+
+/// Derives the seed of one device from the fleet's base seed and the device id.
+///
+/// Uses a splitmix64-style finalizer so that consecutive device ids produce
+/// decorrelated seeds, and every `(base_seed, device_id)` pair maps to the same
+/// seed on every run, platform and thread count.
+pub fn device_seed(base_seed: u64, device_id: u64) -> u64 {
+    let mut z = base_seed ^ device_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Describes one fleet run: a population of devices, the scenario family they
+/// live through, and the controller they all run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Number of simulated devices.
+    pub devices: u64,
+    /// Dwell-time distribution of every device's randomized activity timeline.
+    pub setting: ActivityChangeSetting,
+    /// Requested timeline duration per device, in seconds (the generated
+    /// schedule may overshoot by up to one dwell segment).
+    pub duration_s: f64,
+    /// The adaptive sensing controller every device runs.
+    pub controller: ControllerKind,
+    /// Base seed; each device's seed is [`device_seed`]`(base_seed, device_id)`.
+    pub base_seed: u64,
+    /// Devices ticked in lockstep per scheduler job (their classifier calls are
+    /// batched into one forward pass).  Chunking depends only on this value, so
+    /// changing the worker count never changes the results.
+    pub lockstep_devices: usize,
+}
+
+impl FleetSpec {
+    /// A fleet of `devices` Medium-activity devices under SPOT with confidence
+    /// (the paper's best controller), 16 devices per lockstep chunk.
+    pub fn new(devices: u64, duration_s: f64, base_seed: u64) -> Self {
+        Self {
+            devices,
+            setting: ActivityChangeSetting::Medium,
+            duration_s,
+            controller: ControllerKind::SpotWithConfidence {
+                stability_threshold: 10,
+                confidence_threshold: 0.85,
+            },
+            base_seed,
+            lockstep_devices: 16,
+        }
+    }
+
+    /// The CI smoke configuration: 64 devices × 60 seconds.
+    pub fn smoke() -> Self {
+        Self::new(64, 60.0, 64)
+    }
+
+    /// Checks the specification for consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::InvalidSpec`] for an empty fleet, a timeline
+    /// shorter than one classification window or a zero lockstep chunk.
+    pub fn validate(&self) -> Result<(), AdaSenseError> {
+        if self.devices == 0 {
+            return Err(AdaSenseError::invalid_spec("a fleet needs at least one device"));
+        }
+        if self.duration_s < crate::runtime::WINDOW_S {
+            return Err(AdaSenseError::invalid_spec(format!(
+                "fleet duration {} s is shorter than one {} s classification window",
+                self.duration_s,
+                crate::runtime::WINDOW_S
+            )));
+        }
+        if self.lockstep_devices == 0 {
+            return Err(AdaSenseError::invalid_spec("lockstep_devices must be non-zero"));
+        }
+        Ok(())
+    }
+}
+
+/// The aggregate outcome of one device's run (no per-epoch records, so memory
+/// per device is constant regardless of scenario length).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSummary {
+    /// The device's id within the fleet (`0..devices`).
+    pub device_id: u64,
+    /// The derived seed the device ran with.
+    pub seed: u64,
+    /// Number of classified epochs.
+    pub epochs: usize,
+    /// Number of correctly classified epochs.
+    pub correct_epochs: usize,
+    /// Recognition accuracy (0–1).
+    pub accuracy: f64,
+    /// Average sensor current over the run, in µA.
+    pub average_current_ua: f64,
+    /// Total sensor charge over the run, in µC.
+    pub total_charge_uc: f64,
+    /// Simulated duration, in seconds.
+    pub duration_s: f64,
+    /// Seconds spent in each configuration, indexed by [`SensorConfig::index`].
+    pub residency_s: Vec<f64>,
+}
+
+impl DeviceSummary {
+    /// The fraction of this device's time spent in `config` (0–1).
+    pub fn residency_fraction(&self, config: SensorConfig) -> f64 {
+        if self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        self.residency_s.get(config.index()).copied().unwrap_or(0.0) / self.duration_s
+    }
+}
+
+/// The aggregated result of a fleet run: one [`DeviceSummary`] per device (in
+/// device-id order) plus population percentiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Label of the controller the fleet ran.
+    pub controller: String,
+    /// One summary per device, ordered by device id.
+    pub devices: Vec<DeviceSummary>,
+}
+
+impl FleetReport {
+    /// Number of devices in the fleet.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Mean recognition accuracy across the population (0–1).
+    pub fn mean_accuracy(&self) -> f64 {
+        mean(self.devices.iter().map(|d| d.accuracy))
+    }
+
+    /// Mean average sensor current across the population, in µA.
+    pub fn mean_current_ua(&self) -> f64 {
+        mean(self.devices.iter().map(|d| d.average_current_ua))
+    }
+
+    /// The `p`-th percentile (nearest-rank, `0 < p <= 100`) of per-device
+    /// accuracy.
+    pub fn accuracy_percentile(&self, p: f64) -> f64 {
+        percentile(self.devices.iter().map(|d| d.accuracy).collect(), p)
+    }
+
+    /// The `p`-th percentile (nearest-rank) of per-device average current, µA.
+    pub fn current_percentile(&self, p: f64) -> f64 {
+        percentile(self.devices.iter().map(|d| d.average_current_ua).collect(), p)
+    }
+
+    /// The `p`-th percentile (nearest-rank) of the population's residency
+    /// fraction in `config`.
+    pub fn residency_percentile(&self, config: SensorConfig, p: f64) -> f64 {
+        percentile(self.devices.iter().map(|d| d.residency_fraction(config)).collect(), p)
+    }
+
+    /// Renders the population percentiles and the per-state mean residencies as
+    /// a table.
+    pub fn to_table_string(&self) -> String {
+        let mut out = format!(
+            "fleet of {} devices under {}\n\
+             metric            p50      p90      p99     mean\n",
+            self.len(),
+            self.controller
+        );
+        out.push_str(&format!(
+            "current(uA)  {:>8.1} {:>8.1} {:>8.1} {:>8.1}\n",
+            self.current_percentile(50.0),
+            self.current_percentile(90.0),
+            self.current_percentile(99.0),
+            self.mean_current_ua()
+        ));
+        out.push_str(&format!(
+            "accuracy(%)  {:>8.2} {:>8.2} {:>8.2} {:>8.2}\n",
+            100.0 * self.accuracy_percentile(50.0),
+            100.0 * self.accuracy_percentile(90.0),
+            100.0 * self.accuracy_percentile(99.0),
+            100.0 * self.mean_accuracy()
+        ));
+        out.push_str("residency (population mean, SPOT states):\n");
+        for config in SensorConfig::paper_pareto_front() {
+            let fraction = mean(self.devices.iter().map(|d| d.residency_fraction(config)));
+            out.push_str(&format!("  {:<12} {:>6.1}%\n", config.label(), 100.0 * fraction));
+        }
+        out
+    }
+}
+
+/// Arithmetic mean of an iterator of values; 0 for an empty input.  Shared with
+/// the experiment reports in [`crate::experiments`].
+pub(crate) fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Nearest-rank percentile of `values` (`0 < p <= 100`); 0 for an empty input.
+fn percentile(mut values: Vec<f64>, p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0 * values.len() as f64).ceil() as usize).clamp(1, values.len());
+    values[rank - 1]
+}
+
+/// The parallel fleet scheduler: a worker pool over a shared job queue.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetScheduler<'a> {
+    spec: &'a ExperimentSpec,
+    system: &'a TrainedSystem,
+    threads: usize,
+}
+
+impl<'a> FleetScheduler<'a> {
+    /// Creates a scheduler around a trained system.  The worker count defaults
+    /// to the machine's available parallelism; results never depend on it.
+    pub fn new(spec: &'a ExperimentSpec, system: &'a TrainedSystem) -> Self {
+        Self { spec, system, threads: 0 }
+    }
+
+    /// Pins the number of worker threads (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The number of worker threads the scheduler will spawn.
+    pub fn worker_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        }
+    }
+
+    /// Runs `fleet`: every device plays its own randomized scenario through a
+    /// [`DeviceRuntime`], chunks of devices tick in lockstep with batched
+    /// classification, and the chunks are distributed over the worker pool.
+    ///
+    /// The report is bit-identical for any worker count because device seeds,
+    /// chunk boundaries and result order depend only on the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::InvalidSpec`] for degenerate specs and
+    /// propagates per-device simulation errors.
+    pub fn run(&self, fleet: &FleetSpec) -> Result<FleetReport, AdaSenseError> {
+        fleet.validate()?;
+        let chunk = fleet.lockstep_devices as u64;
+        let chunks: Vec<std::ops::Range<u64>> = (0..fleet.devices.div_ceil(chunk))
+            .map(|c| (c * chunk)..((c + 1) * chunk).min(fleet.devices))
+            .collect();
+        let summaries = run_jobs(self.worker_threads(), chunks.len(), |i| {
+            self.run_chunk(fleet, chunks[i].clone())
+        })?;
+        Ok(FleetReport {
+            controller: fleet.controller.label(),
+            devices: summaries.into_iter().flatten().collect(),
+        })
+    }
+
+    /// Runs an explicit list of `(scenario, controller)` simulations over the
+    /// worker pool, returning their reports in job order.  This is the runner
+    /// behind the experiment sweeps (Figs. 6 & 7).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulation error encountered.
+    pub fn run_scenarios(
+        &self,
+        jobs: &[(ScenarioSpec, ControllerKind)],
+    ) -> Result<Vec<SimulationReport>, AdaSenseError> {
+        run_jobs(self.worker_threads(), jobs.len(), |i| {
+            let (scenario, controller) = &jobs[i];
+            Simulator::new(self.spec, self.system)
+                .with_controller(*controller)
+                .run(scenario.clone())
+        })
+    }
+
+    /// Runs one lockstep chunk of devices to completion.
+    fn run_chunk(
+        &self,
+        fleet: &FleetSpec,
+        device_ids: std::ops::Range<u64>,
+    ) -> Result<Vec<DeviceSummary>, AdaSenseError> {
+        let chunk_len = (device_ids.end - device_ids.start) as usize;
+        let mut seeds = Vec::with_capacity(chunk_len);
+        let mut runtimes = Vec::with_capacity(chunk_len);
+        for device_id in device_ids.clone() {
+            let seed = device_seed(fleet.base_seed, device_id);
+            let scenario = ScenarioSpec::random(fleet.setting, fleet.duration_s, seed);
+            let runtime =
+                DeviceRuntime::for_scenario(self.spec, self.system, fleet.controller, &scenario)?
+                    .with_recording(false);
+            seeds.push(seed);
+            runtimes.push(runtime);
+        }
+
+        // Tick every live device once per iteration; batch all unified-classifier
+        // calls of the tick into a single forward pass.  `batch_features` is a
+        // retained pool of row buffers (the first `used` rows are live), so the
+        // per-tick loop allocates nothing once the pool has grown.
+        let mut batch_features: Vec<Vec<f64>> = Vec::new();
+        let mut batch_members: Vec<usize> = Vec::new();
+        loop {
+            let mut any_live = false;
+            let mut used = 0usize;
+            batch_members.clear();
+            for (i, runtime) in runtimes.iter_mut().enumerate() {
+                if runtime.is_complete() {
+                    continue;
+                }
+                any_live = true;
+                match runtime.begin_tick() {
+                    TickPhase::Idle(_) => {}
+                    TickPhase::Classify => {
+                        if runtime.batches_with_unified() {
+                            batch_members.push(i);
+                            if used == batch_features.len() {
+                                batch_features.push(Vec::new());
+                            }
+                            let row = &mut batch_features[used];
+                            row.clear();
+                            row.extend_from_slice(runtime.pending_features());
+                            used += 1;
+                        } else {
+                            // Bank classifiers are per-configuration; classify
+                            // this device individually.
+                            let prediction =
+                                runtime.active_classifier().predict(runtime.pending_features());
+                            runtime.complete_tick(prediction);
+                        }
+                    }
+                }
+            }
+            if !any_live {
+                break;
+            }
+            if used > 0 {
+                let predictions =
+                    self.system.unified_classifier().predict_batch(&batch_features[..used]);
+                for (&i, prediction) in batch_members.iter().zip(predictions) {
+                    runtimes[i].complete_tick(prediction);
+                }
+            }
+        }
+
+        Ok(device_ids
+            .zip(seeds)
+            .zip(runtimes)
+            .map(|((device_id, seed), runtime)| DeviceSummary {
+                device_id,
+                seed,
+                epochs: runtime.epochs(),
+                correct_epochs: runtime.correct_epochs(),
+                accuracy: runtime.accuracy(),
+                average_current_ua: runtime.average_current_ua(),
+                total_charge_uc: runtime.total_charge().micro_coulombs(),
+                duration_s: runtime.elapsed_s(),
+                residency_s: runtime.residency_seconds().to_vec(),
+            })
+            .collect())
+    }
+}
+
+/// Runs `jobs` closures over `threads` workers pulling indices from a shared
+/// atomic queue, collecting the results in job order.  Returns the first error
+/// encountered; remaining workers stop picking up new jobs once one failed.
+fn run_jobs<T, F>(threads: usize, jobs: usize, job: F) -> Result<Vec<T>, AdaSenseError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, AdaSenseError> + Sync,
+{
+    if jobs == 0 {
+        return Ok(Vec::new());
+    }
+    let next = AtomicUsize::new(0);
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    let results: Vec<Mutex<Option<Result<T, AdaSenseError>>>> =
+        (0..jobs).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.clamp(1, jobs) {
+            scope.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let outcome = job(i);
+                if outcome.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                *results[i].lock().expect("no worker panicked holding the slot lock") =
+                    Some(outcome);
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(jobs);
+    for slot in results {
+        match slot.into_inner().expect("no worker panicked holding the slot lock") {
+            Some(Ok(value)) => out.push(value),
+            Some(Err(error)) => return Err(error),
+            // A job may be unstarted only if an earlier job failed; surface that
+            // error instead.
+            None => break,
+        }
+    }
+    if out.len() < jobs {
+        // Some job failed (its slot held the error) or was skipped after a
+        // failure; find and return the error.
+        return Err(AdaSenseError::simulation("a fleet job failed before completing"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::tests::shared_system;
+
+    #[test]
+    fn device_seeds_are_deterministic_and_decorrelated() {
+        let a = device_seed(64, 0);
+        assert_eq!(a, device_seed(64, 0), "same inputs must give the same seed");
+        let seeds: std::collections::BTreeSet<u64> =
+            (0..1000).map(|id| device_seed(64, id)).collect();
+        assert_eq!(seeds.len(), 1000, "consecutive device ids must not collide");
+        assert_ne!(device_seed(64, 1), device_seed(65, 1), "base seed must matter");
+    }
+
+    #[test]
+    fn fleet_runs_are_bit_identical_across_worker_counts() {
+        let (spec, system) = shared_system();
+        let fleet = FleetSpec { lockstep_devices: 5, ..FleetSpec::new(12, 24.0, 7) };
+        let single = FleetScheduler::new(spec, system).with_threads(1).run(&fleet).unwrap();
+        for threads in [4, 8] {
+            let parallel =
+                FleetScheduler::new(spec, system).with_threads(threads).run(&fleet).unwrap();
+            assert_eq!(single, parallel, "{threads}-thread run must be bit-identical");
+        }
+        assert_eq!(single.len(), 12);
+        assert!(single.devices.iter().enumerate().all(|(i, d)| d.device_id == i as u64));
+    }
+
+    #[test]
+    fn lockstep_chunking_does_not_change_the_results() {
+        let (spec, system) = shared_system();
+        let scheduler = FleetScheduler::new(spec, system).with_threads(2);
+        let chunked = scheduler
+            .run(&FleetSpec { lockstep_devices: 3, ..FleetSpec::new(8, 20.0, 11) })
+            .unwrap();
+        let unchunked = scheduler
+            .run(&FleetSpec { lockstep_devices: 1, ..FleetSpec::new(8, 20.0, 11) })
+            .unwrap();
+        assert_eq!(chunked, unchunked, "batching must not change any device's outcome");
+    }
+
+    #[test]
+    fn fleet_devices_match_standalone_simulations() {
+        let (spec, system) = shared_system();
+        let fleet = FleetSpec::new(4, 20.0, 3);
+        let report = FleetScheduler::new(spec, system).with_threads(2).run(&fleet).unwrap();
+        for device in &report.devices {
+            let scenario = ScenarioSpec::random(fleet.setting, fleet.duration_s, device.seed);
+            let standalone = Simulator::new(spec, system)
+                .with_controller(fleet.controller)
+                .run(scenario)
+                .unwrap();
+            assert_eq!(device.accuracy, standalone.accuracy());
+            assert_eq!(device.average_current_ua, standalone.average_current_ua());
+            assert_eq!(device.duration_s, standalone.duration_s);
+        }
+    }
+
+    #[test]
+    fn intensity_fleet_uses_the_bank_path() {
+        let (spec, system) = shared_system();
+        let fleet =
+            FleetSpec { controller: ControllerKind::IntensityBased, ..FleetSpec::new(3, 12.0, 5) };
+        let report = FleetScheduler::new(spec, system).with_threads(2).run(&fleet).unwrap();
+        assert_eq!(report.len(), 3);
+        assert!(report.devices.iter().all(|d| d.epochs > 0));
+    }
+
+    #[test]
+    fn run_scenarios_preserves_job_order() {
+        let (spec, system) = shared_system();
+        let jobs = vec![
+            (ScenarioSpec::sit_then_walk(6.0, 6.0), ControllerKind::StaticHigh),
+            (
+                ScenarioSpec::sit_then_walk(7.0, 5.0),
+                ControllerKind::Spot { stability_threshold: 2 },
+            ),
+        ];
+        let reports =
+            FleetScheduler::new(spec, system).with_threads(2).run_scenarios(&jobs).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].controller, jobs[0].1.label());
+        assert_eq!(reports[1].controller, jobs[1].1.label());
+        for (report, (scenario, controller)) in reports.iter().zip(&jobs) {
+            let serial =
+                Simulator::new(spec, system).with_controller(*controller).run(scenario.clone());
+            assert_eq!(report, &serial.unwrap());
+        }
+    }
+
+    #[test]
+    fn degenerate_fleets_are_rejected() {
+        let (spec, system) = shared_system();
+        let scheduler = FleetScheduler::new(spec, system);
+        assert!(scheduler.run(&FleetSpec::new(0, 30.0, 1)).is_err());
+        assert!(scheduler.run(&FleetSpec::new(4, 1.0, 1)).is_err());
+        assert!(scheduler
+            .run(&FleetSpec { lockstep_devices: 0, ..FleetSpec::new(4, 30.0, 1) })
+            .is_err());
+    }
+
+    #[test]
+    fn errors_from_jobs_propagate() {
+        let (spec, system) = shared_system();
+        let jobs = vec![(
+            ScenarioSpec::sit_then_walk(0.5, 0.5), // too short: simulation error
+            ControllerKind::StaticHigh,
+        )];
+        assert!(FleetScheduler::new(spec, system).run_scenarios(&jobs).is_err());
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        assert_eq!(percentile(vec![3.0, 1.0, 2.0, 4.0], 50.0), 2.0);
+        assert_eq!(percentile(vec![3.0, 1.0, 2.0, 4.0], 100.0), 4.0);
+        assert_eq!(percentile(vec![3.0, 1.0, 2.0, 4.0], 1.0), 1.0);
+        assert_eq!(percentile(Vec::new(), 50.0), 0.0);
+    }
+
+    #[test]
+    fn report_rendering_mentions_every_spot_state() {
+        let (spec, system) = shared_system();
+        let report =
+            FleetScheduler::new(spec, system).with_threads(2).run(&FleetSpec::new(4, 20.0, 9));
+        let text = report.unwrap().to_table_string();
+        for config in SensorConfig::paper_pareto_front() {
+            assert!(text.contains(&config.label()), "missing {config} in:\n{text}");
+        }
+    }
+}

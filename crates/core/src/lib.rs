@@ -60,16 +60,20 @@ pub mod dse;
 pub mod error;
 pub mod experiments;
 pub mod export;
+pub mod fleet;
 pub mod pareto;
 pub mod pipeline;
+pub mod runtime;
 pub mod simulation;
 pub mod training;
 
 pub use controller::{ControllerInput, ControllerKind, SensorController, SpotController};
 pub use dse::{ConfigEvaluation, DesignSpaceExploration, DseReport};
 pub use error::AdaSenseError;
+pub use fleet::{DeviceSummary, FleetReport, FleetScheduler, FleetSpec};
 pub use pareto::pareto_front;
 pub use pipeline::{ClassifiedBatch, HarPipeline};
+pub use runtime::{DeviceRuntime, SampleSource, ScenarioSource, TickPhase, TickResult};
 pub use simulation::{EpochRecord, ScenarioSpec, SimulationReport, Simulator};
 pub use training::{ExperimentSpec, TrainedSystem};
 
@@ -83,8 +87,10 @@ pub mod prelude {
     pub use crate::dse::{ConfigEvaluation, DesignSpaceExploration, DseReport};
     pub use crate::error::AdaSenseError;
     pub use crate::experiments;
+    pub use crate::fleet::{DeviceSummary, FleetReport, FleetScheduler, FleetSpec};
     pub use crate::pareto::pareto_front;
     pub use crate::pipeline::{ClassifiedBatch, HarPipeline};
+    pub use crate::runtime::{DeviceRuntime, SampleSource, ScenarioSource, TickPhase, TickResult};
     pub use crate::simulation::{EpochRecord, ScenarioSpec, SimulationReport, Simulator};
     pub use crate::training::{ExperimentSpec, TrainedSystem};
     pub use adasense_data::prelude::*;

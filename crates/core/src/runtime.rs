@@ -1,0 +1,575 @@
+//! The streaming per-device closed loop of AdaSense (Figs. 1 & 3).
+//!
+//! [`DeviceRuntime`] is the paper's loop — buffer → features → classify →
+//! controller → reconfigure — extracted from the batch simulator so it can advance
+//! **one tick at a time**.  The same runtime serves three drivers:
+//!
+//! * batch simulation ([`Simulator`](crate::simulation::Simulator) is now a thin
+//!   loop over [`DeviceRuntime::step`]),
+//! * the fleet scheduler ([`crate::fleet`]), which ticks many devices in lockstep
+//!   and batches their classifier calls, and
+//! * future streaming ingestion / hardware replay, by implementing
+//!   [`SampleSource`] over a live sample feed.
+//!
+//! The runtime is allocation-free per tick: the sensed window, the per-axis
+//! feature scratch and the feature vector all live in reusable buffers, and
+//! per-configuration residency is accounted in a fixed array indexed by
+//! [`SensorConfig::index`] instead of a map keyed by label strings.
+
+use adasense_data::{Activity, ActivityTrace};
+use adasense_dsp::{FeatureScratch, IntensityEstimator};
+use adasense_ml::{Mlp, Prediction};
+use adasense_sensor::{Accelerometer, Charge, EnergyModel, NoiseModel, Sample3, SensorConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::controller::{ControllerInput, ControllerKind, SensorController};
+use crate::error::AdaSenseError;
+use crate::simulation::{EpochRecord, ScenarioSpec, SimulationReport};
+use crate::training::{ExperimentSpec, TrainedSystem};
+
+/// The classification window every runtime senses per tick, in seconds (the
+/// paper buffers 2 seconds).  [`crate::fleet::FleetSpec::validate`] checks
+/// against the same constant.
+pub const WINDOW_S: f64 = 2.0;
+
+/// The epoch (tick) length, in seconds (the paper classifies once per second).
+pub const EPOCH_S: f64 = 1.0;
+
+/// Provides the sensor data a [`DeviceRuntime`] consumes.
+///
+/// Implementors are the "world" a device lives in: the closed-loop simulator uses
+/// [`ScenarioSource`] (a scheduled activity timeline played through the simulated
+/// accelerometer); a hardware-replay source would page recorded IMU data instead.
+pub trait SampleSource {
+    /// Senses the window `[t_end - window_s, t_end)` under `config` into `out`.
+    ///
+    /// `out` is cleared first and its allocation reused across ticks.
+    fn capture_window(
+        &mut self,
+        config: SensorConfig,
+        t_end: f64,
+        window_s: f64,
+        out: &mut Vec<Sample3>,
+    );
+
+    /// The ground-truth activity at time `t_s` (used to score predictions).
+    ///
+    /// The runtime queries an instant just *inside* the epoch (`t_end - 1e-6`),
+    /// so sources defined over `[0, duration)` never see an out-of-range query
+    /// while being driven.  Must return `Some` for every driven tick.
+    fn ground_truth(&self, t_s: f64) -> Option<Activity>;
+}
+
+/// A [`SampleSource`] that plays a [`ScenarioSpec`] through the simulated
+/// accelerometer — the source behind every closed-loop simulation.
+#[derive(Debug, Clone)]
+pub struct ScenarioSource {
+    trace: ActivityTrace,
+    noise_rng: StdRng,
+    energy: EnergyModel,
+    noise: NoiseModel,
+}
+
+impl ScenarioSource {
+    /// Realizes `scenario` with the subject-variation and noise seeds derived from
+    /// `scenario.seed`, using the sensor models of `spec`.
+    pub fn new(spec: &ExperimentSpec, scenario: &ScenarioSpec) -> Self {
+        let mut trace_rng = StdRng::seed_from_u64(scenario.seed.wrapping_add(1));
+        let trace = ActivityTrace::from_schedule(scenario.schedule.clone(), &mut trace_rng);
+        let noise_rng = StdRng::seed_from_u64(scenario.seed.wrapping_add(2));
+        Self {
+            trace,
+            noise_rng,
+            energy: spec.dataset.energy_model,
+            noise: spec.dataset.noise_model,
+        }
+    }
+}
+
+impl SampleSource for ScenarioSource {
+    fn capture_window(
+        &mut self,
+        config: SensorConfig,
+        t_end: f64,
+        window_s: f64,
+        out: &mut Vec<Sample3>,
+    ) {
+        let accel =
+            Accelerometer::new(config).with_energy_model(self.energy).with_noise_model(self.noise);
+        accel.capture_into(&self.trace, t_end - window_s, window_s, &mut self.noise_rng, out);
+    }
+
+    fn ground_truth(&self, t_s: f64) -> Option<Activity> {
+        self.trace.activity_at(t_s)
+    }
+}
+
+/// What one call to [`DeviceRuntime::step`] produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickResult {
+    /// End time of the tick, in seconds.
+    pub t_s: f64,
+    /// Sensor configuration active during the tick.
+    pub config: SensorConfig,
+    /// Sensor charge consumed during the tick.
+    pub charge: Charge,
+    /// The classification record, or `None` while the first window is filling.
+    pub record: Option<EpochRecord>,
+}
+
+/// Outcome of [`DeviceRuntime::begin_tick`]: either the tick completed without a
+/// classification (first window still filling), or a window was sensed and the
+/// caller must supply a prediction via [`DeviceRuntime::complete_tick`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TickPhase {
+    /// The tick is already complete — no classification was due.
+    Idle(TickResult),
+    /// A window was sensed and featurized; classification is pending.  Read the
+    /// features with [`DeviceRuntime::pending_features`] and finish the tick with
+    /// [`DeviceRuntime::complete_tick`].
+    Classify,
+}
+
+/// A classification awaiting its prediction between `begin_tick` and
+/// `complete_tick`.
+#[derive(Debug, Clone, Copy)]
+struct PendingTick {
+    config: SensorConfig,
+    t_end: f64,
+    charge: Charge,
+}
+
+/// The per-second closed loop of one simulated wearable, advanced tick by tick.
+///
+/// Construct with [`DeviceRuntime::for_scenario`] (finite, scenario-driven) or
+/// [`DeviceRuntime::new`] (open-ended, any [`SampleSource`]), then either call
+/// [`step`](DeviceRuntime::step) in a loop, or split each tick into
+/// [`begin_tick`](DeviceRuntime::begin_tick) /
+/// [`complete_tick`](DeviceRuntime::complete_tick) to batch classifier calls
+/// across many devices (see [`crate::fleet`]).
+pub struct DeviceRuntime<'a, S: SampleSource> {
+    source: S,
+    system: &'a TrainedSystem,
+    controller: Box<dyn SensorController>,
+    controller_label: String,
+    intensity_estimator: IntensityEstimator,
+    energy: EnergyModel,
+    use_bank: bool,
+    window_s: f64,
+    epoch_s: f64,
+    total_ticks: Option<usize>,
+    record_epochs: bool,
+    // Per-tick state and reusable buffers.
+    ticks: usize,
+    pending: Option<PendingTick>,
+    window: Vec<Sample3>,
+    features: Vec<f64>,
+    scratch: FeatureScratch,
+    // Accumulators.
+    records: Vec<EpochRecord>,
+    epochs: usize,
+    correct: usize,
+    total_charge: Charge,
+    residency_s: [f64; SensorConfig::COUNT],
+}
+
+impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
+    /// Creates an open-ended runtime over `source` with the paper's 2-second
+    /// window and 1-second epoch.  The runtime never reports completion; drive it
+    /// with [`step`](DeviceRuntime::step) for as long as the source has data.
+    pub fn new(
+        spec: &'a ExperimentSpec,
+        system: &'a TrainedSystem,
+        controller: ControllerKind,
+        source: S,
+    ) -> Self {
+        let mut built = controller.build(spec);
+        built.reset();
+        Self {
+            source,
+            system,
+            controller: built,
+            controller_label: controller.label(),
+            intensity_estimator: IntensityEstimator::calibrated(),
+            energy: spec.dataset.energy_model,
+            use_bank: matches!(controller, ControllerKind::IntensityBased),
+            window_s: WINDOW_S,
+            epoch_s: EPOCH_S,
+            total_ticks: None,
+            record_epochs: true,
+            ticks: 0,
+            pending: None,
+            window: Vec::new(),
+            features: Vec::new(),
+            scratch: FeatureScratch::new(),
+            records: Vec::new(),
+            epochs: 0,
+            correct: 0,
+            total_charge: Charge::ZERO,
+            residency_s: [0.0; SensorConfig::COUNT],
+        }
+    }
+
+    /// Enables or disables storing per-epoch [`EpochRecord`]s (enabled by
+    /// default).  Fleet-scale runs disable recording to keep memory per device
+    /// constant; the accuracy/power/residency accumulators are unaffected.
+    pub fn with_recording(mut self, record_epochs: bool) -> Self {
+        self.record_epochs = record_epochs;
+        self
+    }
+
+    /// Number of ticks advanced so far.
+    pub fn ticks(&self) -> usize {
+        self.ticks
+    }
+
+    /// Simulated time elapsed, in seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.ticks as f64 * self.epoch_s
+    }
+
+    /// Whether a finite runtime has consumed all its ticks (always `false` for
+    /// open-ended runtimes).
+    pub fn is_complete(&self) -> bool {
+        self.total_ticks.is_some_and(|n| self.ticks >= n)
+    }
+
+    /// Number of classified epochs so far.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Number of correctly classified epochs so far.
+    pub fn correct_epochs(&self) -> usize {
+        self.correct
+    }
+
+    /// Total sensor charge consumed so far.
+    pub fn total_charge(&self) -> Charge {
+        self.total_charge
+    }
+
+    /// Seconds spent in each configuration, indexed by [`SensorConfig::index`].
+    pub fn residency_seconds(&self) -> &[f64; SensorConfig::COUNT] {
+        &self.residency_s
+    }
+
+    /// The label of the controller driving this device.
+    pub fn controller_label(&self) -> &str {
+        &self.controller_label
+    }
+
+    /// Whether this device classifies every window with the shared unified
+    /// classifier — i.e. whether its pending classification may be batched with
+    /// other devices through [`Mlp::predict_batch`].  The intensity-based
+    /// baseline switches among per-configuration bank classifiers and must be
+    /// classified per device.
+    pub fn batches_with_unified(&self) -> bool {
+        !self.use_bank
+    }
+
+    /// Phase 1 of a tick: accounts charge and residency for the configuration the
+    /// controller selected, senses the last window (once the first window has
+    /// filled) and extracts its features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous tick's classification is still pending.
+    pub fn begin_tick(&mut self) -> TickPhase {
+        assert!(self.pending.is_none(), "complete_tick must resolve the previous tick first");
+        let config = self.controller.config();
+        let charge = self.energy.charge_over(config, self.epoch_s);
+        self.total_charge += charge;
+        self.residency_s[config.index()] += self.epoch_s;
+
+        self.ticks += 1;
+        let t_end = self.ticks as f64 * self.epoch_s;
+        if t_end + 1e-9 < self.window_s {
+            // Still filling the first buffer.
+            return TickPhase::Idle(TickResult { t_s: t_end, config, charge, record: None });
+        }
+
+        self.source.capture_window(config, t_end, self.window_s, &mut self.window);
+        self.system.extractor().extract_into(
+            &self.window,
+            config.frequency.hz(),
+            &mut self.scratch,
+            &mut self.features,
+        );
+        self.pending = Some(PendingTick { config, t_end, charge });
+        TickPhase::Classify
+    }
+
+    /// The feature vector of the pending classification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no classification is pending.
+    pub fn pending_features(&self) -> &[f64] {
+        assert!(self.pending.is_some(), "no classification is pending");
+        &self.features
+    }
+
+    /// The classifier that must judge the pending window: the unified model, or
+    /// the per-configuration bank model when simulating the intensity baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no classification is pending.
+    pub fn active_classifier(&self) -> &Mlp {
+        let pending = self.pending.as_ref().expect("no classification is pending");
+        if self.use_bank {
+            self.system
+                .bank_classifier(pending.config)
+                .map(|m| &m.model)
+                .unwrap_or_else(|| self.system.unified_classifier())
+        } else {
+            self.system.unified_classifier()
+        }
+    }
+
+    /// Phase 2 of a tick: scores `prediction` against the ground truth and feeds
+    /// the result to the controller, which picks the configuration for the next
+    /// tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no classification is pending, or if the source cannot provide
+    /// ground truth for the driven instant.
+    pub fn complete_tick(&mut self, prediction: Prediction) -> TickResult {
+        let PendingTick { config, t_end, charge } =
+            self.pending.take().expect("begin_tick must return TickPhase::Classify first");
+        let predicted = Activity::from_index(prediction.class).unwrap_or(Activity::Sit);
+        let actual = self
+            .source
+            .ground_truth(t_end - 1e-6)
+            .expect("the sample source provides ground truth for every driven tick");
+        let correct = predicted == actual;
+        let record = EpochRecord {
+            t_s: t_end,
+            config,
+            current_ua: self.energy.current_ua(config),
+            predicted,
+            actual,
+            confidence: prediction.confidence,
+            correct,
+        };
+        self.epochs += 1;
+        if correct {
+            self.correct += 1;
+        }
+        if self.record_epochs {
+            self.records.push(record);
+        }
+        self.controller.observe(&ControllerInput {
+            predicted,
+            confidence: prediction.confidence,
+            intensity_g_per_s: self.intensity_estimator.intensity(&self.window),
+        });
+        TickResult { t_s: t_end, config, charge, record: Some(record) }
+    }
+
+    /// Advances the closed loop by one epoch: sense, classify, score, let the
+    /// controller reconfigure the sensor.
+    pub fn step(&mut self) -> TickResult {
+        match self.begin_tick() {
+            TickPhase::Idle(result) => result,
+            TickPhase::Classify => {
+                let prediction = self.active_classifier().predict(&self.features);
+                self.complete_tick(prediction)
+            }
+        }
+    }
+
+    /// Steps a finite runtime until [`DeviceRuntime::is_complete`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on an open-ended runtime (no tick budget to run down).
+    pub fn run_to_completion(&mut self) {
+        assert!(self.total_ticks.is_some(), "run_to_completion requires a finite runtime");
+        while !self.is_complete() {
+            self.step();
+        }
+    }
+
+    /// Classification accuracy over the epochs classified so far (0–1).
+    pub fn accuracy(&self) -> f64 {
+        if self.epochs == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.epochs as f64
+    }
+
+    /// Average sensor current over the elapsed time, in µA.
+    pub fn average_current_ua(&self) -> f64 {
+        self.total_charge.average_current_ua(self.elapsed_s())
+    }
+
+    /// Snapshots the run so far as a [`SimulationReport`].
+    pub fn report(&self) -> SimulationReport {
+        SimulationReport {
+            controller: self.controller_label.clone(),
+            records: self.records.clone(),
+            total_charge: self.total_charge,
+            duration_s: self.elapsed_s(),
+            seconds_in_config: crate::simulation::residency_map(&self.residency_s),
+        }
+    }
+
+    /// Consumes the runtime, returning the final [`SimulationReport`].
+    pub fn into_report(self) -> SimulationReport {
+        SimulationReport {
+            controller: self.controller_label,
+            records: self.records,
+            total_charge: self.total_charge,
+            duration_s: self.ticks as f64 * self.epoch_s,
+            seconds_in_config: crate::simulation::residency_map(&self.residency_s),
+        }
+    }
+}
+
+impl<'a> DeviceRuntime<'a, ScenarioSource> {
+    /// Creates a finite runtime that plays `scenario` through the simulated
+    /// accelerometer — the configuration behind every closed-loop simulation and
+    /// every fleet device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Simulation`] if the scenario is empty or shorter
+    /// than one classification window.
+    pub fn for_scenario(
+        spec: &'a ExperimentSpec,
+        system: &'a TrainedSystem,
+        controller: ControllerKind,
+        scenario: &ScenarioSpec,
+    ) -> Result<Self, AdaSenseError> {
+        let duration = scenario.duration_s();
+        if scenario.schedule.is_empty() {
+            return Err(AdaSenseError::simulation("the scenario schedule is empty"));
+        }
+        let mut runtime = Self::new(spec, system, controller, ScenarioSource::new(spec, scenario));
+        if duration < runtime.window_s {
+            return Err(AdaSenseError::simulation(format!(
+                "the scenario lasts {duration} s which is shorter than one {} s window",
+                runtime.window_s
+            )));
+        }
+        runtime.total_ticks = Some((duration / runtime.epoch_s).floor() as usize);
+        Ok(runtime)
+    }
+}
+
+impl<S: SampleSource + std::fmt::Debug> std::fmt::Debug for DeviceRuntime<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceRuntime")
+            .field("source", &self.source)
+            .field("controller", &self.controller_label)
+            .field("ticks", &self.ticks)
+            .field("total_ticks", &self.total_ticks)
+            .field("epochs", &self.epochs)
+            .field("correct", &self.correct)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::{tests::shared_system, Simulator};
+
+    #[test]
+    fn stepping_a_runtime_matches_the_batch_simulator() {
+        let (spec, system) = shared_system();
+        let scenario = ScenarioSpec::sit_then_walk(12.0, 12.0);
+        let controller = ControllerKind::Spot { stability_threshold: 3 };
+
+        let batch = Simulator::new(spec, system).with_controller(controller).run(scenario.clone());
+        let batch = batch.expect("simulation runs");
+
+        let mut runtime = DeviceRuntime::for_scenario(spec, system, controller, &scenario)
+            .expect("runtime builds");
+        let mut tick_records = Vec::new();
+        while !runtime.is_complete() {
+            let tick = runtime.step();
+            if let Some(record) = tick.record {
+                tick_records.push(record);
+            }
+        }
+        let streamed = runtime.into_report();
+
+        assert_eq!(streamed, batch, "streaming must be bit-identical to the batch run");
+        assert_eq!(tick_records, batch.records, "per-tick records must match the report");
+    }
+
+    #[test]
+    fn split_phase_ticking_matches_step() {
+        let (spec, system) = shared_system();
+        let scenario = ScenarioSpec::sit_then_walk(8.0, 8.0);
+        let controller = ControllerKind::SpotWithConfidence {
+            stability_threshold: 2,
+            confidence_threshold: 0.85,
+        };
+
+        let mut stepped = DeviceRuntime::for_scenario(spec, system, controller, &scenario).unwrap();
+        stepped.run_to_completion();
+
+        let mut split = DeviceRuntime::for_scenario(spec, system, controller, &scenario).unwrap();
+        while !split.is_complete() {
+            match split.begin_tick() {
+                TickPhase::Idle(tick) => assert!(tick.record.is_none()),
+                TickPhase::Classify => {
+                    assert!(split.batches_with_unified());
+                    let features = split.pending_features().to_vec();
+                    let prediction = system.unified_classifier().predict(&features);
+                    let tick = split.complete_tick(prediction);
+                    assert!(tick.record.is_some());
+                }
+            }
+        }
+        assert_eq!(split.into_report(), stepped.into_report());
+    }
+
+    #[test]
+    fn recording_can_be_disabled_without_changing_the_aggregates() {
+        let (spec, system) = shared_system();
+        let scenario = ScenarioSpec::sit_then_walk(10.0, 10.0);
+        let controller = ControllerKind::Spot { stability_threshold: 2 };
+
+        let mut with = DeviceRuntime::for_scenario(spec, system, controller, &scenario).unwrap();
+        with.run_to_completion();
+        let mut without = DeviceRuntime::for_scenario(spec, system, controller, &scenario)
+            .unwrap()
+            .with_recording(false);
+        without.run_to_completion();
+
+        assert_eq!(with.epochs(), without.epochs());
+        assert_eq!(with.correct_epochs(), without.correct_epochs());
+        assert_eq!(with.total_charge(), without.total_charge());
+        assert_eq!(with.residency_seconds(), without.residency_seconds());
+        assert_eq!(with.accuracy(), without.accuracy());
+        assert_eq!(with.average_current_ua(), without.average_current_ua());
+        assert!(without.into_report().records.is_empty());
+    }
+
+    #[test]
+    fn intensity_baseline_uses_the_bank_and_cannot_batch() {
+        let (spec, system) = shared_system();
+        let scenario = ScenarioSpec::sit_then_walk(6.0, 6.0);
+        let runtime =
+            DeviceRuntime::for_scenario(spec, system, ControllerKind::IntensityBased, &scenario)
+                .unwrap();
+        assert!(!runtime.batches_with_unified());
+    }
+
+    #[test]
+    fn degenerate_scenarios_are_rejected() {
+        let (spec, system) = shared_system();
+        let controller = ControllerKind::StaticHigh;
+        let empty = ScenarioSpec::from_schedule(adasense_data::ActivitySchedule::default(), 0);
+        assert!(DeviceRuntime::for_scenario(spec, system, controller, &empty).is_err());
+        let short = ScenarioSpec::sit_then_walk(0.5, 0.5);
+        assert!(DeviceRuntime::for_scenario(spec, system, controller, &short).is_err());
+    }
+}

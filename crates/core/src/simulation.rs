@@ -7,6 +7,11 @@
 //! one-second residency interval, which is exactly the accounting behind the
 //! paper's power numbers (Figs. 5–7).
 //!
+//! The per-second loop itself lives in [`crate::runtime::DeviceRuntime`];
+//! [`Simulator`] is a thin batch driver that builds a scenario-backed runtime,
+//! steps it to completion and returns the report.  Use the runtime directly to
+//! stream tick by tick, or [`crate::fleet`] to run whole populations of devices.
+//!
 //! One simplification relative to real hardware: after a configuration switch the
 //! next window is re-sampled entirely under the new configuration instead of mixing
 //! samples from two configurations.  Residency is dominated by seconds-long stable
@@ -14,15 +19,15 @@
 
 use std::collections::BTreeMap;
 
-use adasense_data::{Activity, ActivityChangeSetting, ActivitySchedule, ActivityTrace};
-use adasense_dsp::IntensityEstimator;
-use adasense_sensor::{Accelerometer, Charge, SensorConfig};
+use adasense_data::{Activity, ActivityChangeSetting, ActivitySchedule};
+use adasense_sensor::{Charge, SensorConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::controller::{ControllerInput, ControllerKind};
+use crate::controller::ControllerKind;
 use crate::error::AdaSenseError;
+use crate::runtime::DeviceRuntime;
 use crate::training::{ExperimentSpec, TrainedSystem};
 
 /// A scenario to simulate: an activity timeline plus the randomness seed.
@@ -141,8 +146,6 @@ pub struct Simulator<'a> {
     spec: &'a ExperimentSpec,
     system: &'a TrainedSystem,
     controller: ControllerKind,
-    window_s: f64,
-    epoch_s: f64,
 }
 
 impl<'a> Simulator<'a> {
@@ -150,7 +153,7 @@ impl<'a> Simulator<'a> {
     /// static high-power baseline; select another one with
     /// [`Simulator::with_controller`].
     pub fn new(spec: &'a ExperimentSpec, system: &'a TrainedSystem) -> Self {
-        Self { spec, system, controller: ControllerKind::StaticHigh, window_s: 2.0, epoch_s: 1.0 }
+        Self { spec, system, controller: ControllerKind::StaticHigh }
     }
 
     /// Selects the adaptive sensing controller to simulate.
@@ -164,117 +167,51 @@ impl<'a> Simulator<'a> {
         self.controller
     }
 
-    /// Runs the closed loop over `scenario`.
+    /// Runs the closed loop over `scenario` by stepping a
+    /// [`DeviceRuntime`](crate::runtime::DeviceRuntime) to completion.
     ///
     /// # Errors
     ///
     /// Returns [`AdaSenseError::Simulation`] if the scenario is empty or shorter
     /// than one classification window.
     pub fn run(&self, scenario: ScenarioSpec) -> Result<SimulationReport, AdaSenseError> {
-        let duration = scenario.duration_s();
-        if scenario.schedule.is_empty() {
-            return Err(AdaSenseError::simulation("the scenario schedule is empty"));
-        }
-        if duration < self.window_s {
-            return Err(AdaSenseError::simulation(format!(
-                "the scenario lasts {duration} s which is shorter than one {} s window",
-                self.window_s
-            )));
-        }
-
-        let mut trace_rng = StdRng::seed_from_u64(scenario.seed.wrapping_add(1));
-        let trace = ActivityTrace::from_schedule(scenario.schedule.clone(), &mut trace_rng);
-        let mut noise_rng = StdRng::seed_from_u64(scenario.seed.wrapping_add(2));
-
-        let mut controller = self.controller.build(self.spec);
-        controller.reset();
-        let intensity_estimator = IntensityEstimator::calibrated();
-
-        let extractor = self.system.extractor();
-        let energy = self.spec.dataset.energy_model;
-        let use_bank = matches!(self.controller, ControllerKind::IntensityBased);
-
-        let mut records = Vec::new();
-        let mut total_charge = Charge::ZERO;
-        let mut seconds_in_config: BTreeMap<String, f64> = BTreeMap::new();
-
-        let steps = (duration / self.epoch_s).floor() as usize;
-        for k in 0..steps {
-            let config = controller.config();
-            total_charge += energy.charge_over(config, self.epoch_s);
-            *seconds_in_config.entry(config.label()).or_insert(0.0) += self.epoch_s;
-
-            let t_end = (k + 1) as f64 * self.epoch_s;
-            if t_end + 1e-9 < self.window_s {
-                continue; // still filling the first buffer
-            }
-
-            // Sense the last window under the active configuration.
-            let accel = Accelerometer::new(config)
-                .with_energy_model(energy)
-                .with_noise_model(self.spec.dataset.noise_model);
-            let samples =
-                accel.capture(&trace, t_end - self.window_s, self.window_s, &mut noise_rng);
-
-            // Classify with the unified model, or with the per-configuration bank
-            // when simulating the intensity-based baseline.
-            let classifier = if use_bank {
-                self.system
-                    .bank_classifier(config)
-                    .map(|m| &m.model)
-                    .unwrap_or_else(|| self.system.unified_classifier())
-            } else {
-                self.system.unified_classifier()
-            };
-            let features = extractor.extract(&samples, config.frequency.hz());
-            let prediction = classifier.predict(features.as_slice());
-            let predicted = Activity::from_index(prediction.class).unwrap_or(Activity::Sit);
-            let actual = trace
-                .activity_at(t_end - 1e-6)
-                .expect("non-empty schedule always reports an activity");
-
-            records.push(EpochRecord {
-                t_s: t_end,
-                config,
-                current_ua: energy.current_ua(config),
-                predicted,
-                actual,
-                confidence: prediction.confidence,
-                correct: predicted == actual,
-            });
-
-            controller.observe(&ControllerInput {
-                predicted,
-                confidence: prediction.confidence,
-                intensity_g_per_s: intensity_estimator.intensity(&samples),
-            });
-        }
-
-        Ok(SimulationReport {
-            controller: self.controller.label(),
-            records,
-            total_charge,
-            duration_s: steps as f64 * self.epoch_s,
-            seconds_in_config,
-        })
+        let mut runtime =
+            DeviceRuntime::for_scenario(self.spec, self.system, self.controller, &scenario)?;
+        runtime.run_to_completion();
+        Ok(runtime.into_report())
     }
 }
 
+/// Converts the fixed-array residency accumulator of the runtime (seconds per
+/// [`SensorConfig::index`]) into the label-keyed map [`SimulationReport`] exposes.
+/// Only visited configurations appear, matching the historic map-based accounting.
+pub(crate) fn residency_map(residency_s: &[f64; SensorConfig::COUNT]) -> BTreeMap<String, f64> {
+    residency_s
+        .iter()
+        .enumerate()
+        .filter(|&(_, &seconds)| seconds > 0.0)
+        .map(|(index, &seconds)| {
+            let config = SensorConfig::from_index(index).expect("index is in range");
+            (config.label(), seconds)
+        })
+        .collect()
+}
+
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use adasense_data::DatasetSpec;
     use adasense_ml::TrainerConfig;
     use std::sync::OnceLock;
 
-    /// A small trained system shared by the tests in this module (training takes a
-    /// little while, so build it once).
+    /// A small trained system shared by the simulation, runtime and fleet tests
+    /// (training takes a little while, so build it once per test binary).
     ///
     /// The dataset must be large enough that the unified classifier learns to lean
     /// on the noise-robust mean features in the noisy `F12.5_A8` configuration;
     /// with much fewer windows per class the classifier flickers on
     /// population-tail subjects there, and SPOT can never hold the lowest state.
-    fn shared_system() -> &'static (ExperimentSpec, TrainedSystem) {
+    pub(crate) fn shared_system() -> &'static (ExperimentSpec, TrainedSystem) {
         static SYSTEM: OnceLock<(ExperimentSpec, TrainedSystem)> = OnceLock::new();
         SYSTEM.get_or_init(|| {
             let spec = ExperimentSpec {

@@ -17,7 +17,6 @@ use adasense_sensor::Sample3;
 use serde::{Deserialize, Serialize};
 
 use crate::fft::goertzel_magnitude;
-use crate::stats::split_axes;
 
 /// Dimension of the unified feature vector (3 means + 3 standard deviations +
 /// 3 axes × 3 Fourier magnitudes).
@@ -94,6 +93,40 @@ impl From<FeatureVector> for Vec<f64> {
     }
 }
 
+/// Reusable working memory for [`FeatureExtractor::extract_into`].
+///
+/// Holds the per-axis sample buffers the extractor needs, so the hottest loop of
+/// the simulator — one feature extraction per device per second — performs no heap
+/// allocation once the buffers have grown to the largest window size.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureScratch {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    z: Vec<f64>,
+}
+
+impl FeatureScratch {
+    /// Creates empty scratch space (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Splits `samples` into the per-axis buffers, reusing their allocations.
+    fn split(&mut self, samples: &[Sample3]) {
+        self.x.clear();
+        self.y.clear();
+        self.z.clear();
+        self.x.reserve(samples.len());
+        self.y.reserve(samples.len());
+        self.z.reserve(samples.len());
+        for s in samples {
+            self.x.push(s.x);
+            self.y.push(s.y);
+            self.z.push(s.z);
+        }
+    }
+}
+
 /// Extracts the unified feature vector from accelerometer batches.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FeatureExtractor {
@@ -111,34 +144,54 @@ impl FeatureExtractor {
     ///
     /// Returns an all-zero vector when `samples` is empty.
     pub fn extract(&self, samples: &[Sample3], sample_rate_hz: f64) -> FeatureVector {
+        let mut values = Vec::with_capacity(FEATURE_DIM);
+        self.extract_into(samples, sample_rate_hz, &mut FeatureScratch::new(), &mut values);
+        FeatureVector::new(values)
+    }
+
+    /// Extracts features into `out`, reusing `scratch` for the per-axis buffers.
+    ///
+    /// `out` is cleared first and always holds [`FEATURE_DIM`] values on return
+    /// (all zeros when `samples` is empty).  Numerically identical to
+    /// [`FeatureExtractor::extract`]; this flavour exists so a per-second
+    /// streaming loop allocates nothing.
+    pub fn extract_into(
+        &self,
+        samples: &[Sample3],
+        sample_rate_hz: f64,
+        scratch: &mut FeatureScratch,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
         if samples.is_empty() {
-            return FeatureVector::new(vec![0.0; FEATURE_DIM]);
+            out.resize(FEATURE_DIM, 0.0);
+            return;
         }
-        let [x, y, z] = split_axes(samples);
+        scratch.split(samples);
+        let FeatureScratch { x, y, z } = &*scratch;
         let n = samples.len() as f64;
         let duration_s = n / sample_rate_hz;
 
-        let mut values = Vec::with_capacity(FEATURE_DIM);
+        out.reserve(FEATURE_DIM);
         // Means.
-        for axis in [&x, &y, &z] {
-            values.push(axis.iter().sum::<f64>() / n);
+        for axis in [x, y, z] {
+            out.push(axis.iter().sum::<f64>() / n);
         }
         // Standard deviations.
-        for (axis, mean) in [&x, &y, &z].iter().zip([values[0], values[1], values[2]]) {
+        for (axis, mean) in [x, y, z].iter().zip([out[0], out[1], out[2]]) {
             let var = axis.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-            values.push(var.sqrt());
+            out.push(var.sqrt());
         }
         // Low-frequency Fourier magnitudes, amplitude-normalized (×2/n) so that a
         // sinusoid of amplitude A at exactly one of the probe frequencies yields
         // a feature value of ~A independent of the batch length.
-        for axis in [&x, &y, &z] {
+        for axis in [x, y, z] {
             for &f in &self.fourier_frequencies_hz {
                 let bin = f * duration_s;
                 let magnitude = goertzel_magnitude(axis, bin);
-                values.push(2.0 * magnitude / n);
+                out.push(2.0 * magnitude / n);
             }
         }
-        FeatureVector::new(values)
     }
 }
 
@@ -215,6 +268,20 @@ mod tests {
                 assert!(v.abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn extract_into_reuses_buffers_and_matches_extract() {
+        let extractor = FeatureExtractor::paper();
+        let mut scratch = FeatureScratch::new();
+        let mut out = vec![42.0; 3];
+        for rate in [100.0, 12.5] {
+            let samples = batch(rate, 2.0, |t| [0.2 * t.sin(), 0.1, 1.0 + 0.3 * (7.0 * t).cos()]);
+            extractor.extract_into(&samples, rate, &mut scratch, &mut out);
+            assert_eq!(out.as_slice(), extractor.extract(&samples, rate).as_slice());
+        }
+        extractor.extract_into(&[], 50.0, &mut scratch, &mut out);
+        assert_eq!(out, vec![0.0; FEATURE_DIM]);
     }
 
     #[test]

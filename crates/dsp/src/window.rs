@@ -69,6 +69,17 @@ impl BatchBuffer {
     /// subsequent batches every `hop_s` seconds.  Batches contain every retained
     /// sample whose timestamp lies within the last `window_s` seconds.
     pub fn push(&mut self, sample: Sample3) -> Option<Vec<Sample3>> {
+        let mut batch = Vec::new();
+        self.push_into(sample, &mut batch).then_some(batch)
+    }
+
+    /// Pushes one sample, writing the completed batch (if any) into `batch`.
+    ///
+    /// Returns `true` when this sample completed a batch; `batch` is cleared
+    /// first and its allocation reused, so a streaming loop that keeps one batch
+    /// buffer alive never allocates per emission.  Behaves exactly like
+    /// [`BatchBuffer::push`] otherwise.
+    pub fn push_into(&mut self, sample: Sample3, batch: &mut Vec<Sample3>) -> bool {
         if self.start_time.is_none() {
             self.start_time = Some(sample.t);
         }
@@ -80,14 +91,15 @@ impl BatchBuffer {
             Some(last) => now - last >= self.hop_s - 1e-9,
         };
         if !due {
-            return None;
+            return false;
         }
         self.last_emit_end = Some(now);
         // Drop samples that can never appear in a future window again.
         let horizon = now - self.window_s + 1e-9;
-        let batch: Vec<Sample3> = self.samples.iter().copied().filter(|s| s.t >= horizon).collect();
+        batch.clear();
+        batch.extend(self.samples.iter().copied().filter(|s| s.t >= horizon));
         self.samples.retain(|s| s.t >= horizon - self.hop_s);
-        Some(batch)
+        true
     }
 
     /// Pushes a slice of samples, collecting every batch they complete.
@@ -154,6 +166,23 @@ mod tests {
         assert!(!batches.is_empty());
         for batch in &batches {
             assert!(batch.len() >= 12, "2 s at 6.25 Hz is at least 12 samples");
+        }
+    }
+
+    #[test]
+    fn push_into_matches_push() {
+        let mut a = BatchBuffer::paper();
+        let mut b = BatchBuffer::paper();
+        let mut batch = Vec::new();
+        for s in stream(25.0, 5.0) {
+            let emitted = b.push_into(s, &mut batch);
+            match a.push(s) {
+                Some(expected) => {
+                    assert!(emitted);
+                    assert_eq!(batch, expected);
+                }
+                None => assert!(!emitted),
+            }
         }
     }
 

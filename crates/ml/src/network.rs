@@ -198,19 +198,49 @@ impl Mlp {
         );
         let input = Matrix::from_rows(&[features.to_vec()]);
         let logits = self.logits(&input);
-        let probabilities = softmax(logits.row(0));
-        let (class, &confidence) = probabilities
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
-            .expect("output dimension is non-zero");
-        Prediction { class, confidence, probabilities: probabilities.clone() }
+        prediction_from_logits(logits.row(0))
     }
 
-    /// Classifies a batch of feature vectors.
+    /// Classifies a batch of feature vectors with a single forward pass.
+    ///
+    /// The whole batch goes through each layer as one matrix product, so the cost
+    /// per vector is far below that of repeated [`Mlp::predict`] calls while the
+    /// per-row results stay bit-identical (every row is an independent dot-product
+    /// accumulation in the same order).  This is the inference path the fleet
+    /// simulator uses when many devices tick in lockstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any feature vector's length does not match the configured input
+    /// dimension.
     pub fn predict_batch(&self, features: &[Vec<f64>]) -> Vec<Prediction> {
-        features.iter().map(|f| self.predict(f)).collect()
+        if features.is_empty() {
+            return Vec::new();
+        }
+        for f in features {
+            assert_eq!(
+                f.len(),
+                self.config.input_dim,
+                "expected {} features, got {}",
+                self.config.input_dim,
+                f.len()
+            );
+        }
+        let input = Matrix::from_rows(features);
+        let logits = self.logits(&input);
+        (0..logits.rows()).map(|r| prediction_from_logits(logits.row(r))).collect()
     }
+}
+
+/// Converts one row of raw logits into a [`Prediction`].
+fn prediction_from_logits(logits: &[f64]) -> Prediction {
+    let probabilities = softmax(logits);
+    let (class, &confidence) = probabilities
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+        .expect("output dimension is non-zero");
+    Prediction { class, confidence, probabilities: probabilities.clone() }
 }
 
 #[cfg(test)]
@@ -294,5 +324,32 @@ mod tests {
         for (input, prediction) in inputs.iter().zip(&batch) {
             assert_eq!(&mlp.predict(input), prediction);
         }
+        assert!(mlp.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn predict_batch_is_bitwise_identical_with_a_normalizer() {
+        use crate::normalize::Normalizer;
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut mlp = Mlp::new(MlpConfig::new(4, vec![6, 5], 3), &mut rng);
+        let data = vec![vec![1.0, 2.0, 3.0, 4.0], vec![-2.0, 0.5, 7.0, 0.0]];
+        mlp.set_normalizer(Normalizer::fit(&data));
+        let inputs: Vec<Vec<f64>> =
+            (0..17).map(|k| (0..4).map(|j| ((k * 4 + j) as f64).sin()).collect()).collect();
+        let batch = mlp.predict_batch(&inputs);
+        assert_eq!(batch.len(), inputs.len());
+        for (input, prediction) in inputs.iter().zip(&batch) {
+            let single = mlp.predict(input);
+            assert_eq!(single.probabilities, prediction.probabilities, "must be bit-identical");
+            assert_eq!(single.class, prediction.class);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 features")]
+    fn predict_batch_rejects_wrong_input_size() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mlp = Mlp::new(MlpConfig::new(3, vec![5], 2), &mut rng);
+        let _ = mlp.predict_batch(&[vec![0.1, 0.2, 0.3], vec![0.1]]);
     }
 }

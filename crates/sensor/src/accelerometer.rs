@@ -120,14 +120,35 @@ impl Accelerometer {
         S: SignalSource + ?Sized,
         R: Rng + ?Sized,
     {
+        let mut out = Vec::with_capacity(self.config.frequency.samples_in(duration));
+        self.capture_into(source, start, duration, rng, &mut out);
+        out
+    }
+
+    /// Captures `duration` seconds of samples starting at `start` into `out`.
+    ///
+    /// `out` is cleared first; its allocation is reused, which keeps the per-tick
+    /// sensing loop of a streaming runtime allocation-free once the buffer has
+    /// grown to the largest window size.
+    pub fn capture_into<S, R>(
+        &self,
+        source: &S,
+        start: f64,
+        duration: f64,
+        rng: &mut R,
+        out: &mut Vec<Sample3>,
+    ) where
+        S: SignalSource + ?Sized,
+        R: Rng + ?Sized,
+    {
+        out.clear();
         let count = self.config.frequency.samples_in(duration);
+        out.reserve(count);
         let period = self.config.frequency.period_s();
-        let mut out = Vec::with_capacity(count);
         for k in 0..count {
             let t = start + k as f64 * period;
             out.push(self.read_at(source, t, rng));
         }
-        out
     }
 
     /// Produces the single output sample the sensor would report at time `t`.
@@ -217,6 +238,16 @@ mod tests {
             let expected = 10.0 + k as f64 * 0.04;
             assert!((s.t - expected).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn capture_into_reuses_the_buffer_and_matches_capture() {
+        let accel =
+            Accelerometer::new(SensorConfig::new(SamplingFrequency::F50, AveragingWindow::A16));
+        let allocated = accel.capture(&flat, 0.0, 2.0, &mut StdRng::seed_from_u64(7));
+        let mut reused = vec![Sample3::new(-1.0, 9.0, 9.0, 9.0); 3];
+        accel.capture_into(&flat, 0.0, 2.0, &mut StdRng::seed_from_u64(7), &mut reused);
+        assert_eq!(allocated, reused, "capture_into must produce the same samples");
     }
 
     #[test]

@@ -66,6 +66,17 @@ impl SamplingFrequency {
         1.0 / self.hz()
     }
 
+    /// The position of this frequency in [`SamplingFrequency::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            SamplingFrequency::F6_25 => 0,
+            SamplingFrequency::F12_5 => 1,
+            SamplingFrequency::F25 => 2,
+            SamplingFrequency::F50 => 3,
+            SamplingFrequency::F100 => 4,
+        }
+    }
+
     /// The label fragment used by the paper, e.g. `"F12.5"`.
     pub fn label(self) -> &'static str {
         match self {
@@ -118,6 +129,16 @@ impl AveragingWindow {
             AveragingWindow::A16 => 16,
             AveragingWindow::A32 => 32,
             AveragingWindow::A128 => 128,
+        }
+    }
+
+    /// The position of this window in [`AveragingWindow::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            AveragingWindow::A8 => 0,
+            AveragingWindow::A16 => 1,
+            AveragingWindow::A32 => 2,
+            AveragingWindow::A128 => 3,
         }
     }
 
@@ -231,6 +252,34 @@ impl SensorConfig {
         ]
     }
 
+    /// Number of distinct sensor configurations (the full frequency × averaging
+    /// cross product).  [`SensorConfig::index`] is always below this bound, so
+    /// per-configuration accounting can use a plain fixed-size array.
+    pub const COUNT: usize = SamplingFrequency::ALL.len() * AveragingWindow::ALL.len();
+
+    /// A dense index in `0..SensorConfig::COUNT`, unique per configuration.
+    ///
+    /// The hot per-tick residency accounting of the simulator indexes a fixed
+    /// array with this instead of hashing/comparing label strings.
+    ///
+    /// ```
+    /// use adasense_sensor::SensorConfig;
+    /// for config in SensorConfig::all_combinations() {
+    ///     assert_eq!(SensorConfig::from_index(config.index()), Some(config));
+    /// }
+    /// ```
+    pub fn index(&self) -> usize {
+        self.frequency.index() * AveragingWindow::ALL.len() + self.averaging.index()
+    }
+
+    /// The configuration with the given dense index, if it is in range.
+    pub fn from_index(index: usize) -> Option<SensorConfig> {
+        let per_freq = AveragingWindow::ALL.len();
+        let frequency = *SamplingFrequency::ALL.get(index / per_freq)?;
+        let averaging = AveragingWindow::ALL[index % per_freq];
+        Some(SensorConfig::new(frequency, averaging))
+    }
+
     /// The configuration label in the paper's naming scheme, e.g. `"F12.5_A8"`.
     pub fn label(&self) -> String {
         format!("{}_{}", self.frequency.label(), self.averaging.label())
@@ -321,6 +370,22 @@ mod tests {
         for config in SensorConfig::paper_pareto_front() {
             assert!(table.contains(&config), "{config} not in Table I");
         }
+    }
+
+    #[test]
+    fn config_indices_are_dense_and_round_trip() {
+        let all = SensorConfig::all_combinations();
+        assert_eq!(all.len(), SensorConfig::COUNT);
+        let mut seen = [false; SensorConfig::COUNT];
+        for config in all {
+            let index = config.index();
+            assert!(index < SensorConfig::COUNT, "{config} index {index} out of range");
+            assert!(!seen[index], "index {index} assigned twice");
+            seen[index] = true;
+            assert_eq!(SensorConfig::from_index(index), Some(config));
+        }
+        assert!(seen.iter().all(|&s| s), "every index must be used");
+        assert_eq!(SensorConfig::from_index(SensorConfig::COUNT), None);
     }
 
     #[test]

@@ -23,4 +23,16 @@ fn quick_spec_trains_and_simulates_the_full_closed_loop() {
         "the energy model must account a positive average current"
     );
     assert!(!report.records().is_empty(), "the simulator must emit per-epoch records");
+
+    // The same trained system drives a small fleet through the parallel
+    // scheduler, deterministically in the worker count.  The small lockstep
+    // chunk splits 6 devices into 3 jobs so two workers genuinely run
+    // concurrently (one chunk would clamp both runs to a single worker).
+    let fleet = FleetSpec { lockstep_devices: 2, ..FleetSpec::new(6, 20.0, 42) };
+    let scheduler = FleetScheduler::new(&spec, &trained);
+    let parallel = scheduler.with_threads(2).run(&fleet).expect("fleet runs");
+    assert_eq!(parallel.len(), 6, "one summary per device");
+    assert!(parallel.mean_current_ua() > 0.0);
+    let serial = scheduler.with_threads(1).run(&fleet).expect("fleet runs");
+    assert_eq!(serial, parallel, "fleet reports must not depend on the worker count");
 }
