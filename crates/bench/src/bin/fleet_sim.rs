@@ -7,33 +7,17 @@
 //! to change the population).  Exits non-zero if the determinism check fails.
 
 use adasense::prelude::*;
-use adasense_bench::{train_system, RunScale};
-
-/// The value following `name`, or an error if it is missing or not a number
-/// (a silently ignored typo would run the default fleet and still exit 0).
-fn arg_value(name: &str) -> Result<Option<u64>, String> {
-    let mut args = std::env::args();
-    while let Some(arg) = args.next() {
-        if arg == name {
-            let value = args.next().ok_or_else(|| format!("{name} requires a value"))?;
-            return value
-                .parse()
-                .map(Some)
-                .map_err(|_| format!("{name} expects an integer, got `{value}`"));
-        }
-    }
-    Ok(None)
-}
+use adasense_bench::{int_arg, train_system, RunScale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = RunScale::from_args();
     let (spec, system) = train_system(scale)?;
 
     let mut fleet = FleetSpec::smoke();
-    if let Some(devices) = arg_value("--devices")? {
+    if let Some(devices) = int_arg("--devices")? {
         fleet.devices = devices;
     }
-    if let Some(duration) = arg_value("--duration")? {
+    if let Some(duration) = int_arg("--duration")? {
         fleet.duration_s = duration as f64;
     }
     let (devices, duration_s) = (fleet.devices, fleet.duration_s);

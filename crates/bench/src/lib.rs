@@ -62,6 +62,38 @@ impl RunScale {
     }
 }
 
+/// The string following `name` on the command line, or an error if the value is
+/// missing.  Shared by the experiment binaries (a silently ignored flag would
+/// run the default configuration and still exit 0).
+///
+/// # Errors
+///
+/// Returns a message naming the flag when no value follows it.
+pub fn string_arg(name: &str) -> Result<Option<String>, String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == name {
+            return args.next().map(Some).ok_or_else(|| format!("{name} requires a value"));
+        }
+    }
+    Ok(None)
+}
+
+/// The integer following `name` on the command line, or an error if it is
+/// missing or not a number.
+///
+/// # Errors
+///
+/// Returns a message naming the flag when the value is missing or malformed.
+pub fn int_arg(name: &str) -> Result<Option<u64>, String> {
+    match string_arg(name)? {
+        None => Ok(None),
+        Some(value) => {
+            value.parse().map(Some).map_err(|_| format!("{name} expects an integer, got `{value}`"))
+        }
+    }
+}
+
 /// Trains the HAR system for the selected scale, printing a short progress note.
 ///
 /// # Errors

@@ -31,7 +31,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::controller::ControllerKind;
 use crate::error::AdaSenseError;
-use crate::runtime::{DeviceRuntime, TickPhase};
+use crate::runtime::{DeviceRuntime, ScenarioSource, TickPhase};
+use crate::scenario::{FaultInjector, PopulationSpec};
 use crate::simulation::{ScenarioSpec, SimulationReport, Simulator};
 use crate::training::{ExperimentSpec, TrainedSystem};
 
@@ -55,7 +56,13 @@ pub struct FleetSpec {
     /// Number of simulated devices.
     pub devices: u64,
     /// Dwell-time distribution of every device's randomized activity timeline.
+    /// Used only by devices the [`population`](FleetSpec::population) prior
+    /// leaves on the legacy dwell-randomized path.
     pub setting: ActivityChangeSetting,
+    /// The cohort description: routine mix, per-device dwell bias and sensor
+    /// fault exposure.  [`PopulationSpec::legacy`] reproduces the historic
+    /// homogeneous dwell-randomized fleet bit for bit.
+    pub population: PopulationSpec,
     /// Requested timeline duration per device, in seconds (the generated
     /// schedule may overshoot by up to one dwell segment).
     pub duration_s: f64,
@@ -76,6 +83,7 @@ impl FleetSpec {
         Self {
             devices,
             setting: ActivityChangeSetting::Medium,
+            population: PopulationSpec::legacy(),
             duration_s,
             controller: ControllerKind::SpotWithConfidence {
                 stability_threshold: 10,
@@ -111,7 +119,7 @@ impl FleetSpec {
         if self.lockstep_devices == 0 {
             return Err(AdaSenseError::invalid_spec("lockstep_devices must be non-zero"));
         }
-        Ok(())
+        self.population.validate()
     }
 }
 
@@ -123,6 +131,14 @@ pub struct DeviceSummary {
     pub device_id: u64,
     /// The derived seed the device ran with.
     pub seed: u64,
+    /// The routine the device lived: a [`RoutinePreset`] label, or
+    /// `dwell-<setting>` for legacy dwell-randomized devices.
+    ///
+    /// [`RoutinePreset`]: crate::scenario::RoutinePreset
+    pub routine: String,
+    /// Number of classified epochs whose sensed window overlapped at least one
+    /// injected fault window (0 for a pristine population).
+    pub faulted_epochs: usize,
     /// Number of classified epochs.
     pub epochs: usize,
     /// Number of correctly classified epochs.
@@ -147,6 +163,30 @@ impl DeviceSummary {
         }
         self.residency_s.get(config.index()).copied().unwrap_or(0.0) / self.duration_s
     }
+
+    /// The fraction of this device's classified epochs that were fault-exposed
+    /// (0–1; 0 for a device that classified nothing).
+    pub fn faulted_fraction(&self) -> f64 {
+        if self.epochs == 0 {
+            return 0.0;
+        }
+        self.faulted_epochs as f64 / self.epochs as f64
+    }
+}
+
+/// Population statistics of the devices sharing one routine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutineBreakdown {
+    /// The routine label (see [`DeviceSummary::routine`]).
+    pub routine: String,
+    /// Number of devices living this routine.
+    pub devices: usize,
+    /// Mean recognition accuracy of those devices (0–1).
+    pub mean_accuracy: f64,
+    /// Mean average sensor current of those devices, in µA.
+    pub mean_current_ua: f64,
+    /// Mean fraction of fault-exposed epochs of those devices (0–1).
+    pub mean_faulted_fraction: f64,
 }
 
 /// The aggregated result of a fleet run: one [`DeviceSummary`] per device (in
@@ -170,31 +210,61 @@ impl FleetReport {
         self.devices.is_empty()
     }
 
-    /// Mean recognition accuracy across the population (0–1).
+    /// Mean recognition accuracy across the population (0–1).  [`f64::NAN`]
+    /// for an empty fleet.
     pub fn mean_accuracy(&self) -> f64 {
         mean(self.devices.iter().map(|d| d.accuracy))
     }
 
-    /// Mean average sensor current across the population, in µA.
+    /// Mean average sensor current across the population, in µA.  [`f64::NAN`]
+    /// for an empty fleet.
     pub fn mean_current_ua(&self) -> f64 {
         mean(self.devices.iter().map(|d| d.average_current_ua))
     }
 
     /// The `p`-th percentile (nearest-rank, `0 < p <= 100`) of per-device
-    /// accuracy.
+    /// accuracy.  [`f64::NAN`] for an empty fleet (a percentile of nothing is
+    /// undefined, and any numeric stand-in would read as a real accuracy).
     pub fn accuracy_percentile(&self, p: f64) -> f64 {
         percentile(self.devices.iter().map(|d| d.accuracy).collect(), p)
     }
 
     /// The `p`-th percentile (nearest-rank) of per-device average current, µA.
+    /// [`f64::NAN`] for an empty fleet.
     pub fn current_percentile(&self, p: f64) -> f64 {
         percentile(self.devices.iter().map(|d| d.average_current_ua).collect(), p)
     }
 
     /// The `p`-th percentile (nearest-rank) of the population's residency
-    /// fraction in `config`.
+    /// fraction in `config`.  [`f64::NAN`] for an empty fleet.
     pub fn residency_percentile(&self, config: SensorConfig, p: f64) -> f64 {
         percentile(self.devices.iter().map(|d| d.residency_fraction(config)).collect(), p)
+    }
+
+    /// Mean fraction of fault-exposed classified epochs across the population
+    /// (0–1).  [`f64::NAN`] for an empty fleet.
+    pub fn mean_faulted_fraction(&self) -> f64 {
+        mean(self.devices.iter().map(DeviceSummary::faulted_fraction))
+    }
+
+    /// Groups the population by routine, returning one [`RoutineBreakdown`]
+    /// per distinct routine label, sorted by label.
+    pub fn routine_breakdown(&self) -> Vec<RoutineBreakdown> {
+        let mut groups: std::collections::BTreeMap<&str, Vec<&DeviceSummary>> =
+            std::collections::BTreeMap::new();
+        for device in &self.devices {
+            groups.entry(device.routine.as_str()).or_default().push(device);
+        }
+        groups
+            .into_iter()
+            .map(|(routine, members)| RoutineBreakdown {
+                routine: routine.to_string(),
+                devices: members.len(),
+                mean_accuracy: mean(members.iter().map(|d| d.accuracy)),
+                mean_current_ua: mean(members.iter().map(|d| d.average_current_ua)),
+                mean_faulted_fraction: mean(members.iter().map(|d| d.faulted_fraction())),
+            })
+            .collect()
     }
 
     /// Renders the population percentiles and the per-state mean residencies as
@@ -225,12 +295,24 @@ impl FleetReport {
             let fraction = mean(self.devices.iter().map(|d| d.residency_fraction(config)));
             out.push_str(&format!("  {:<12} {:>6.1}%\n", config.label(), 100.0 * fraction));
         }
+        out.push_str("per-routine breakdown:\n");
+        for group in self.routine_breakdown() {
+            out.push_str(&format!(
+                "  {:<16} {:>5} devices  acc {:>6.2}%  current {:>7.1} uA  faulted {:>5.1}%\n",
+                group.routine,
+                group.devices,
+                100.0 * group.mean_accuracy,
+                group.mean_current_ua,
+                100.0 * group.mean_faulted_fraction
+            ));
+        }
         out
     }
 }
 
-/// Arithmetic mean of an iterator of values; 0 for an empty input.  Shared with
-/// the experiment reports in [`crate::experiments`].
+/// Arithmetic mean of an iterator of values; [`f64::NAN`] for an empty input
+/// (same rationale as [`percentile`]: a fabricated 0 would read as a real
+/// figure).  Shared with the experiment reports in [`crate::experiments`].
 pub(crate) fn mean(values: impl Iterator<Item = f64>) -> f64 {
     let mut sum = 0.0;
     let mut count = 0usize;
@@ -239,16 +321,18 @@ pub(crate) fn mean(values: impl Iterator<Item = f64>) -> f64 {
         count += 1;
     }
     if count == 0 {
-        0.0
+        f64::NAN
     } else {
         sum / count as f64
     }
 }
 
-/// Nearest-rank percentile of `values` (`0 < p <= 100`); 0 for an empty input.
+/// Nearest-rank percentile of `values` (`0 < p <= 100`); [`f64::NAN`] for an
+/// empty input — a percentile of nothing is undefined, and returning 0 would
+/// silently read as a real (and alarming) accuracy or current figure.
 fn percentile(mut values: Vec<f64>, p: f64) -> f64 {
     if values.is_empty() {
-        return 0.0;
+        return f64::NAN;
     }
     values.sort_by(f64::total_cmp);
     let rank = ((p / 100.0 * values.len() as f64).ceil() as usize).clamp(1, values.len());
@@ -337,15 +421,40 @@ impl<'a> FleetScheduler<'a> {
         device_ids: std::ops::Range<u64>,
     ) -> Result<Vec<DeviceSummary>, AdaSenseError> {
         let chunk_len = (device_ids.end - device_ids.start) as usize;
+        let legacy_label = format!("dwell-{}", fleet.setting.label());
         let mut seeds = Vec::with_capacity(chunk_len);
+        let mut routines = Vec::with_capacity(chunk_len);
         let mut runtimes = Vec::with_capacity(chunk_len);
         for device_id in device_ids.clone() {
             let seed = device_seed(fleet.base_seed, device_id);
-            let scenario = ScenarioSpec::random(fleet.setting, fleet.duration_s, seed);
-            let runtime =
-                DeviceRuntime::for_scenario(self.spec, self.system, fleet.controller, &scenario)?
-                    .with_recording(false);
+            let profile = fleet.population.prior.assign(seed);
+            let (scenario, routine) = match profile.routine {
+                Some(preset) => (
+                    preset.script().scenario(fleet.duration_s, profile.dwell_scale, seed),
+                    preset.label().to_string(),
+                ),
+                None => (
+                    ScenarioSpec::random(fleet.setting, fleet.duration_s, seed),
+                    legacy_label.clone(),
+                ),
+            };
+            let duration_s = scenario.duration_s();
+            let source = FaultInjector::for_device(
+                ScenarioSource::new(self.spec, &scenario),
+                fleet.population.fault,
+                duration_s,
+                seed,
+            );
+            let runtime = DeviceRuntime::for_source(
+                self.spec,
+                self.system,
+                fleet.controller,
+                source,
+                duration_s,
+            )?
+            .with_recording(false);
             seeds.push(seed);
+            routines.push(routine);
             runtimes.push(runtime);
         }
 
@@ -399,11 +508,13 @@ impl<'a> FleetScheduler<'a> {
         }
 
         Ok(device_ids
-            .zip(seeds)
+            .zip(seeds.into_iter().zip(routines))
             .zip(runtimes)
-            .map(|((device_id, seed), runtime)| DeviceSummary {
+            .map(|((device_id, (seed, routine)), runtime)| DeviceSummary {
                 device_id,
                 seed,
+                routine,
+                faulted_epochs: runtime.source().faulted_captures(),
                 epochs: runtime.epochs(),
                 correct_epochs: runtime.correct_epochs(),
                 accuracy: runtime.accuracy(),
@@ -587,7 +698,68 @@ mod tests {
         assert_eq!(percentile(vec![3.0, 1.0, 2.0, 4.0], 50.0), 2.0);
         assert_eq!(percentile(vec![3.0, 1.0, 2.0, 4.0], 100.0), 4.0);
         assert_eq!(percentile(vec![3.0, 1.0, 2.0, 4.0], 1.0), 1.0);
-        assert_eq!(percentile(Vec::new(), 50.0), 0.0);
+    }
+
+    #[test]
+    fn empty_fleet_percentiles_are_nan_not_zero() {
+        let empty = FleetReport { controller: "none".to_string(), devices: Vec::new() };
+        assert!(empty.is_empty());
+        for p in [1.0, 50.0, 99.0, 100.0] {
+            assert!(empty.accuracy_percentile(p).is_nan(), "accuracy p{p} must be NaN");
+            assert!(empty.current_percentile(p).is_nan(), "current p{p} must be NaN");
+            for config in SensorConfig::paper_pareto_front() {
+                assert!(empty.residency_percentile(config, p).is_nan());
+            }
+        }
+        assert!(empty.routine_breakdown().is_empty());
+        assert!(empty.mean_accuracy().is_nan());
+        assert!(empty.mean_current_ua().is_nan());
+        assert!(empty.mean_faulted_fraction().is_nan());
+    }
+
+    #[test]
+    fn population_fleets_are_bit_identical_across_worker_counts() {
+        let (spec, system) = shared_system();
+        let fleet = FleetSpec {
+            population: crate::scenario::PopulationSpec::mixed(crate::scenario::FaultLevel::Heavy),
+            lockstep_devices: 4,
+            ..FleetSpec::new(10, 24.0, 13)
+        };
+        let single = FleetScheduler::new(spec, system).with_threads(1).run(&fleet).unwrap();
+        let parallel = FleetScheduler::new(spec, system).with_threads(4).run(&fleet).unwrap();
+        assert_eq!(single, parallel, "population fleets must stay worker-count deterministic");
+        assert!(
+            single.devices.iter().any(|d| d.faulted_epochs > 0),
+            "a heavy-fault cohort must see fault-exposed epochs"
+        );
+        let breakdown = single.routine_breakdown();
+        assert!(!breakdown.is_empty());
+        assert_eq!(breakdown.iter().map(|g| g.devices).sum::<usize>(), single.len());
+        assert!(breakdown.iter().all(|g| !g.routine.starts_with("dwell-")));
+        let text = single.to_table_string();
+        for group in &breakdown {
+            assert!(text.contains(&group.routine), "missing {} in:\n{text}", group.routine);
+        }
+    }
+
+    #[test]
+    fn legacy_population_reproduces_the_historic_fleet() {
+        let (spec, system) = shared_system();
+        let fleet = FleetSpec::new(4, 20.0, 3);
+        assert_eq!(fleet.population, crate::scenario::PopulationSpec::legacy());
+        let report = FleetScheduler::new(spec, system).with_threads(2).run(&fleet).unwrap();
+        for device in &report.devices {
+            assert_eq!(device.routine, "dwell-Medium");
+            assert_eq!(device.faulted_epochs, 0, "legacy populations are fault-free");
+        }
+    }
+
+    #[test]
+    fn invalid_populations_are_rejected() {
+        let (spec, system) = shared_system();
+        let mut fleet = FleetSpec::new(4, 30.0, 1);
+        fleet.population.prior.mix = vec![(crate::scenario::RoutinePreset::OfficeDay, -2.0)];
+        assert!(FleetScheduler::new(spec, system).run(&fleet).is_err());
     }
 
     #[test]

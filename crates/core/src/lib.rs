@@ -24,6 +24,9 @@
 //! * [`simulation`] — the closed-loop simulator: a scheduled user activity stream is
 //!   sensed under the controller-selected configuration, classified every second,
 //!   and the sensor's charge consumption is accounted per configuration residency.
+//! * [`scenario`] — the scenario library: daily-routine scripts, population-level
+//!   activity priors and sensor-fault injection, wired through the fleet scheduler
+//!   via [`FleetSpec::population`](fleet::FleetSpec::population).
 //! * [`experiments`] — one runner per paper table/figure (Table I, Fig. 2, Fig. 5,
 //!   Fig. 6a/6b, Fig. 7, and the memory comparison), producing printable reports.
 //!
@@ -64,16 +67,21 @@ pub mod fleet;
 pub mod pareto;
 pub mod pipeline;
 pub mod runtime;
+pub mod scenario;
 pub mod simulation;
 pub mod training;
 
 pub use controller::{ControllerInput, ControllerKind, SensorController, SpotController};
 pub use dse::{ConfigEvaluation, DesignSpaceExploration, DseReport};
 pub use error::AdaSenseError;
-pub use fleet::{DeviceSummary, FleetReport, FleetScheduler, FleetSpec};
+pub use fleet::{DeviceSummary, FleetReport, FleetScheduler, FleetSpec, RoutineBreakdown};
 pub use pareto::pareto_front;
 pub use pipeline::{ClassifiedBatch, HarPipeline};
 pub use runtime::{DeviceRuntime, SampleSource, ScenarioSource, TickPhase, TickResult};
+pub use scenario::{
+    DeviceProfile, FaultInjector, FaultLevel, FaultPlan, FaultProfile, FaultWindow,
+    PopulationPrior, PopulationSpec, RoutinePreset, RoutineScript,
+};
 pub use simulation::{EpochRecord, ScenarioSpec, SimulationReport, Simulator};
 pub use training::{ExperimentSpec, TrainedSystem};
 
@@ -87,10 +95,16 @@ pub mod prelude {
     pub use crate::dse::{ConfigEvaluation, DesignSpaceExploration, DseReport};
     pub use crate::error::AdaSenseError;
     pub use crate::experiments;
-    pub use crate::fleet::{DeviceSummary, FleetReport, FleetScheduler, FleetSpec};
+    pub use crate::fleet::{
+        DeviceSummary, FleetReport, FleetScheduler, FleetSpec, RoutineBreakdown,
+    };
     pub use crate::pareto::pareto_front;
     pub use crate::pipeline::{ClassifiedBatch, HarPipeline};
     pub use crate::runtime::{DeviceRuntime, SampleSource, ScenarioSource, TickPhase, TickResult};
+    pub use crate::scenario::{
+        DeviceProfile, FaultInjector, FaultLevel, FaultPlan, FaultProfile, FaultWindow,
+        PopulationPrior, PopulationSpec, RoutinePreset, RoutineScript,
+    };
     pub use crate::simulation::{EpochRecord, ScenarioSpec, SimulationReport, Simulator};
     pub use crate::training::{ExperimentSpec, TrainedSystem};
     pub use adasense_data::prelude::*;

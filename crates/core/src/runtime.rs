@@ -211,12 +211,45 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
         }
     }
 
+    /// Creates a *finite* runtime over any [`SampleSource`], running for
+    /// `duration_s` simulated seconds.  This is how decorated sources (for
+    /// example a [`crate::scenario::FaultInjector`] wrapping a
+    /// [`ScenarioSource`]) are driven to completion by the fleet scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Simulation`] if `duration_s` is shorter than one
+    /// classification window.
+    pub fn for_source(
+        spec: &'a ExperimentSpec,
+        system: &'a TrainedSystem,
+        controller: ControllerKind,
+        source: S,
+        duration_s: f64,
+    ) -> Result<Self, AdaSenseError> {
+        let mut runtime = Self::new(spec, system, controller, source);
+        if duration_s < runtime.window_s {
+            return Err(AdaSenseError::simulation(format!(
+                "the source lasts {duration_s} s which is shorter than one {} s window",
+                runtime.window_s
+            )));
+        }
+        runtime.total_ticks = Some((duration_s / runtime.epoch_s).floor() as usize);
+        Ok(runtime)
+    }
+
     /// Enables or disables storing per-epoch [`EpochRecord`]s (enabled by
     /// default).  Fleet-scale runs disable recording to keep memory per device
     /// constant; the accuracy/power/residency accumulators are unaffected.
     pub fn with_recording(mut self, record_epochs: bool) -> Self {
         self.record_epochs = record_epochs;
         self
+    }
+
+    /// The sample source this runtime is consuming (for example to read fault
+    /// exposure counters off a [`crate::scenario::FaultInjector`] after a run).
+    pub fn source(&self) -> &S {
+        &self.source
     }
 
     /// Number of ticks advanced so far.
@@ -445,19 +478,11 @@ impl<'a> DeviceRuntime<'a, ScenarioSource> {
         controller: ControllerKind,
         scenario: &ScenarioSpec,
     ) -> Result<Self, AdaSenseError> {
-        let duration = scenario.duration_s();
         if scenario.schedule.is_empty() {
             return Err(AdaSenseError::simulation("the scenario schedule is empty"));
         }
-        let mut runtime = Self::new(spec, system, controller, ScenarioSource::new(spec, scenario));
-        if duration < runtime.window_s {
-            return Err(AdaSenseError::simulation(format!(
-                "the scenario lasts {duration} s which is shorter than one {} s window",
-                runtime.window_s
-            )));
-        }
-        runtime.total_ticks = Some((duration / runtime.epoch_s).floor() as usize);
-        Ok(runtime)
+        let source = ScenarioSource::new(spec, scenario);
+        Self::for_source(spec, system, controller, source, scenario.duration_s())
     }
 }
 

@@ -110,4 +110,80 @@ proptest! {
             prop_assert!(scenario.schedule.activity_at(t).is_some());
         }
     }
+
+    /// Every fault plan honours its per-kind time budgets: summed dropout,
+    /// stuck-axis and noise-burst window lengths never exceed the configured
+    /// fraction of the run, and the windows stay inside the run.
+    #[test]
+    fn fault_plans_never_exceed_their_budgets(
+        level_index in 1usize..3,
+        duration in 20.0f64..2000.0,
+        seed in 0u64..10_000,
+    ) {
+        let level = FaultLevel::ALL[level_index];
+        let profile = level.profile();
+        let plan = FaultPlan::generate(profile, duration, seed);
+        prop_assert!(plan.dropout_seconds() <= profile.dropout_fraction * duration + 1e-9);
+        prop_assert!(plan.stuck_seconds() <= profile.stuck_fraction * duration + 1e-9);
+        prop_assert!(plan.burst_seconds() <= profile.burst_fraction * duration + 1e-9);
+        for window in plan.windows() {
+            prop_assert!(window.start_s >= 0.0);
+            prop_assert!(window.end_s <= duration + 1e-9);
+            prop_assert!(window.duration_s() > 0.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Determinism of the composed scenario stack: any routine script realized
+    /// for a device, wrapped in a fault injector, yields an identical tick
+    /// stream (samples, ground truth and fault exposure) from two independently
+    /// constructed sources driven through the same configuration sequence.
+    #[test]
+    fn composed_routine_and_faults_replay_identically(
+        preset_index in 0usize..3,
+        level_index in 0usize..3,
+        dwell_scale in 0.6f64..1.6,
+        duration in 20.0f64..45.0,
+        seed in 0u64..10_000,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let spec = ExperimentSpec::quick();
+        let preset = RoutinePreset::ALL[preset_index];
+        let level = FaultLevel::ALL[level_index];
+        let scenario = preset.script().scenario(duration, dwell_scale, seed);
+        prop_assert!(scenario.duration_s() >= duration);
+
+        let build = || {
+            FaultInjector::for_device(
+                ScenarioSource::new(&spec, &scenario),
+                level,
+                scenario.duration_s(),
+                seed,
+            )
+        };
+        let (mut first, mut second) = (build(), build());
+        prop_assert_eq!(first.plan(), second.plan(), "plans must be pure functions of the seed");
+
+        let states = SensorConfig::paper_pareto_front();
+        let mut config_rng = StdRng::seed_from_u64(seed ^ 0xC0F1);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for tick in 2..(duration as usize) {
+            let config = states[config_rng.random_range(0..states.len())];
+            let t_end = tick as f64;
+            first.capture_window(config, t_end, 2.0, &mut a);
+            second.capture_window(config, t_end, 2.0, &mut b);
+            prop_assert_eq!(&a, &b, "tick {} must replay bit-identically", tick);
+            prop_assert_eq!(
+                first.ground_truth(t_end - 1e-6),
+                second.ground_truth(t_end - 1e-6)
+            );
+        }
+        prop_assert_eq!(first.faulted_captures(), second.faulted_captures());
+        prop_assert_eq!(first.captures(), second.captures());
+    }
 }

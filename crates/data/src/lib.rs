@@ -48,7 +48,9 @@ pub mod signal;
 pub use activity::Activity;
 pub use dataset::{DatasetSpec, LabeledWindow, TrainTestSplit, WindowDataset};
 pub use generator::ActivityTrace;
-pub use schedule::{ActivityChangeSetting, ActivitySchedule, ScheduleBuilder, Segment};
+pub use schedule::{
+    ActivityChangeSetting, ActivitySchedule, JitteredSegment, ScheduleBuilder, Segment,
+};
 pub use signal::{ActivitySignalModel, SubjectParams};
 
 /// Convenience re-exports of the most commonly used items.
@@ -56,6 +58,8 @@ pub mod prelude {
     pub use crate::activity::Activity;
     pub use crate::dataset::{DatasetSpec, LabeledWindow, TrainTestSplit, WindowDataset};
     pub use crate::generator::ActivityTrace;
-    pub use crate::schedule::{ActivityChangeSetting, ActivitySchedule, ScheduleBuilder, Segment};
+    pub use crate::schedule::{
+        ActivityChangeSetting, ActivitySchedule, JitteredSegment, ScheduleBuilder, Segment,
+    };
     pub use crate::signal::{ActivitySignalModel, SubjectParams};
 }

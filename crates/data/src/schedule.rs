@@ -102,6 +102,20 @@ impl ActivitySchedule {
         self.segments.is_empty()
     }
 
+    /// Concatenates several schedules into one timeline, in order.
+    pub fn concat(parts: impl IntoIterator<Item = ActivitySchedule>) -> Self {
+        let mut segments = Vec::new();
+        for part in parts {
+            segments.extend(part.segments);
+        }
+        Self { segments }
+    }
+
+    /// Total seconds this schedule spends in `activity`.
+    pub fn time_in(&self, activity: Activity) -> f64 {
+        self.segments.iter().filter(|s| s.activity == activity).map(|s| s.duration_s).sum()
+    }
+
     /// The Fig. 5 scenario of the paper: sit for `sit_s` seconds, then walk for
     /// `walk_s` seconds.
     pub fn sit_then_walk(sit_s: f64, walk_s: f64) -> Self {
@@ -143,6 +157,54 @@ impl FromIterator<Segment> for ActivitySchedule {
     }
 }
 
+/// A schedule segment whose dwell time is drawn per realization: `dwell_s`
+/// scaled by a uniform factor in `[1 - jitter, 1 + jitter)`.
+///
+/// These are the building blocks of composed daily-routine scripts: a routine
+/// is a cycle of jittered segments, so two devices living the same routine
+/// under different seeds produce different — but statistically matched —
+/// timelines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JitteredSegment {
+    /// The activity performed during the segment.
+    pub activity: Activity,
+    /// Nominal dwell time, in seconds.
+    pub dwell_s: f64,
+    /// Relative jitter applied to the dwell time (`0.0..1.0`).
+    pub jitter: f64,
+}
+
+impl JitteredSegment {
+    /// Creates a jittered segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dwell_s` is not strictly positive or `jitter` is outside
+    /// `[0, 1)` (a jitter of 1 could realize a zero-length segment).
+    pub fn new(activity: Activity, dwell_s: f64, jitter: f64) -> Self {
+        assert!(dwell_s > 0.0, "nominal dwell must be positive, got {dwell_s}");
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1), got {jitter}");
+        Self { activity, dwell_s, jitter }
+    }
+
+    /// Draws one concrete [`Segment`], scaling the nominal dwell by `scale`
+    /// (a per-subject transition bias) and by a uniform jitter factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive (a zero scale would realize a
+    /// zero-length segment).
+    pub fn realize<R: Rng + ?Sized>(&self, scale: f64, rng: &mut R) -> Segment {
+        assert!(scale > 0.0, "dwell scale must be positive, got {scale}");
+        let factor = if self.jitter > 0.0 {
+            rng.random_range((1.0 - self.jitter)..(1.0 + self.jitter))
+        } else {
+            1.0
+        };
+        Segment::new(self.activity, self.dwell_s * scale * factor)
+    }
+}
+
 /// Builder for explicit activity schedules.
 #[derive(Debug, Clone, Default)]
 pub struct ScheduleBuilder {
@@ -162,6 +224,12 @@ impl ScheduleBuilder {
     /// Panics if `duration_s` is not strictly positive.
     pub fn then(mut self, activity: Activity, duration_s: f64) -> Self {
         self.segments.push(Segment::new(activity, duration_s));
+        self
+    }
+
+    /// Appends every segment of an existing schedule.
+    pub fn extend(mut self, schedule: &ActivitySchedule) -> Self {
+        self.segments.extend_from_slice(schedule.segments());
         self
     }
 
@@ -302,6 +370,51 @@ mod tests {
         assert!(lo <= 10.0 && 10.0 <= hi);
         let (lo, _) = ActivityChangeSetting::Low.dwell_range_s();
         assert!(lo >= 60.0, "Low setting keeps an activity for at least a minute");
+    }
+
+    #[test]
+    fn concat_and_extend_preserve_segment_order() {
+        let morning = ActivitySchedule::sit_then_walk(10.0, 5.0);
+        let evening = ActivitySchedule::builder().then(Activity::LieDown, 20.0).build();
+        let day = ActivitySchedule::concat([morning.clone(), evening.clone()]);
+        assert_eq!(day.len(), 3);
+        assert_eq!(day.total_duration_s(), 35.0);
+        assert_eq!(day.activity_at(34.0), Some(Activity::LieDown));
+        let extended = ActivitySchedule::builder().extend(&morning).extend(&evening).build();
+        assert_eq!(extended, day);
+    }
+
+    #[test]
+    fn time_in_sums_per_activity_seconds() {
+        let schedule = ActivitySchedule::builder()
+            .then(Activity::Sit, 10.0)
+            .then(Activity::Walk, 5.0)
+            .then(Activity::Sit, 2.5)
+            .build();
+        assert_eq!(schedule.time_in(Activity::Sit), 12.5);
+        assert_eq!(schedule.time_in(Activity::Walk), 5.0);
+        assert_eq!(schedule.time_in(Activity::Upstairs), 0.0);
+    }
+
+    #[test]
+    fn jittered_segments_realize_within_their_bounds() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let jittered = JitteredSegment::new(Activity::Walk, 100.0, 0.25);
+        for _ in 0..200 {
+            let segment = jittered.realize(1.0, &mut rng);
+            assert_eq!(segment.activity, Activity::Walk);
+            assert!(segment.duration_s >= 75.0 && segment.duration_s < 125.0);
+        }
+        let scaled = jittered.realize(2.0, &mut rng);
+        assert!(scaled.duration_s >= 150.0 && scaled.duration_s < 250.0);
+        let exact = JitteredSegment::new(Activity::Sit, 7.0, 0.0).realize(1.0, &mut rng);
+        assert_eq!(exact.duration_s, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must be in [0, 1)")]
+    fn full_jitter_is_rejected() {
+        let _ = JitteredSegment::new(Activity::Sit, 1.0, 1.0);
     }
 
     #[test]

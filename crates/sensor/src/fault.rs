@@ -1,0 +1,158 @@
+//! Sensor-fault sample transforms: dropout, stuck axes and noise bursts.
+//!
+//! Real wearables see far messier data than a clean behavioural model produces:
+//! loose straps, i2c glitches and thermal drift manifest as windows of missing
+//! samples, an axis frozen at one value, or bursts of excess noise.  Related
+//! adaptive-sampling work shows recognition degrades sharply under such input,
+//! so the scenario layer injects these faults into the captured sample stream.
+//!
+//! This module holds only the *sample-level* transforms; deciding *when* a
+//! fault is active (the fault plan) lives with the scenario library in the core
+//! crate, which applies a [`FaultKind`] to the slice of samples that falls
+//! inside a fault window.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::noise::gaussian;
+use crate::sample::Sample3;
+
+/// One kind of transient sensor fault, applied to a contiguous run of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The sensor reports nothing: every axis reads 0 g (the value an
+    /// interrupted digital front-end typically latches).
+    Dropout,
+    /// One axis (0 = x, 1 = y, 2 = z) freezes at the value of the first
+    /// affected sample.
+    StuckAxis(usize),
+    /// Additive zero-mean Gaussian noise of the given standard deviation on
+    /// every axis — e.g. strap vibration or electrical interference.
+    NoiseBurst {
+        /// Standard deviation of the burst noise, in g.
+        std_g: f64,
+    },
+}
+
+impl FaultKind {
+    /// A short label for reports (`dropout`, `stuck-x`, `noise-burst`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Dropout => "dropout",
+            FaultKind::StuckAxis(0) => "stuck-x",
+            FaultKind::StuckAxis(1) => "stuck-y",
+            FaultKind::StuckAxis(_) => "stuck-z",
+            FaultKind::NoiseBurst { .. } => "noise-burst",
+        }
+    }
+
+    /// Applies the fault in place to `samples` (the captured samples that fall
+    /// inside one fault window).  Timestamps are never modified.
+    ///
+    /// Only [`FaultKind::NoiseBurst`] draws from `rng`; the other kinds are
+    /// pure transforms, so a no-fault capture consumes no randomness.
+    pub fn apply<R: Rng + ?Sized>(&self, samples: &mut [Sample3], rng: &mut R) {
+        match *self {
+            FaultKind::Dropout => {
+                for s in samples {
+                    s.x = 0.0;
+                    s.y = 0.0;
+                    s.z = 0.0;
+                }
+            }
+            FaultKind::StuckAxis(axis) => {
+                let Some(first) = samples.first() else { return };
+                let held = first.axes()[axis.min(2)];
+                for s in samples {
+                    match axis.min(2) {
+                        0 => s.x = held,
+                        1 => s.y = held,
+                        _ => s.z = held,
+                    }
+                }
+            }
+            FaultKind::NoiseBurst { std_g } => {
+                for s in samples {
+                    s.x += std_g * gaussian(rng);
+                    s.y += std_g * gaussian(rng);
+                    s.z += std_g * gaussian(rng);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn window() -> Vec<Sample3> {
+        (0..10).map(|k| Sample3::new(k as f64 * 0.1, 0.1, -0.2, 0.98)).collect()
+    }
+
+    #[test]
+    fn dropout_zeroes_every_axis_but_keeps_timestamps() {
+        let mut samples = window();
+        FaultKind::Dropout.apply(&mut samples, &mut StdRng::seed_from_u64(1));
+        for (k, s) in samples.iter().enumerate() {
+            assert_eq!(s.axes(), [0.0, 0.0, 0.0]);
+            assert!((s.t - k as f64 * 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stuck_axis_freezes_exactly_one_axis() {
+        let mut samples: Vec<Sample3> = (0..5)
+            .map(|k| Sample3::new(k as f64, k as f64, 2.0 * k as f64, 3.0 * k as f64))
+            .collect();
+        FaultKind::StuckAxis(1).apply(&mut samples, &mut StdRng::seed_from_u64(1));
+        for (k, s) in samples.iter().enumerate() {
+            assert_eq!(s.x, k as f64, "x must be untouched");
+            assert_eq!(s.y, 0.0, "y must hold the first sample's value");
+            assert_eq!(s.z, 3.0 * k as f64, "z must be untouched");
+        }
+        // Out-of-range axes clamp to z instead of panicking.
+        let mut samples = window();
+        FaultKind::StuckAxis(7).apply(&mut samples, &mut StdRng::seed_from_u64(1));
+        assert!(samples.iter().all(|s| s.z == samples[0].z));
+    }
+
+    #[test]
+    fn noise_burst_perturbs_with_the_requested_std() {
+        let mut samples: Vec<Sample3> =
+            (0..30_000).map(|k| Sample3::new(k as f64, 0.0, 0.0, 0.0)).collect();
+        FaultKind::NoiseBurst { std_g: 0.5 }.apply(&mut samples, &mut StdRng::seed_from_u64(9));
+        let var = samples.iter().map(|s| s.x * s.x + s.y * s.y + s.z * s.z).sum::<f64>()
+            / (3.0 * samples.len() as f64);
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "burst std {} should be ~0.5", var.sqrt());
+    }
+
+    #[test]
+    fn pure_faults_are_deterministic_and_draw_no_randomness() {
+        let mut a = window();
+        let mut b = window();
+        let mut rng = StdRng::seed_from_u64(4);
+        FaultKind::Dropout.apply(&mut a, &mut rng);
+        let before = rng.random::<f64>();
+        let mut rng = StdRng::seed_from_u64(4);
+        FaultKind::Dropout.apply(&mut b, &mut rng);
+        assert_eq!(a, b);
+        assert_eq!(before, rng.random::<f64>(), "dropout must not consume the rng");
+    }
+
+    #[test]
+    fn labels_cover_every_kind() {
+        assert_eq!(FaultKind::Dropout.label(), "dropout");
+        assert_eq!(FaultKind::StuckAxis(0).label(), "stuck-x");
+        assert_eq!(FaultKind::StuckAxis(2).label(), "stuck-z");
+        assert_eq!(FaultKind::NoiseBurst { std_g: 0.1 }.to_string(), "noise-burst");
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`noise`] — an averaging-dependent measurement noise model: smaller averaging
 //!   windows give noisier outputs.
 //! * [`sample`] — the 3-axis sample type and helpers.
+//! * [`fault`] — transient fault transforms (dropout, stuck axes, noise bursts)
+//!   applied to captured windows by the scenario layer's fault injector.
 //! * [`accelerometer`] — the simulated sensor itself: given a continuous analog
 //!   [`SignalSource`] it produces the digital sample stream that a real IMU would,
 //!   including under-sampling, averaging and noise.
@@ -47,12 +49,14 @@
 pub mod accelerometer;
 pub mod config;
 pub mod energy;
+pub mod fault;
 pub mod noise;
 pub mod sample;
 
 pub use accelerometer::{Accelerometer, SignalSource};
 pub use config::{AveragingWindow, OperationMode, SamplingFrequency, SensorConfig};
 pub use energy::{Charge, EnergyModel};
+pub use fault::FaultKind;
 pub use noise::NoiseModel;
 pub use sample::Sample3;
 
@@ -61,6 +65,7 @@ pub mod prelude {
     pub use crate::accelerometer::{Accelerometer, SignalSource};
     pub use crate::config::{AveragingWindow, OperationMode, SamplingFrequency, SensorConfig};
     pub use crate::energy::{Charge, EnergyModel};
+    pub use crate::fault::FaultKind;
     pub use crate::noise::NoiseModel;
     pub use crate::sample::Sample3;
 }

@@ -35,4 +35,16 @@ fn quick_spec_trains_and_simulates_the_full_closed_loop() {
     assert!(parallel.mean_current_ua() > 0.0);
     let serial = scheduler.with_threads(1).run(&fleet).expect("fleet runs");
     assert_eq!(serial, parallel, "fleet reports must not depend on the worker count");
+
+    // The scenario library drives a heterogeneous faulted cohort through the
+    // same scheduler, still bit-identical in the worker count.
+    let cohort = FleetSpec {
+        lockstep_devices: 2,
+        population: PopulationSpec::mixed(FaultLevel::Heavy),
+        ..FleetSpec::new(6, 20.0, 42)
+    };
+    let parallel = scheduler.with_threads(2).run(&cohort).expect("cohort runs");
+    let serial = scheduler.with_threads(1).run(&cohort).expect("cohort runs");
+    assert_eq!(serial, parallel, "scenario cohorts must not depend on the worker count");
+    assert!(!parallel.routine_breakdown().is_empty(), "the cohort reports per-routine stats");
 }
