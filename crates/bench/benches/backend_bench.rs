@@ -1,0 +1,64 @@
+//! Benchmarks of the pluggable inference backends: single-row and batched
+//! prediction through the full-precision f64 [`Mlp`] and the post-training
+//! int8 [`QuantizedMlp`], at the batch sizes the fleet scheduler actually
+//! produces (one lockstep chunk's worth of rows per forward pass).
+
+use adasense_ml::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Feature rows shaped like the paper's 15-dimensional vectors.
+fn synthetic_rows(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            (0..15)
+                .map(|d| (i % 6) as f64 * 0.3 + 0.1 * d as f64 + rng.random_range(-0.2..0.2))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_single_row(c: &mut Criterion) {
+    let mlp = Mlp::new(MlpConfig::paper(), &mut StdRng::seed_from_u64(1));
+    let quantized = QuantizedMlp::from_mlp(&mlp);
+    let features: Vec<f64> = (0..15).map(|d| 0.1 * d as f64).collect();
+
+    let mut group = c.benchmark_group("backend_single_row");
+    group.bench_function("f64", |b| {
+        b.iter(|| black_box(Classifier::predict(&mlp, black_box(&features))))
+    });
+    group.bench_function("int8", |b| {
+        b.iter(|| black_box(Classifier::predict(&quantized, black_box(&features))))
+    });
+    group.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let mlp = Mlp::new(MlpConfig::paper(), &mut StdRng::seed_from_u64(1));
+    let quantized = QuantizedMlp::from_mlp(&mlp);
+
+    let mut group = c.benchmark_group("backend_batch");
+    for batch in [16usize, 256] {
+        let rows = synthetic_rows(batch, 7);
+        let mut out = Vec::new();
+        group.bench_function(format!("f64_{batch}"), |b| {
+            b.iter(|| {
+                mlp.predict_batch_into(black_box(&rows), &mut out);
+                black_box(&out);
+            })
+        });
+        group.bench_function(format!("int8_{batch}"), |b| {
+            b.iter(|| {
+                quantized.predict_batch_into(black_box(&rows), &mut out);
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_row, bench_batched);
+criterion_main!(benches);

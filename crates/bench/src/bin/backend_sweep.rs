@@ -1,0 +1,160 @@
+//! Backend sweep: quantized int8 vs full-precision f64 inference across the
+//! three daily-routine presets.
+//!
+//! For every routine the sweep runs the same cohort twice — once entirely on
+//! the f64 [`Mlp`] backend and once on the int8 `QuantizedMlp` — and reports
+//! accuracy and mean current per backend plus the int8 accuracy delta.  It
+//! then runs a mixed (half f64, half int8) cohort per routine at 1 *and* 4
+//! worker threads and exits non-zero unless the two `FleetReport`s are
+//! bit-identical (the determinism gate for heterogeneous-backend fleets).
+//! Finally it measures batched inference wall-clock for both backends on
+//! feature rows drawn from the training distribution and reports the int8
+//! speedup.
+//!
+//! The binary exits non-zero if any routine's int8 accuracy degradation
+//! exceeds 1 accuracy point, if a mixed-backend report is not worker-count
+//! deterministic, or if the int8 batch path clearly regresses below the f64
+//! path (< 0.9x; a near-parity result on unknown hardware only warns, since
+//! the ~1.06x reference-container margin is machine-dependent).
+//!
+//! Run with `cargo run --release -p adasense-bench --bin backend_sweep -- --quick`.
+//! Flags: `--devices N` and `--duration S` resize the cohorts, `--batch N`
+//! sets the microbenchmark batch size.
+
+use adasense::prelude::*;
+use adasense_bench::{int_arg, train_system, RunScale};
+use adasense_data::WindowDataset;
+use adasense_dsp::FeatureExtractor;
+
+/// Median wall-clock seconds per `predict_batch_into` call for each backend.
+///
+/// The two backends are timed in strict alternation so ambient noise (CPU
+/// frequency shifts, scheduler preemption) hits both distributions equally,
+/// and the median discards the outliers it still causes.
+fn time_batch_pair(
+    f64_backend: &dyn Classifier,
+    int8_backend: &dyn Classifier,
+    rows: &[Vec<f64>],
+    reps: usize,
+) -> (f64, f64) {
+    let mut out = Vec::new();
+    let time_one = |classifier: &dyn Classifier, out: &mut Vec<Prediction>| {
+        let start = std::time::Instant::now();
+        classifier.predict_batch_into(rows, out);
+        start.elapsed().as_secs_f64()
+    };
+    // Warm-up: grows every retained buffer and spins the core up.
+    for _ in 0..10 {
+        f64_backend.predict_batch_into(rows, &mut out);
+        int8_backend.predict_batch_into(rows, &mut out);
+    }
+    let (mut f64_samples, mut int8_samples) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        f64_samples.push(time_one(f64_backend, &mut out));
+        int8_samples.push(time_one(int8_backend, &mut out));
+    }
+    f64_samples.sort_by(f64::total_cmp);
+    int8_samples.sort_by(f64::total_cmp);
+    (f64_samples[reps / 2], int8_samples[reps / 2])
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = RunScale::from_args();
+    let devices = int_arg("--devices")?.unwrap_or(if scale == RunScale::Quick { 8 } else { 48 });
+    let duration_s =
+        int_arg("--duration")?.unwrap_or(if scale == RunScale::Quick { 120 } else { 360 }) as f64;
+    let batch = int_arg("--batch")?.unwrap_or(256) as usize;
+
+    let (spec, system) = train_system(scale)?;
+
+    println!("Backend sweep — {devices} devices × {duration_s} s per cohort\n");
+    println!("routine          backend  acc(%)  current(uA)   delta(pts)");
+    let mut worst_delta = 0.0f64;
+    for routine in RoutinePreset::ALL {
+        let mut accuracy = [0.0f64; 2];
+        for (slot, kind) in BackendKind::ALL.into_iter().enumerate() {
+            let fleet = FleetSpec {
+                population: PopulationSpec::single(routine, FaultLevel::None)
+                    .with_backend(BackendSpec::Uniform(kind)),
+                lockstep_devices: 4,
+                ..FleetSpec::new(devices, duration_s, 131)
+            };
+            let report = FleetScheduler::new(&spec, &system).run(&fleet)?;
+            accuracy[slot] = report.mean_accuracy();
+            let delta = if kind == BackendKind::F64 {
+                "-".to_string()
+            } else {
+                format!("{:+.2}", 100.0 * (accuracy[1] - accuracy[0]))
+            };
+            println!(
+                "{:<16} {:<7} {:>7.2} {:>12.1} {:>12}",
+                routine.label(),
+                kind.label(),
+                100.0 * report.mean_accuracy(),
+                report.mean_current_ua(),
+                delta
+            );
+        }
+        worst_delta = worst_delta.max(100.0 * (accuracy[0] - accuracy[1]));
+
+        // Heterogeneous cohorts must stay worker-count deterministic.
+        let mixed = FleetSpec {
+            population: PopulationSpec::single(routine, FaultLevel::None)
+                .with_backend(BackendSpec::half_int8()),
+            lockstep_devices: 4,
+            ..FleetSpec::new(devices, duration_s, 131)
+        };
+        let scheduler = FleetScheduler::new(&spec, &system);
+        let parallel = scheduler.with_threads(4).run(&mixed)?;
+        let serial = scheduler.with_threads(1).run(&mixed)?;
+        if serial != parallel {
+            return Err(format!(
+                "mixed-backend 4-worker report differs from the 1-worker report ({routine})"
+            )
+            .into());
+        }
+    }
+    println!("\nworst int8 accuracy degradation: {worst_delta:.2} pts");
+    if worst_delta > 1.0 {
+        return Err(format!("int8 degraded accuracy by {worst_delta:.2} pts (budget: 1.00)").into());
+    }
+    println!("determinism: all mixed-backend cohorts are bit-identical at 1 vs 4 workers");
+
+    // Batched-inference microbenchmark on training-distribution features.
+    let dataset = WindowDataset::generate(&spec.dataset, spec.seed.wrapping_add(77));
+    let extractor = FeatureExtractor::paper();
+    let rows: Vec<Vec<f64>> = dataset
+        .iter()
+        .take(batch)
+        .map(|w| extractor.extract(&w.samples, w.config.frequency.hz()).into_inner())
+        .collect();
+    let reps = 301;
+    let (f64_s, int8_s) = time_batch_pair(
+        system.backend(BackendKind::F64),
+        system.backend(BackendKind::Int8),
+        &rows,
+        reps,
+    );
+    let speedup = f64_s / int8_s;
+    println!(
+        "\nbatch inference ({} rows, median of {reps}): f64 {:.1} µs, int8 {:.1} µs — {speedup:.2}x",
+        rows.len(),
+        1e6 * f64_s,
+        1e6 * int8_s
+    );
+    // Hard-fail only on a clear regression: the measured margin is real but
+    // modest (~1.06x on the reference container), and shared CI runners span
+    // CPU generations whose autovectorization profiles can erase it.  A
+    // below-parity-but-close result is reported loudly instead of turning
+    // every unrelated PR red.
+    if speedup < 0.90 {
+        return Err(format!("int8 batch inference regressed well below f64 ({speedup:.2}x)").into());
+    }
+    if speedup <= 1.0 {
+        eprintln!(
+            "[backend_sweep] warning: int8 batch speedup is {speedup:.2}x on this machine \
+             (expected > 1.0x on hardware matching the reference container)"
+        );
+    }
+    Ok(())
+}

@@ -1,4 +1,4 @@
-//! Regenerates Fig. 7: AdaSense vs the intensity-based approach (IbA, NK et al. [8])
+//! Regenerates Fig. 7: AdaSense vs the intensity-based approach (IbA, NK et al. \[8\])
 //! in terms of power consumption and accuracy under the High / Medium / Low user
 //! activity settings.
 //!

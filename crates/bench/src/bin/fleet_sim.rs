@@ -4,10 +4,12 @@
 //!
 //! Run with `cargo run --release -p adasense-bench --bin fleet_sim`
 //! (add `--quick` for a reduced training set; `--devices N` and `--duration S`
-//! to change the population).  Exits non-zero if the determinism check fails.
+//! to change the population; `--backend <f64|int8|mixed>` selects the
+//! inference backend assignment).  Exits non-zero if the determinism check
+//! fails.
 
 use adasense::prelude::*;
-use adasense_bench::{int_arg, train_system, RunScale};
+use adasense_bench::{int_arg, string_arg, train_system, RunScale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = RunScale::from_args();
@@ -19,6 +21,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(duration) = int_arg("--duration")? {
         fleet.duration_s = duration as f64;
+    }
+    if let Some(backend) = string_arg("--backend")? {
+        fleet.population.backend = match backend.as_str() {
+            "mixed" => BackendSpec::half_int8(),
+            name => BackendSpec::Uniform(
+                BackendKind::from_name(name)
+                    .ok_or_else(|| format!("unknown backend `{name}` (f64, int8 or mixed)"))?,
+            ),
+        };
     }
     let (devices, duration_s) = (fleet.devices, fleet.duration_s);
 

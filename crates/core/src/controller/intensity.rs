@@ -1,4 +1,4 @@
-//! The intensity-based baseline controller (NK et al. [8]).
+//! The intensity-based baseline controller (NK et al. \[8\]).
 //!
 //! The baseline AdaSense is compared against in Fig. 7 switches the sensor "to
 //! low-power mode with low-intensity user activities (i.e. stand, sit, lie down),

@@ -7,7 +7,7 @@
 //! * [`SpotController`] — the paper's State Prediction Optimization Technique
 //!   (Section IV-D), optionally with the confidence extension (Section IV-E).
 //! * [`StaticController`] — the fixed high-power baseline used throughout Section V.
-//! * [`IntensityBasedController`] — the related-work baseline of NK et al. [8],
+//! * [`IntensityBasedController`] — the related-work baseline of NK et al. \[8\],
 //!   which switches between two configurations based on signal intensity.
 
 mod intensity;
@@ -77,7 +77,7 @@ pub enum ControllerKind {
         /// Minimum confidence for an activity change to be trusted.
         confidence_threshold: f64,
     },
-    /// The intensity-based approach of NK et al. [8].
+    /// The intensity-based approach of NK et al. \[8\].
     IntensityBased,
 }
 

@@ -12,11 +12,15 @@
 //! * [`FleetScheduler`] — a `std::thread` worker pool pulling fixed-size device
 //!   chunks from a shared atomic queue.  Each chunk ticks its devices in
 //!   **lockstep** so their classifier calls are batched through one
-//!   [`Mlp::predict_batch`](adasense_ml::Mlp::predict_batch) forward pass per
-//!   tick.  Chunk boundaries depend only on the spec — never on the worker count
-//!   — so a fleet run is **bit-identical at any thread count**.
+//!   [`Classifier::predict_batch_into`](adasense_ml::Classifier::predict_batch_into)
+//!   forward pass per backend per tick
+//!   (cohorts may mix the full-precision f64 and quantized int8 backends via
+//!   [`BackendSpec`](crate::scenario::BackendSpec)).  Chunk boundaries depend
+//!   only on the spec — never on the worker count — so a fleet run is
+//!   **bit-identical at any thread count**.
 //! * [`FleetReport`] — per-device [`DeviceSummary`] rows plus population
-//!   percentiles of power, accuracy and per-configuration residency.
+//!   percentiles of power, accuracy and per-configuration residency, with
+//!   per-routine and per-backend breakdowns.
 //!
 //! The scheduler also exposes [`FleetScheduler::run_scenarios`], an
 //! order-preserving parallel runner for explicit `(scenario, controller)` job
@@ -26,6 +30,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use adasense_data::ActivityChangeSetting;
+use adasense_ml::{BackendKind, Prediction};
 use adasense_sensor::SensorConfig;
 use serde::{Deserialize, Serialize};
 
@@ -136,6 +141,10 @@ pub struct DeviceSummary {
     ///
     /// [`RoutinePreset`]: crate::scenario::RoutinePreset
     pub routine: String,
+    /// The inference backend the device was assigned (a [`BackendKind`]
+    /// label, e.g. `f64` or `int8`).  The intensity baseline carries the
+    /// label but classifies through its per-configuration bank instead.
+    pub backend: String,
     /// Number of classified epochs whose sensed window overlapped at least one
     /// injected fault window (0 for a pristine population).
     pub faulted_epochs: usize,
@@ -172,6 +181,23 @@ impl DeviceSummary {
         }
         self.faulted_epochs as f64 / self.epochs as f64
     }
+}
+
+/// Population statistics of the devices sharing one inference backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendBreakdown {
+    /// The backend label (see [`DeviceSummary::backend`]).
+    pub backend: String,
+    /// Number of devices running this backend.
+    pub devices: usize,
+    /// Mean recognition accuracy of those devices (0–1); [`f64::NAN`] if the
+    /// group is empty.
+    pub mean_accuracy: f64,
+    /// Mean average sensor current of those devices, in µA; [`f64::NAN`] if
+    /// the group is empty.
+    pub mean_current_ua: f64,
+    /// Total classified epochs of those devices.
+    pub epochs: usize,
 }
 
 /// Population statistics of the devices sharing one routine.
@@ -267,8 +293,30 @@ impl FleetReport {
             .collect()
     }
 
-    /// Renders the population percentiles and the per-state mean residencies as
-    /// a table.
+    /// Groups the population by inference backend, returning one
+    /// [`BackendBreakdown`] per distinct backend label, sorted by label.
+    pub fn backend_breakdown(&self) -> Vec<BackendBreakdown> {
+        let mut groups: std::collections::BTreeMap<&str, Vec<&DeviceSummary>> =
+            std::collections::BTreeMap::new();
+        for device in &self.devices {
+            groups.entry(device.backend.as_str()).or_default().push(device);
+        }
+        groups
+            .into_iter()
+            .map(|(backend, members)| BackendBreakdown {
+                backend: backend.to_string(),
+                devices: members.len(),
+                mean_accuracy: mean(members.iter().map(|d| d.accuracy)),
+                mean_current_ua: mean(members.iter().map(|d| d.average_current_ua)),
+                epochs: members.iter().map(|d| d.epochs).sum(),
+            })
+            .collect()
+    }
+
+    /// Renders the population percentiles, the per-state mean residencies and
+    /// the per-routine / per-backend breakdowns as a table.  Undefined
+    /// statistics (the [`f64::NAN`] sentinel of an empty fleet or group) are
+    /// printed as `-` instead of fabricating a numeric figure.
     pub fn to_table_string(&self) -> String {
         let mut out = format!(
             "fleet of {} devices under {}\n\
@@ -277,36 +325,58 @@ impl FleetReport {
             self.controller
         );
         out.push_str(&format!(
-            "current(uA)  {:>8.1} {:>8.1} {:>8.1} {:>8.1}\n",
-            self.current_percentile(50.0),
-            self.current_percentile(90.0),
-            self.current_percentile(99.0),
-            self.mean_current_ua()
+            "current(uA)  {} {} {} {}\n",
+            cell(self.current_percentile(50.0), 8, 1),
+            cell(self.current_percentile(90.0), 8, 1),
+            cell(self.current_percentile(99.0), 8, 1),
+            cell(self.mean_current_ua(), 8, 1)
         ));
         out.push_str(&format!(
-            "accuracy(%)  {:>8.2} {:>8.2} {:>8.2} {:>8.2}\n",
-            100.0 * self.accuracy_percentile(50.0),
-            100.0 * self.accuracy_percentile(90.0),
-            100.0 * self.accuracy_percentile(99.0),
-            100.0 * self.mean_accuracy()
+            "accuracy(%)  {} {} {} {}\n",
+            cell(100.0 * self.accuracy_percentile(50.0), 8, 2),
+            cell(100.0 * self.accuracy_percentile(90.0), 8, 2),
+            cell(100.0 * self.accuracy_percentile(99.0), 8, 2),
+            cell(100.0 * self.mean_accuracy(), 8, 2)
         ));
         out.push_str("residency (population mean, SPOT states):\n");
         for config in SensorConfig::paper_pareto_front() {
             let fraction = mean(self.devices.iter().map(|d| d.residency_fraction(config)));
-            out.push_str(&format!("  {:<12} {:>6.1}%\n", config.label(), 100.0 * fraction));
+            out.push_str(&format!("  {:<12} {}%\n", config.label(), cell(100.0 * fraction, 6, 1)));
         }
         out.push_str("per-routine breakdown:\n");
         for group in self.routine_breakdown() {
             out.push_str(&format!(
-                "  {:<16} {:>5} devices  acc {:>6.2}%  current {:>7.1} uA  faulted {:>5.1}%\n",
+                "  {:<16} {:>5} devices  acc {}%  current {} uA  faulted {}%\n",
                 group.routine,
                 group.devices,
-                100.0 * group.mean_accuracy,
-                group.mean_current_ua,
-                100.0 * group.mean_faulted_fraction
+                cell(100.0 * group.mean_accuracy, 6, 2),
+                cell(group.mean_current_ua, 7, 1),
+                cell(100.0 * group.mean_faulted_fraction, 5, 1)
+            ));
+        }
+        out.push_str("per-backend breakdown:\n");
+        for group in self.backend_breakdown() {
+            out.push_str(&format!(
+                "  {:<16} {:>5} devices  acc {}%  current {} uA  epochs {:>7}\n",
+                group.backend,
+                group.devices,
+                cell(100.0 * group.mean_accuracy, 6, 2),
+                cell(group.mean_current_ua, 7, 1),
+                group.epochs
             ));
         }
         out
+    }
+}
+
+/// Formats one table cell: right-aligned to `width` with `prec` decimals, or
+/// a right-aligned `-` when the value is the undefined-statistic [`f64::NAN`]
+/// sentinel (a fabricated number would read as a real figure).
+fn cell(value: f64, width: usize, prec: usize) -> String {
+    if value.is_nan() {
+        format!("{:>width$}", "-")
+    } else {
+        format!("{value:>width$.prec$}")
     }
 }
 
@@ -424,10 +494,12 @@ impl<'a> FleetScheduler<'a> {
         let legacy_label = format!("dwell-{}", fleet.setting.label());
         let mut seeds = Vec::with_capacity(chunk_len);
         let mut routines = Vec::with_capacity(chunk_len);
+        let mut backends = Vec::with_capacity(chunk_len);
         let mut runtimes = Vec::with_capacity(chunk_len);
         for device_id in device_ids.clone() {
             let seed = device_seed(fleet.base_seed, device_id);
             let profile = fleet.population.prior.assign(seed);
+            let backend = fleet.population.backend.assign(seed);
             let (scenario, routine) = match profile.routine {
                 Some(preset) => (
                     preset.script().scenario(fleet.duration_s, profile.dwell_scale, seed),
@@ -452,22 +524,31 @@ impl<'a> FleetScheduler<'a> {
                 source,
                 duration_s,
             )?
-            .with_recording(false);
+            .with_recording(false)
+            .with_classifier(self.system.backend(backend));
             seeds.push(seed);
             routines.push(routine);
+            backends.push(backend);
             runtimes.push(runtime);
         }
 
-        // Tick every live device once per iteration; batch all unified-classifier
-        // calls of the tick into a single forward pass.  `batch_features` is a
-        // retained pool of row buffers (the first `used` rows are live), so the
-        // per-tick loop allocates nothing once the pool has grown.
-        let mut batch_features: Vec<Vec<f64>> = Vec::new();
-        let mut batch_members: Vec<usize> = Vec::new();
+        // Tick every live device once per iteration; batch all pending
+        // classifications of the tick into one forward pass *per backend*
+        // (devices on different backends cannot share a matrix product, but
+        // each backend group still batches).  The pools retain their row
+        // buffers, so the per-tick loop allocates nothing once they have
+        // grown.  Devices are drained into the pools in device order and each
+        // pool is resolved in that same order, so the batch composition — and
+        // with it every per-row result — depends only on the spec, never on
+        // the worker count.
+        let mut pools: Vec<BatchPool> =
+            BackendKind::ALL.iter().map(|_| BatchPool::default()).collect();
+        let mut predictions: Vec<Prediction> = Vec::new();
         loop {
             let mut any_live = false;
-            let mut used = 0usize;
-            batch_members.clear();
+            for pool in &mut pools {
+                pool.reset();
+            }
             for (i, runtime) in runtimes.iter_mut().enumerate() {
                 if runtime.is_complete() {
                     continue;
@@ -477,14 +558,7 @@ impl<'a> FleetScheduler<'a> {
                     TickPhase::Idle(_) => {}
                     TickPhase::Classify => {
                         if runtime.batches_with_unified() {
-                            batch_members.push(i);
-                            if used == batch_features.len() {
-                                batch_features.push(Vec::new());
-                            }
-                            let row = &mut batch_features[used];
-                            row.clear();
-                            row.extend_from_slice(runtime.pending_features());
-                            used += 1;
+                            pools[backend_index(backends[i])].push(i, runtime.pending_features());
                         } else {
                             // Bank classifiers are per-configuration; classify
                             // this device individually.
@@ -498,22 +572,25 @@ impl<'a> FleetScheduler<'a> {
             if !any_live {
                 break;
             }
-            if used > 0 {
-                let predictions =
-                    self.system.unified_classifier().predict_batch(&batch_features[..used]);
-                for (&i, prediction) in batch_members.iter().zip(predictions) {
+            for (pool, kind) in pools.iter().zip(BackendKind::ALL) {
+                if pool.used == 0 {
+                    continue;
+                }
+                self.system.backend(kind).predict_batch_into(pool.rows(), &mut predictions);
+                for (&i, prediction) in pool.members.iter().zip(predictions.drain(..)) {
                     runtimes[i].complete_tick(prediction);
                 }
             }
         }
 
         Ok(device_ids
-            .zip(seeds.into_iter().zip(routines))
+            .zip(seeds.into_iter().zip(routines.into_iter().zip(backends)))
             .zip(runtimes)
-            .map(|((device_id, (seed, routine)), runtime)| DeviceSummary {
+            .map(|((device_id, (seed, (routine, backend))), runtime)| DeviceSummary {
                 device_id,
                 seed,
                 routine,
+                backend: backend.label().to_string(),
                 faulted_epochs: runtime.source().faulted_captures(),
                 epochs: runtime.epochs(),
                 correct_epochs: runtime.correct_epochs(),
@@ -524,6 +601,48 @@ impl<'a> FleetScheduler<'a> {
                 residency_s: runtime.residency_seconds().to_vec(),
             })
             .collect())
+    }
+}
+
+/// The position of `kind` in [`BackendKind::ALL`], used to index the per-tick
+/// batch pools.
+fn backend_index(kind: BackendKind) -> usize {
+    BackendKind::ALL.iter().position(|k| *k == kind).expect("ALL lists every backend kind")
+}
+
+/// A retained pool of feature-row buffers holding one backend's pending
+/// classifications for the current lockstep tick.  The first `used` rows are
+/// live; `members[r]` is the chunk-local device index that contributed row
+/// `r`.
+#[derive(Debug, Default)]
+struct BatchPool {
+    features: Vec<Vec<f64>>,
+    members: Vec<usize>,
+    used: usize,
+}
+
+impl BatchPool {
+    /// Empties the pool for the next tick, keeping the row allocations.
+    fn reset(&mut self) {
+        self.members.clear();
+        self.used = 0;
+    }
+
+    /// Appends `row` on behalf of device `member`.
+    fn push(&mut self, member: usize, row: &[f64]) {
+        self.members.push(member);
+        if self.used == self.features.len() {
+            self.features.push(Vec::new());
+        }
+        let dst = &mut self.features[self.used];
+        dst.clear();
+        dst.extend_from_slice(row);
+        self.used += 1;
+    }
+
+    /// The live rows of this tick.
+    fn rows(&self) -> &[Vec<f64>] {
+        &self.features[..self.used]
     }
 }
 
@@ -740,6 +859,96 @@ mod tests {
         for group in &breakdown {
             assert!(text.contains(&group.routine), "missing {} in:\n{text}", group.routine);
         }
+    }
+
+    #[test]
+    fn mixed_backend_fleets_are_bit_identical_across_worker_counts() {
+        let (spec, system) = shared_system();
+        let fleet = FleetSpec {
+            population: PopulationSpec::legacy()
+                .with_backend(crate::scenario::BackendSpec::half_int8()),
+            lockstep_devices: 4,
+            ..FleetSpec::new(12, 24.0, 21)
+        };
+        let single = FleetScheduler::new(spec, system).with_threads(1).run(&fleet).unwrap();
+        let parallel = FleetScheduler::new(spec, system).with_threads(4).run(&fleet).unwrap();
+        assert_eq!(single, parallel, "mixed-backend fleets must stay worker-count deterministic");
+        let backends: std::collections::BTreeSet<&str> =
+            single.devices.iter().map(|d| d.backend.as_str()).collect();
+        assert_eq!(
+            backends.into_iter().collect::<Vec<_>>(),
+            vec!["f64", "int8"],
+            "a half-int8 cohort of 12 devices should realize both backends"
+        );
+        let breakdown = single.backend_breakdown();
+        assert_eq!(breakdown.len(), 2);
+        assert_eq!(breakdown.iter().map(|g| g.devices).sum::<usize>(), single.len());
+        assert!(breakdown.iter().all(|g| g.epochs > 0));
+        let text = single.to_table_string();
+        assert!(text.contains("per-backend breakdown:"), "missing backend section in:\n{text}");
+        assert!(text.contains("int8"), "missing int8 group in:\n{text}");
+    }
+
+    #[test]
+    fn int8_fleet_devices_match_standalone_quantized_simulations() {
+        let (spec, system) = shared_system();
+        let fleet = FleetSpec {
+            population: PopulationSpec::legacy()
+                .with_backend(crate::scenario::BackendSpec::Uniform(BackendKind::Int8)),
+            ..FleetSpec::new(3, 20.0, 3)
+        };
+        let report = FleetScheduler::new(spec, system).with_threads(2).run(&fleet).unwrap();
+        for device in &report.devices {
+            assert_eq!(device.backend, "int8");
+            let scenario = ScenarioSpec::random(fleet.setting, fleet.duration_s, device.seed);
+            let standalone = Simulator::new(spec, system)
+                .with_controller(fleet.controller)
+                .with_classifier(system.quantized_classifier())
+                .run(scenario)
+                .unwrap();
+            assert_eq!(device.accuracy, standalone.accuracy());
+            assert_eq!(device.average_current_ua, standalone.average_current_ua());
+        }
+    }
+
+    #[test]
+    fn backend_assignment_does_not_perturb_the_rest_of_the_device_stream() {
+        // Switching a cohort's backend must change classifications only —
+        // seeds, routines and schedules (and thus durations) stay identical.
+        let (spec, system) = shared_system();
+        let base = FleetSpec::new(6, 20.0, 17);
+        let f64_fleet = FleetScheduler::new(spec, system).run(&base).unwrap();
+        let int8_fleet = FleetScheduler::new(spec, system)
+            .run(&FleetSpec {
+                population: PopulationSpec::legacy()
+                    .with_backend(crate::scenario::BackendSpec::Uniform(BackendKind::Int8)),
+                ..base
+            })
+            .unwrap();
+        for (a, b) in f64_fleet.devices.iter().zip(&int8_fleet.devices) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.routine, b.routine);
+            assert_eq!(a.duration_s, b.duration_s);
+            assert_eq!(a.epochs, b.epochs);
+        }
+    }
+
+    #[test]
+    fn empty_fleet_table_prints_dashes_not_fabricated_zeros() {
+        let empty = FleetReport { controller: "none".to_string(), devices: Vec::new() };
+        let text = empty.to_table_string();
+        assert!(text.contains('-'), "NaN statistics must render as `-`:\n{text}");
+        assert!(!text.contains("NaN"), "raw NaN must not leak into the table:\n{text}");
+        assert!(!text.contains("0.0"), "an empty fleet must not fabricate zeros:\n{text}");
+        assert!(empty.backend_breakdown().is_empty());
+    }
+
+    #[test]
+    fn invalid_backend_mixes_are_rejected() {
+        let (spec, system) = shared_system();
+        let mut fleet = FleetSpec::new(2, 20.0, 1);
+        fleet.population.backend = crate::scenario::BackendSpec::Mixed { int8_fraction: 1.5 };
+        assert!(FleetScheduler::new(spec, system).run(&fleet).is_err());
     }
 
     #[test]

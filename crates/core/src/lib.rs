@@ -18,7 +18,7 @@
 //!   of per-configuration classifier banks (used by the baselines).
 //! * [`controller`] — the adaptive sensing policies: SPOT, SPOT with confidence,
 //!   the static high-power baseline and the intensity-based approach of NK et
-//!   al. [8].
+//!   al. \[8\].
 //! * [`pareto`] / [`dse`] — the sensor-configuration design-space exploration of
 //!   Fig. 2 and Pareto-front extraction.
 //! * [`simulation`] — the closed-loop simulator: a scheduled user activity stream is
@@ -74,12 +74,14 @@ pub mod training;
 pub use controller::{ControllerInput, ControllerKind, SensorController, SpotController};
 pub use dse::{ConfigEvaluation, DesignSpaceExploration, DseReport};
 pub use error::AdaSenseError;
-pub use fleet::{DeviceSummary, FleetReport, FleetScheduler, FleetSpec, RoutineBreakdown};
+pub use fleet::{
+    BackendBreakdown, DeviceSummary, FleetReport, FleetScheduler, FleetSpec, RoutineBreakdown,
+};
 pub use pareto::pareto_front;
 pub use pipeline::{ClassifiedBatch, HarPipeline};
 pub use runtime::{DeviceRuntime, SampleSource, ScenarioSource, TickPhase, TickResult};
 pub use scenario::{
-    DeviceProfile, FaultInjector, FaultLevel, FaultPlan, FaultProfile, FaultWindow,
+    BackendSpec, DeviceProfile, FaultInjector, FaultLevel, FaultPlan, FaultProfile, FaultWindow,
     PopulationPrior, PopulationSpec, RoutinePreset, RoutineScript,
 };
 pub use simulation::{EpochRecord, ScenarioSpec, SimulationReport, Simulator};
@@ -96,14 +98,14 @@ pub mod prelude {
     pub use crate::error::AdaSenseError;
     pub use crate::experiments;
     pub use crate::fleet::{
-        DeviceSummary, FleetReport, FleetScheduler, FleetSpec, RoutineBreakdown,
+        BackendBreakdown, DeviceSummary, FleetReport, FleetScheduler, FleetSpec, RoutineBreakdown,
     };
     pub use crate::pareto::pareto_front;
     pub use crate::pipeline::{ClassifiedBatch, HarPipeline};
     pub use crate::runtime::{DeviceRuntime, SampleSource, ScenarioSource, TickPhase, TickResult};
     pub use crate::scenario::{
-        DeviceProfile, FaultInjector, FaultLevel, FaultPlan, FaultProfile, FaultWindow,
-        PopulationPrior, PopulationSpec, RoutinePreset, RoutineScript,
+        BackendSpec, DeviceProfile, FaultInjector, FaultLevel, FaultPlan, FaultProfile,
+        FaultWindow, PopulationPrior, PopulationSpec, RoutinePreset, RoutineScript,
     };
     pub use crate::simulation::{EpochRecord, ScenarioSpec, SimulationReport, Simulator};
     pub use crate::training::{ExperimentSpec, TrainedSystem};

@@ -18,7 +18,7 @@
 
 use adasense_data::{Activity, ActivityTrace};
 use adasense_dsp::{FeatureScratch, IntensityEstimator};
-use adasense_ml::{Mlp, Prediction};
+use adasense_ml::{Classifier, Prediction};
 use adasense_sensor::{Accelerometer, Charge, EnergyModel, NoiseModel, Sample3, SensorConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,6 +41,44 @@ pub const EPOCH_S: f64 = 1.0;
 /// Implementors are the "world" a device lives in: the closed-loop simulator uses
 /// [`ScenarioSource`] (a scheduled activity timeline played through the simulated
 /// accelerometer); a hardware-replay source would page recorded IMU data instead.
+///
+/// # Examples
+///
+/// A source can be as small as a constant signal with a constant ground truth —
+/// useful for hardware bring-up tests:
+///
+/// ```
+/// use adasense::runtime::SampleSource;
+/// use adasense_data::Activity;
+/// use adasense_sensor::{Sample3, SensorConfig};
+///
+/// struct StillSubject;
+///
+/// impl SampleSource for StillSubject {
+///     fn capture_window(
+///         &mut self,
+///         config: SensorConfig,
+///         t_end: f64,
+///         window_s: f64,
+///         out: &mut Vec<Sample3>,
+///     ) {
+///         out.clear();
+///         let n = (window_s * config.frequency.hz()) as usize;
+///         let dt = 1.0 / config.frequency.hz();
+///         out.extend((0..n).map(|i| Sample3::new(t_end - window_s + i as f64 * dt, 0.0, 0.0, 1.0)));
+///     }
+///
+///     fn ground_truth(&self, _t_s: f64) -> Option<Activity> {
+///         Some(Activity::LieDown)
+///     }
+/// }
+///
+/// let mut source = StillSubject;
+/// let mut window = Vec::new();
+/// source.capture_window(SensorConfig::paper_pareto_front()[0], 2.0, 2.0, &mut window);
+/// assert_eq!(window.len(), 200); // 2 s at 100 Hz
+/// assert_eq!(source.ground_truth(1.0), Some(Activity::LieDown));
+/// ```
 pub trait SampleSource {
     /// Senses the window `[t_end - window_s, t_end)` under `config` into `out`.
     ///
@@ -148,9 +186,16 @@ struct PendingTick {
 /// [`begin_tick`](DeviceRuntime::begin_tick) /
 /// [`complete_tick`](DeviceRuntime::complete_tick) to batch classifier calls
 /// across many devices (see [`crate::fleet`]).
+///
+/// The inference backend defaults to the trained system's full-precision
+/// unified [`Mlp`](adasense_ml::Mlp); swap in any other object-safe
+/// [`Classifier`] — for example the int8
+/// [`QuantizedMlp`](adasense_ml::QuantizedMlp) — with
+/// [`with_classifier`](DeviceRuntime::with_classifier).
 pub struct DeviceRuntime<'a, S: SampleSource> {
     source: S,
     system: &'a TrainedSystem,
+    classifier: &'a dyn Classifier,
     controller: Box<dyn SensorController>,
     controller_label: String,
     intensity_estimator: IntensityEstimator,
@@ -189,6 +234,7 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
         Self {
             source,
             system,
+            classifier: system.unified_classifier(),
             controller: built,
             controller_label: controller.label(),
             intensity_estimator: IntensityEstimator::calibrated(),
@@ -246,6 +292,14 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
         self
     }
 
+    /// Replaces the inference backend this device classifies with (the trained
+    /// system's full-precision unified classifier by default).  The intensity
+    /// baseline ignores this and keeps its per-configuration bank.
+    pub fn with_classifier(mut self, classifier: &'a dyn Classifier) -> Self {
+        self.classifier = classifier;
+        self
+    }
+
     /// The sample source this runtime is consuming (for example to read fault
     /// exposure counters off a [`crate::scenario::FaultInjector`] after a run).
     pub fn source(&self) -> &S {
@@ -293,10 +347,11 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
         &self.controller_label
     }
 
-    /// Whether this device classifies every window with the shared unified
-    /// classifier — i.e. whether its pending classification may be batched with
-    /// other devices through [`Mlp::predict_batch`].  The intensity-based
-    /// baseline switches among per-configuration bank classifiers and must be
+    /// Whether this device classifies every window with its unified inference
+    /// backend — i.e. whether its pending classification may be batched with
+    /// other devices of the same backend through
+    /// [`Classifier::predict_batch_into`].  The intensity-based baseline
+    /// switches among per-configuration bank classifiers and must be
     /// classified per device.
     pub fn batches_with_unified(&self) -> bool {
         !self.use_bank
@@ -344,21 +399,22 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
         &self.features
     }
 
-    /// The classifier that must judge the pending window: the unified model, or
-    /// the per-configuration bank model when simulating the intensity baseline.
+    /// The inference backend that must judge the pending window: the device's
+    /// unified backend, or the per-configuration bank model when simulating
+    /// the intensity baseline.
     ///
     /// # Panics
     ///
     /// Panics if no classification is pending.
-    pub fn active_classifier(&self) -> &Mlp {
+    pub fn active_classifier(&self) -> &dyn Classifier {
         let pending = self.pending.as_ref().expect("no classification is pending");
         if self.use_bank {
             self.system
                 .bank_classifier(pending.config)
-                .map(|m| &m.model)
-                .unwrap_or_else(|| self.system.unified_classifier())
+                .map(|m| &m.model as &dyn Classifier)
+                .unwrap_or(self.classifier)
         } else {
-            self.system.unified_classifier()
+            self.classifier
         }
     }
 

@@ -19,6 +19,9 @@
 //!   [`SampleSource`] that injects sensor dropout windows, stuck axes and noise
 //!   bursts ([`FaultKind`]) into the captured sample stream, with per-kind time
 //!   budgets that never exceed the configured fractions.
+//! * [`BackendSpec`] — per-device inference-backend assignment (full-precision
+//!   f64 vs quantized int8, see [`BackendKind`]), again a pure function of the
+//!   device seed.
 //!
 //! The fleet scheduler ([`crate::fleet`]) wires all three through
 //! [`FleetSpec::population`](crate::fleet::FleetSpec::population), and the
@@ -26,6 +29,7 @@
 //! each routine and fault level.
 
 use adasense_data::{Activity, ActivitySchedule, JitteredSegment};
+use adasense_ml::BackendKind;
 use adasense_sensor::{FaultKind, Sample3, SensorConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -43,6 +47,8 @@ const FAULT_PLAN_SALT: u64 = 0xFA17_9A11;
 /// Salt mixed into the device seed to derive the fault-application stream
 /// (noise-burst randomness).
 const FAULT_RNG_SALT: u64 = 0xFA17_0B57;
+/// Salt mixed into the device seed to derive the backend-assignment stream.
+const BACKEND_SALT: u64 = 0x00BA_C4E2_D000_0001;
 
 /// The per-device dwell-scale factors accepted by [`RoutineScript::realize`]
 /// and [`PopulationPrior::validate`].  The bounds cap how many segments one
@@ -106,6 +112,20 @@ impl std::fmt::Display for RoutinePreset {
 /// its jitter range (scaled by the device's dwell bias), until the requested
 /// duration is covered — so the same script yields statistically matched but
 /// distinct timelines across seeds.
+///
+/// # Examples
+///
+/// ```
+/// use adasense::scenario::RoutineScript;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let script = RoutineScript::office_day();
+/// let schedule = script.realize(600.0, 1.0, &mut StdRng::seed_from_u64(7));
+/// assert!(schedule.total_duration_s() >= 600.0);
+/// // The same seed realizes the same timeline.
+/// let again = script.realize(600.0, 1.0, &mut StdRng::seed_from_u64(7));
+/// assert_eq!(schedule, again);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoutineScript {
     /// Name used in reports.
@@ -341,42 +361,124 @@ impl Default for PopulationPrior {
     }
 }
 
-/// A full population description: the routine prior plus the fault level every
-/// device's sensor is exposed to.  [`FleetSpec`](crate::fleet::FleetSpec)
-/// carries one of these.
+/// How a cohort's devices are assigned their inference backend
+/// ([`BackendKind`]): uniformly, or as a deterministic per-device mix.
+///
+/// Like routine assignment, the backend of one device is a pure function of
+/// its seed (via a salted stream), so heterogeneous-backend fleets stay
+/// bit-reproducible at any worker count or sharding.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BackendSpec {
+    /// Every device runs the same backend.  `Uniform(BackendKind::F64)` is the
+    /// default and reproduces the historic full-precision fleet bit for bit.
+    Uniform(BackendKind),
+    /// Each device is assigned int8 with probability `int8_fraction` (and f64
+    /// otherwise), deterministically from its seed.
+    Mixed {
+        /// Fraction of the cohort on the int8 backend, in `[0, 1]`.
+        int8_fraction: f64,
+    },
+}
+
+impl BackendSpec {
+    /// A half-and-half f64/int8 cohort.
+    pub fn half_int8() -> Self {
+        BackendSpec::Mixed { int8_fraction: 0.5 }
+    }
+
+    /// Checks the spec for consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::InvalidSpec`] if the int8 fraction is outside
+    /// `[0, 1]` or not finite.
+    pub fn validate(&self) -> Result<(), AdaSenseError> {
+        if let BackendSpec::Mixed { int8_fraction } = self {
+            if !int8_fraction.is_finite() || !(0.0..=1.0).contains(int8_fraction) {
+                return Err(AdaSenseError::invalid_spec(format!(
+                    "int8_fraction {int8_fraction} must lie in [0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The backend of the device with the given seed.  A pure function of
+    /// `(self, seed)`: the assignment stream is salted so it never perturbs
+    /// the device's schedule, noise or fault randomness.
+    pub fn assign(&self, seed: u64) -> BackendKind {
+        match self {
+            BackendSpec::Uniform(kind) => *kind,
+            BackendSpec::Mixed { int8_fraction } => {
+                let mut rng = StdRng::seed_from_u64(device_seed(seed, BACKEND_SALT));
+                if rng.random_range(0.0..1.0) < *int8_fraction {
+                    BackendKind::Int8
+                } else {
+                    BackendKind::F64
+                }
+            }
+        }
+    }
+}
+
+impl Default for BackendSpec {
+    fn default() -> Self {
+        BackendSpec::Uniform(BackendKind::F64)
+    }
+}
+
+/// A full population description: the routine prior, the fault level every
+/// device's sensor is exposed to, and the inference-backend assignment.
+/// [`FleetSpec`](crate::fleet::FleetSpec) carries one of these.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct PopulationSpec {
     /// Routine mix and per-device dwell bias.
     pub prior: PopulationPrior,
     /// Sensor-fault exposure of the cohort.
     pub fault: FaultLevel,
+    /// How devices are assigned their inference backend.
+    pub backend: BackendSpec,
 }
 
 impl PopulationSpec {
-    /// The legacy population: dwell-randomized timelines, no faults.  Fleets
-    /// built with this population reproduce the pre-scenario-library reports
-    /// bit for bit.
+    /// The legacy population: dwell-randomized timelines, no faults, every
+    /// device on the full-precision f64 backend.  Fleets built with this
+    /// population reproduce the pre-scenario-library reports bit for bit.
     pub fn legacy() -> Self {
-        Self { prior: PopulationPrior::legacy(), fault: FaultLevel::None }
+        Self {
+            prior: PopulationPrior::legacy(),
+            fault: FaultLevel::None,
+            backend: BackendSpec::default(),
+        }
     }
 
-    /// A single-routine cohort under the given fault level.
+    /// A single-routine cohort under the given fault level (f64 backend).
     pub fn single(routine: RoutinePreset, fault: FaultLevel) -> Self {
-        Self { prior: PopulationPrior::single(routine), fault }
+        Self { prior: PopulationPrior::single(routine), fault, backend: BackendSpec::default() }
     }
 
-    /// The default heterogeneous cohort under the given fault level.
+    /// The default heterogeneous cohort under the given fault level (f64
+    /// backend).
     pub fn mixed(fault: FaultLevel) -> Self {
-        Self { prior: PopulationPrior::mixed(), fault }
+        Self { prior: PopulationPrior::mixed(), fault, backend: BackendSpec::default() }
     }
 
-    /// Checks the population for consistency (see [`PopulationPrior::validate`]).
+    /// Replaces the backend assignment of this population.
+    pub fn with_backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Checks the population for consistency (see [`PopulationPrior::validate`]
+    /// and [`BackendSpec::validate`]).
     ///
     /// # Errors
     ///
-    /// Returns [`AdaSenseError::InvalidSpec`] for an inconsistent prior.
+    /// Returns [`AdaSenseError::InvalidSpec`] for an inconsistent prior or
+    /// backend mix.
     pub fn validate(&self) -> Result<(), AdaSenseError> {
-        self.prior.validate()
+        self.prior.validate()?;
+        self.backend.validate()
     }
 }
 
@@ -604,6 +706,23 @@ impl FaultPlan {
 /// Ground truth passes through untouched — faults corrupt what the *sensor*
 /// reports, not what the user does — so recognition accuracy under faults is
 /// scored against the true activity.
+///
+/// # Examples
+///
+/// ```
+/// use adasense::prelude::*;
+/// use adasense::scenario::{FaultInjector, FaultPlan};
+///
+/// let spec = ExperimentSpec::quick();
+/// let scenario = ScenarioSpec::sit_then_walk(10.0, 10.0);
+/// // An empty plan is a bit-exact pass-through decorator.
+/// let mut source =
+///     FaultInjector::new(ScenarioSource::new(&spec, &scenario), FaultPlan::none(), 1);
+/// let mut window = Vec::new();
+/// source.capture_window(SensorConfig::paper_pareto_front()[0], 2.0, 2.0, &mut window);
+/// assert!(!window.is_empty());
+/// assert_eq!(source.faulted_captures(), 0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct FaultInjector<S> {
     inner: S,
@@ -810,6 +929,39 @@ mod tests {
             PopulationPrior { dwell_scale_range: (1.0, 1e6), ..PopulationPrior::legacy() };
         assert!(astronomic.validate().is_err());
         assert!(PopulationSpec::mixed(FaultLevel::Heavy).validate().is_ok());
+    }
+
+    #[test]
+    fn backend_assignment_is_deterministic_and_respects_the_fraction() {
+        let spec = BackendSpec::Mixed { int8_fraction: 0.25 };
+        spec.validate().unwrap();
+        let mut int8 = 0usize;
+        for id in 0..800u64 {
+            let seed = device_seed(7, id);
+            let a = spec.assign(seed);
+            assert_eq!(a, spec.assign(seed), "assignment must be a pure function of the seed");
+            if a == BackendKind::Int8 {
+                int8 += 1;
+            }
+        }
+        // 25 % of 800 with generous sampling slack.
+        assert!((120..=280).contains(&int8), "expected ~200 int8 devices, got {int8}");
+
+        assert_eq!(BackendSpec::default().assign(1), BackendKind::F64);
+        assert_eq!(BackendSpec::Uniform(BackendKind::Int8).assign(1), BackendKind::Int8);
+        assert_eq!(BackendSpec::Mixed { int8_fraction: 0.0 }.assign(9), BackendKind::F64);
+        assert_eq!(BackendSpec::Mixed { int8_fraction: 1.0 }.assign(9), BackendKind::Int8);
+    }
+
+    #[test]
+    fn invalid_backend_specs_are_rejected() {
+        assert!(BackendSpec::Mixed { int8_fraction: -0.1 }.validate().is_err());
+        assert!(BackendSpec::Mixed { int8_fraction: 1.1 }.validate().is_err());
+        assert!(BackendSpec::Mixed { int8_fraction: f64::NAN }.validate().is_err());
+        assert!(BackendSpec::half_int8().validate().is_ok());
+        let population =
+            PopulationSpec::legacy().with_backend(BackendSpec::Mixed { int8_fraction: 2.0 });
+        assert!(population.validate().is_err());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use std::collections::BTreeMap;
 
 use adasense_data::{Activity, ActivityChangeSetting, ActivitySchedule};
+use adasense_ml::Classifier;
 use adasense_sensor::{Charge, SensorConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -141,19 +142,22 @@ impl SimulationReport {
 }
 
 /// The closed-loop simulator.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Simulator<'a> {
     spec: &'a ExperimentSpec,
     system: &'a TrainedSystem,
     controller: ControllerKind,
+    classifier: Option<&'a dyn Classifier>,
 }
 
 impl<'a> Simulator<'a> {
     /// Creates a simulator around a trained system.  The controller defaults to the
     /// static high-power baseline; select another one with
-    /// [`Simulator::with_controller`].
+    /// [`Simulator::with_controller`].  The inference backend defaults to the
+    /// system's full-precision unified classifier; swap it with
+    /// [`Simulator::with_classifier`].
     pub fn new(spec: &'a ExperimentSpec, system: &'a TrainedSystem) -> Self {
-        Self { spec, system, controller: ControllerKind::StaticHigh }
+        Self { spec, system, controller: ControllerKind::StaticHigh, classifier: None }
     }
 
     /// Selects the adaptive sensing controller to simulate.
@@ -162,13 +166,20 @@ impl<'a> Simulator<'a> {
         self
     }
 
+    /// Selects the inference backend the simulated device runs (for example
+    /// `system.quantized_classifier()` for the int8 path).
+    pub fn with_classifier(mut self, classifier: &'a dyn Classifier) -> Self {
+        self.classifier = Some(classifier);
+        self
+    }
+
     /// The controller this simulator will run.
     pub fn controller(&self) -> ControllerKind {
         self.controller
     }
 
-    /// Runs the closed loop over `scenario` by stepping a
-    /// [`DeviceRuntime`](crate::runtime::DeviceRuntime) to completion.
+    /// Runs the closed loop over `scenario` by stepping a [`DeviceRuntime`]
+    /// to completion.
     ///
     /// # Errors
     ///
@@ -177,8 +188,20 @@ impl<'a> Simulator<'a> {
     pub fn run(&self, scenario: ScenarioSpec) -> Result<SimulationReport, AdaSenseError> {
         let mut runtime =
             DeviceRuntime::for_scenario(self.spec, self.system, self.controller, &scenario)?;
+        if let Some(classifier) = self.classifier {
+            runtime = runtime.with_classifier(classifier);
+        }
         runtime.run_to_completion();
         Ok(runtime.into_report())
+    }
+}
+
+impl std::fmt::Debug for Simulator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("controller", &self.controller)
+            .field("custom_backend", &self.classifier.map(|c| c.label().to_string()))
+            .finish_non_exhaustive()
     }
 }
 

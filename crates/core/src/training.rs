@@ -2,7 +2,7 @@
 //!
 //! The paper trains **one** network on feature vectors pooled from the four
 //! Pareto-optimal sensor configurations (Section III-C, V-A).  The baselines need
-//! something different: the intensity-based approach of NK et al. [8] retrains a
+//! something different: the intensity-based approach of NK et al. \[8\] retrains a
 //! separate classifier per configuration, and the design-space exploration of Fig. 2
 //! evaluates a dedicated classifier for each of the 16 Table I configurations.
 //! [`TrainedSystem`] prepares all of the above from a single [`ExperimentSpec`].
@@ -11,7 +11,9 @@ use std::collections::BTreeMap;
 
 use adasense_data::{Activity, DatasetSpec, WindowDataset};
 use adasense_dsp::FeatureExtractor;
-use adasense_ml::{accuracy, Mlp, MlpConfig, Trainer, TrainerConfig};
+use adasense_ml::{
+    accuracy, BackendKind, Classifier, Mlp, MlpConfig, QuantizedMlp, Trainer, TrainerConfig,
+};
 use adasense_sensor::{AveragingWindow, SamplingFrequency, SensorConfig};
 use serde::{Deserialize, Serialize};
 
@@ -181,6 +183,7 @@ pub struct TrainedSystem {
     spec: ExperimentSpec,
     extractor: FeatureExtractor,
     unified: Mlp,
+    quantized: QuantizedMlp,
     unified_test_accuracy: f64,
     per_config_accuracy: Vec<(SensorConfig, f64)>,
     bank: BTreeMap<String, PerConfigModel>,
@@ -231,10 +234,15 @@ impl TrainedSystem {
             bank.insert(config.label(), per_config);
         }
 
+        // Post-training int8 quantization of the unified classifier, so device
+        // cohorts can run the fixed-point backend without retraining.
+        let quantized = QuantizedMlp::from_mlp(&unified);
+
         Ok(Self {
             spec: spec.clone(),
             extractor,
             unified,
+            quantized,
             unified_test_accuracy,
             per_config_accuracy,
             bank,
@@ -254,6 +262,21 @@ impl TrainedSystem {
     /// The unified classifier (trained on data from all configurations).
     pub fn unified_classifier(&self) -> &Mlp {
         &self.unified
+    }
+
+    /// The post-training int8 quantization of the unified classifier.
+    pub fn quantized_classifier(&self) -> &QuantizedMlp {
+        &self.quantized
+    }
+
+    /// The unified inference backend of the given kind, behind the object-safe
+    /// [`Classifier`] trait — the seam the runtime and fleet layers plug
+    /// device cohorts into.
+    pub fn backend(&self, kind: BackendKind) -> &dyn Classifier {
+        match kind {
+            BackendKind::F64 => &self.unified,
+            BackendKind::Int8 => &self.quantized,
+        }
     }
 
     /// Held-out accuracy of the unified classifier over all configurations.
@@ -341,6 +364,42 @@ mod tests {
         for config in tiny_spec().intensity_configs() {
             assert!(system.bank_classifier(config).is_some(), "missing bank model for {config}");
         }
+    }
+
+    #[test]
+    fn backends_expose_the_unified_and_quantized_classifiers() {
+        let system = TrainedSystem::train(&tiny_spec()).expect("training succeeds");
+        assert_eq!(system.backend(BackendKind::F64).label(), "f64");
+        assert_eq!(system.backend(BackendKind::Int8).label(), "int8");
+        assert_eq!(
+            system.quantized_classifier().config(),
+            system.unified_classifier().config(),
+            "quantization must preserve the architecture"
+        );
+        // The int8 copy agrees with the float model on most held-out-style
+        // inputs: evaluate both on a fresh batch of training-distribution data.
+        let spec = tiny_spec();
+        let dataset = WindowDataset::generate(&spec.dataset, spec.seed.wrapping_add(9));
+        let (x, y) = features_and_labels(&FeatureExtractor::paper(), &dataset);
+        let f64_hits = x
+            .iter()
+            .zip(&y)
+            .filter(|(f, &label)| system.unified_classifier().predict(f).class == label)
+            .count();
+        let int8_hits = x
+            .iter()
+            .zip(&y)
+            .filter(|(f, &label)| {
+                Classifier::predict(system.backend(BackendKind::Int8), f).class == label
+            })
+            .count();
+        let delta = (f64_hits as f64 - int8_hits as f64).abs() / x.len() as f64;
+        assert!(
+            delta <= 0.02,
+            "int8 accuracy drifted {:.2} pts from f64 ({f64_hits} vs {int8_hits} of {})",
+            100.0 * delta,
+            x.len()
+        );
     }
 
     #[test]

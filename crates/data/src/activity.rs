@@ -60,7 +60,7 @@ impl Activity {
         Activity::ALL.get(index).copied()
     }
 
-    /// Whether the paper's intensity-based baseline (NK et al. [8]) considers this a
+    /// Whether the paper's intensity-based baseline (NK et al. \[8\]) considers this a
     /// low-intensity activity (stand, sit, lie down) as opposed to a locomotion
     /// activity (walk, upstairs, downstairs).
     pub fn is_low_intensity(self) -> bool {

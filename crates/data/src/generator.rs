@@ -1,6 +1,6 @@
 //! Turning an activity schedule into a continuous 3-axis acceleration trace.
 //!
-//! [`ActivityTrace`] realizes one [`ActivitySignal`](crate::signal::ActivitySignal)
+//! [`ActivityTrace`] realizes one [`ActivitySignal`]
 //! per schedule segment (each with its own subject variation) and exposes the whole
 //! timeline as a single [`SignalSource`].  Segment boundaries are cross-faded over a
 //! short transition window so the trace has no unphysical discontinuities.

@@ -1,6 +1,6 @@
 //! Haar discrete wavelet transform.
 //!
-//! The related work the paper builds on (Bhat et al. [12], Zhu et al. [16]) uses
+//! The related work the paper builds on (Bhat et al. \[12\], Zhu et al. \[16\]) uses
 //! wavelet coefficients as a *more expensive* alternative to statistical features,
 //! and chooses feature sets dynamically based on the power budget.  AdaSense's
 //! argument is that its cheap statistical + low-frequency-Fourier features are

@@ -1,6 +1,6 @@
 //! Activity-intensity estimation for the intensity-based baseline.
 //!
-//! NK et al. [8] — the baseline AdaSense is compared against in Fig. 7 — "define the
+//! NK et al. \[8\] — the baseline AdaSense is compared against in Fig. 7 — "define the
 //! intensity of the activity using the first derivative of the accelerometer
 //! readings" and switch the sensor to low-power mode for low-intensity activities.
 //! This module provides that computation; the paper notes that AdaSense avoids it

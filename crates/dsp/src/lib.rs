@@ -19,7 +19,7 @@
 //! * [`resample`] — linear-interpolation resampling (used by the related-work
 //!   baseline that normalizes variable sampling rates).
 //! * [`intensity`] — activity-intensity estimate (mean absolute first derivative),
-//!   used by the intensity-based baseline of NK et al. [8].
+//!   used by the intensity-based baseline of NK et al. \[8\].
 //!
 //! # Example
 //!

@@ -1,6 +1,6 @@
 //! Linear-interpolation resampling.
 //!
-//! The related work discussed in Section II (Liu et al. / Williamson et al. [17])
+//! The related work discussed in Section II (Liu et al. / Williamson et al. \[17\])
 //! normalizes variable-rate sensor data by linear interpolation before
 //! classification.  AdaSense itself does not need resampling — that is the point of
 //! its unified feature extraction — but the function is provided so the alternative

@@ -1,0 +1,170 @@
+//! The pluggable inference backend abstraction.
+//!
+//! The paper's deployment target is a fixed-point microcontroller, so the
+//! reproduction cannot stay hard-wired to the from-scratch `f64` [`Mlp`]: the
+//! fleet layer needs to mix device cohorts running different inference
+//! implementations (full-precision, quantized, eventually externally served).
+//! [`Classifier`] is that seam — an **object-safe** trait over single-row and
+//! batched prediction, implemented by [`Mlp`] and by
+//! [`QuantizedMlp`](crate::quantized::QuantizedMlp), so a heterogeneous cohort
+//! can hold `&dyn Classifier` backends side by side.
+//!
+//! [`BackendKind`] names the built-in backends; the fleet layer assigns one to
+//! every device deterministically from its seed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::{Mlp, Prediction};
+
+/// An activity-recognition inference backend.
+///
+/// The trait is object-safe: every method takes `&self` and plain slices, so
+/// cohorts can mix backends behind `&dyn Classifier` and the fleet scheduler
+/// can batch each backend's pending rows separately.  Implementations must
+/// guarantee that [`predict_batch_into`](Classifier::predict_batch_into)
+/// produces, row for row, **bit-identical** output to repeated
+/// [`predict`](Classifier::predict) calls — the fleet's worker-count
+/// determinism rests on that contract.
+///
+/// # Examples
+///
+/// ```
+/// use adasense_ml::{Classifier, Mlp, MlpConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mlp = Mlp::new(MlpConfig::new(3, vec![8], 2), &mut StdRng::seed_from_u64(7));
+/// // Any backend can be driven through the object-safe trait.
+/// let backend: &dyn Classifier = &mlp;
+/// assert_eq!(backend.input_dim(), 3);
+///
+/// let rows = vec![vec![0.1, -0.4, 0.7], vec![1.0, 0.0, -1.0]];
+/// let mut batch = Vec::new();
+/// backend.predict_batch_into(&rows, &mut batch);
+/// // Batched rows are bit-identical to single-row prediction.
+/// assert_eq!(batch[0], backend.predict(&rows[0]));
+/// assert_eq!(batch[1], backend.predict(&rows[1]));
+/// ```
+pub trait Classifier {
+    /// Number of input features a row must have.
+    fn input_dim(&self) -> usize;
+
+    /// Number of output classes.
+    fn output_dim(&self) -> usize;
+
+    /// A short label naming the backend (used by fleet reports).
+    fn label(&self) -> &str;
+
+    /// Classifies a single feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != self.input_dim()`.
+    fn predict(&self, features: &[f64]) -> Prediction;
+
+    /// Classifies a batch of feature vectors into the caller-provided buffer.
+    ///
+    /// `out` is cleared first so its allocation can be reused across calls; on
+    /// return it holds one [`Prediction`] per row of `rows`, each bit-identical
+    /// to what [`predict`](Classifier::predict) would return for that row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `self.input_dim()`.
+    fn predict_batch_into(&self, rows: &[Vec<f64>], out: &mut Vec<Prediction>);
+}
+
+impl Classifier for Mlp {
+    fn input_dim(&self) -> usize {
+        self.config().input_dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.config().output_dim
+    }
+
+    fn label(&self) -> &str {
+        BackendKind::F64.label()
+    }
+
+    fn predict(&self, features: &[f64]) -> Prediction {
+        Mlp::predict(self, features)
+    }
+
+    fn predict_batch_into(&self, rows: &[Vec<f64>], out: &mut Vec<Prediction>) {
+        out.clear();
+        out.extend(Mlp::predict_batch(self, rows));
+    }
+}
+
+/// The built-in inference backends a device cohort can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// The full-precision from-scratch [`Mlp`] (the historic default).
+    #[default]
+    F64,
+    /// The post-training-quantized int8 copy of the trained [`Mlp`]
+    /// ([`QuantizedMlp`](crate::quantized::QuantizedMlp)).
+    Int8,
+}
+
+impl BackendKind {
+    /// All built-in backends, default first.
+    pub const ALL: [BackendKind; 2] = [BackendKind::F64, BackendKind::Int8];
+
+    /// The name used by reports and the CLI.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::F64 => "f64",
+            BackendKind::Int8 => "int8",
+        }
+    }
+
+    /// Parses a backend from its [`label`](BackendKind::label).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.label() == name)
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::MlpConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_trait_impl_matches_the_inherent_methods() {
+        let mlp = Mlp::new(MlpConfig::new(4, vec![6], 3), &mut StdRng::seed_from_u64(9));
+        let backend: &dyn Classifier = &mlp;
+        assert_eq!(backend.input_dim(), 4);
+        assert_eq!(backend.output_dim(), 3);
+        assert_eq!(backend.label(), "f64");
+
+        let rows: Vec<Vec<f64>> =
+            (0..7).map(|r| (0..4).map(|c| ((r * 4 + c) as f64).cos()).collect()).collect();
+        let mut out = vec![Mlp::predict(&mlp, &rows[0])]; // non-empty: must be cleared
+        backend.predict_batch_into(&rows, &mut out);
+        assert_eq!(out.len(), rows.len());
+        for (row, prediction) in rows.iter().zip(&out) {
+            assert_eq!(prediction, &Mlp::predict(&mlp, row), "trait batch must be bit-identical");
+        }
+        backend.predict_batch_into(&[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn backend_kinds_round_trip_their_names() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::from_name(kind.label()), Some(kind));
+            assert_eq!(format!("{kind}"), kind.label());
+        }
+        assert_eq!(BackendKind::from_name("fp16"), None);
+        assert_eq!(BackendKind::default(), BackendKind::F64);
+    }
+}

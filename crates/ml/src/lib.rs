@@ -12,6 +12,11 @@
 //!   forward and backward passes.
 //! * [`network`] — dense layers, ReLU, softmax and the [`Mlp`] multi-layer
 //!   perceptron with prediction + confidence output.
+//! * [`classifier`] — the object-safe [`Classifier`] trait every inference
+//!   backend implements, and the [`BackendKind`] naming the built-in backends.
+//! * [`quantized`] — [`QuantizedMlp`], a post-training int8 copy of a trained
+//!   [`Mlp`] (per-layer symmetric weight scales, i32 accumulators, dynamically
+//!   requantized activations) for the paper's fixed-point deployment target.
 //! * [`loss`] — softmax cross-entropy with gradient.
 //! * [`optimizer`] — stochastic gradient descent with momentum, and Adam.
 //! * [`normalize`] — per-feature z-score normalization (fit on training data, stored
@@ -38,8 +43,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod classifier;
 pub mod loss;
 pub mod matrix;
 pub mod memory;
@@ -47,18 +53,22 @@ pub mod metrics;
 pub mod network;
 pub mod normalize;
 pub mod optimizer;
+pub mod quantized;
 pub mod trainer;
 
+pub use classifier::{BackendKind, Classifier};
 pub use matrix::Matrix;
 pub use memory::MemoryFootprint;
 pub use metrics::{accuracy, ConfusionMatrix};
 pub use network::{Mlp, MlpConfig, Prediction};
 pub use normalize::Normalizer;
 pub use optimizer::{Optimizer, OptimizerKind};
+pub use quantized::QuantizedMlp;
 pub use trainer::{Trainer, TrainerConfig, TrainingOutcome};
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::classifier::{BackendKind, Classifier};
     pub use crate::loss::{cross_entropy, softmax};
     pub use crate::matrix::Matrix;
     pub use crate::memory::MemoryFootprint;
@@ -66,5 +76,6 @@ pub mod prelude {
     pub use crate::network::{Mlp, MlpConfig, Prediction};
     pub use crate::normalize::Normalizer;
     pub use crate::optimizer::{Optimizer, OptimizerKind};
+    pub use crate::quantized::QuantizedMlp;
     pub use crate::trainer::{Trainer, TrainerConfig, TrainingOutcome};
 }

@@ -107,6 +107,24 @@ pub struct Prediction {
 }
 
 /// A multi-layer perceptron with ReLU hidden activations and softmax output.
+///
+/// This is the default full-precision inference backend; it also implements
+/// the object-safe [`Classifier`](crate::classifier::Classifier) trait so the
+/// runtime and fleet layers can swap in other backends (for example the int8
+/// [`QuantizedMlp`](crate::quantized::QuantizedMlp)).
+///
+/// # Examples
+///
+/// ```
+/// use adasense_ml::{Mlp, MlpConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// // An untrained paper-shaped network still produces a valid softmax output.
+/// let mlp = Mlp::new(MlpConfig::paper(), &mut StdRng::seed_from_u64(42));
+/// let prediction = mlp.predict(&[0.1; 15]);
+/// assert!(prediction.class < 6);
+/// assert!((prediction.probabilities.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Mlp {
     config: MlpConfig,
@@ -232,15 +250,17 @@ impl Mlp {
     }
 }
 
-/// Converts one row of raw logits into a [`Prediction`].
-fn prediction_from_logits(logits: &[f64]) -> Prediction {
+/// Converts one row of raw logits into a [`Prediction`].  Shared with the
+/// quantized backend so every backend resolves softmax/argmax identically.
+pub(crate) fn prediction_from_logits(logits: &[f64]) -> Prediction {
     let probabilities = softmax(logits);
-    let (class, &confidence) = probabilities
+    let (class, confidence) = probabilities
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+        .map(|(i, &p)| (i, p))
         .expect("output dimension is non-zero");
-    Prediction { class, confidence, probabilities: probabilities.clone() }
+    Prediction { class, confidence, probabilities }
 }
 
 #[cfg(test)]

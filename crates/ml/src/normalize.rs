@@ -59,6 +59,17 @@ impl Normalizer {
         self.means.len()
     }
 
+    /// The fitted per-feature means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// The fitted per-feature standard deviations (zero-variance features are
+    /// reported as `1.0`).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
     /// Standardizes one feature vector.
     ///
     /// # Panics

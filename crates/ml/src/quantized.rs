@@ -1,0 +1,658 @@
+//! Post-training int8 quantization of a trained [`Mlp`].
+//!
+//! The paper deploys its classifier on a fixed-point microcontroller
+//! (Section V: a TI CC2640R2F with "few KBs of memory"), and the related
+//! embedded-HAR literature ships int8/fixed-point classifiers on-device.
+//! [`QuantizedMlp`] is that deployment artefact for this reproduction: an
+//! int8 copy of a trained [`Mlp`] built by [`QuantizedMlp::from_mlp`] with
+//!
+//! * **per-layer symmetric weight scales** — each layer's weights are mapped to
+//!   `i8` with one scale `max|w| / 127` (no zero points, no calibration data),
+//! * **i32 accumulators** — every output neuron is an exact integer dot
+//!   product of `i8` inputs and `i8` weights, and
+//! * **requantized activations** — each layer's input row is dynamically
+//!   quantized with its own symmetric scale, so no activation statistics need
+//!   to be collected at conversion time.
+//!
+//! Biases stay in `f64` and are added after the integer accumulation is scaled
+//! back (`acc × s_x × s_w + b`), which matches the usual dynamic-quantization
+//! recipe.  The quantized forward pass is allocation-free per row once its
+//! scratch buffers have grown, which is what makes the batched int8 path
+//! measurably faster than the `f64` matrix path at fleet batch sizes (see the
+//! `backend_bench` Criterion bench and the `backend_sweep` binary).
+
+use serde::{Deserialize, Serialize};
+
+use crate::classifier::{BackendKind, Classifier};
+use crate::network::{prediction_from_logits, Mlp, MlpConfig, Prediction};
+
+/// The symmetric scale mapping `values` onto the `i8` range: `max|v| / 127`,
+/// or `1.0` for an all-zero (or empty) slice so quantization stays a no-op.
+pub fn symmetric_scale(values: &[f64]) -> f64 {
+    scale_from_max_abs(max_abs(values))
+}
+
+/// `max|v|` over the slice, accumulated in four independent lanes so the
+/// reduction is not one serial `max` dependency chain.  `max` is exact, so
+/// the reassociation cannot change the result.
+fn max_abs(values: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    let mut chunks = values.chunks_exact(4);
+    for c in &mut chunks {
+        lanes[0] = lanes[0].max(c[0].abs());
+        lanes[1] = lanes[1].max(c[1].abs());
+        lanes[2] = lanes[2].max(c[2].abs());
+        lanes[3] = lanes[3].max(c[3].abs());
+    }
+    let mut m = lanes[0].max(lanes[1]).max(lanes[2].max(lanes[3]));
+    for v in chunks.remainder() {
+        m = m.max(v.abs());
+    }
+    m
+}
+
+/// Turns a `max|v|` bound into the symmetric i8 scale (`1.0` when the bound
+/// is zero, so quantizing an all-zero vector stays a no-op).
+fn scale_from_max_abs(max_abs: f64) -> f64 {
+    if max_abs > 0.0 {
+        max_abs / 127.0
+    } else {
+        1.0
+    }
+}
+
+/// Branchless hot-path equivalent of `(v / scale).round()` (round half away
+/// from zero) followed by the `[-127, 127]` clamp: multiply by the
+/// reciprocal, add `±0.5` via `copysign`, truncate.
+#[inline]
+fn quantize_value(v: f64, inv_scale: f64) -> i8 {
+    let t = v * inv_scale;
+    ((t + 0.5f64.copysign(t)) as i32).clamp(-127, 127) as i8
+}
+
+/// The same quantization as [`quantize_value`], but producing the integer
+/// *value* as an `f64` (used by the batched path, which evaluates the exact
+/// integer arithmetic on the host's float units).  For every input —
+/// including NaN, which Rust's saturating float→int cast maps to 0 —
+/// `quantize_grid(v, s) == f64::from(quantize_value(v, s))`, so the
+/// batch≡single contract holds even for garbage feature rows.
+#[inline]
+fn quantize_grid(v: f64, inv_scale: f64) -> f64 {
+    let t = v * inv_scale;
+    let r = (t + 0.5f64.copysign(t)).trunc().clamp(-127.0, 127.0);
+    if r.is_nan() {
+        0.0
+    } else {
+        r
+    }
+}
+
+/// Quantizes `values` to `i8` with the given symmetric `scale`
+/// (`q = round(v / scale)` clamped to `[-127, 127]`).
+///
+/// # Panics
+///
+/// Panics if `scale` is not strictly positive.
+pub fn quantize_symmetric(values: &[f64], scale: f64) -> Vec<i8> {
+    assert!(scale > 0.0, "quantization scale must be positive, got {scale}");
+    values.iter().map(|v| (v / scale).round().clamp(-127.0, 127.0) as i8).collect()
+}
+
+/// Maps int8 quantized values back to `f64`: `v ≈ q × scale`.
+pub fn dequantize(quantized: &[i8], scale: f64) -> Vec<f64> {
+    quantized.iter().map(|&q| f64::from(q) * scale).collect()
+}
+
+/// The column-block width of the batched GEMM microkernel: accumulators are
+/// fixed `[f64; 8]` blocks the compiler keeps in registers across the whole
+/// input loop.
+const GEMM_BLOCK: usize = 8;
+
+/// One dense layer of a [`QuantizedMlp`]: int8 weights with a per-layer
+/// symmetric scale, plus the original `f64` biases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedLayer {
+    inputs: usize,
+    outputs: usize,
+    /// `outputs` rounded up to a multiple of [`GEMM_BLOCK`].
+    outputs_padded: usize,
+    /// Row-major `inputs × outputs` int8 weights.
+    weights: Vec<i8>,
+    /// The same int8 weight values widened to `f64`, zero-padded to
+    /// `inputs × outputs_padded` and stored **block-column-major**: for each
+    /// [`GEMM_BLOCK`]-wide column block, its `inputs × GEMM_BLOCK` panel is
+    /// contiguous (row by row).  The batched path streams these panels with
+    /// zero index arithmetic and runs the exact integer accumulation on the
+    /// host's float units (every product and partial sum is an integer far
+    /// below 2^53, so the result is bit-identical to the i32 accumulation of
+    /// the scalar path).
+    weights_wide: Vec<f64>,
+    /// The layer's symmetric weight scale (`max|w| / 127`).
+    weight_scale: f64,
+    /// Biases, kept in `f64` and added after the accumulator is rescaled.
+    biases: Vec<f64>,
+    /// The biases zero-padded to `outputs_padded`, so the batched GEMM can
+    /// apply them block-wise straight from the register accumulators.
+    biases_padded: Vec<f64>,
+}
+
+impl QuantizedLayer {
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of outputs.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// The per-layer symmetric weight scale.
+    pub fn weight_scale(&self) -> f64 {
+        self.weight_scale
+    }
+
+    /// The int8 weights (row-major, `inputs × outputs`).
+    pub fn weights(&self) -> &[i8] {
+        &self.weights
+    }
+
+    /// Computes `out = relu?(q_x · W × (s_x × s_w) + b)` with i32 accumulators.
+    ///
+    /// `q_x` must hold `inputs` quantized activations at scale `s_x`; `out`
+    /// must hold `outputs` slots and `acc` is the i32 accumulator row.  The
+    /// loops run over plain slices with no loop-carried state so they
+    /// auto-vectorize; integer accumulation is exact, so the evaluation order
+    /// is free to change without affecting the result bit for bit.
+    fn forward(&self, q_x: &[i8], s_x: f64, relu: bool, out: &mut [f64], acc: &mut [i32]) {
+        debug_assert_eq!(q_x.len(), self.inputs);
+        debug_assert_eq!(out.len(), self.outputs);
+        acc.fill(0);
+        for (i, &xi) in q_x.iter().enumerate() {
+            let xi = i32::from(xi);
+            let row = &self.weights[i * self.outputs..(i + 1) * self.outputs];
+            // Fixed-width 8-blocks give the compiler compile-time trip counts
+            // to unroll and vectorize; the remainder covers narrow layers.
+            let mut a_blocks = acc.chunks_exact_mut(8);
+            let mut w_blocks = row.chunks_exact(8);
+            for (ab, wb) in (&mut a_blocks).zip(&mut w_blocks) {
+                for t in 0..8 {
+                    ab[t] += xi * i32::from(wb[t]);
+                }
+            }
+            for (a, &w) in a_blocks.into_remainder().iter_mut().zip(w_blocks.remainder()) {
+                *a += xi * i32::from(w);
+            }
+        }
+        let rescale = s_x * self.weight_scale;
+        if relu {
+            for ((y, &a), &b) in out.iter_mut().zip(acc.iter()).zip(&self.biases) {
+                *y = (f64::from(a) * rescale + b).max(0.0);
+            }
+        } else {
+            for ((y, &a), &b) in out.iter_mut().zip(acc.iter()).zip(&self.biases) {
+                *y = f64::from(a) * rescale + b;
+            }
+        }
+    }
+}
+
+/// Reusable per-row buffers of the quantized forward pass.  Retained across
+/// rows by [`QuantizedMlp::predict_batch_into`], so batched inference performs
+/// no allocation once the buffers have grown.
+#[derive(Debug, Default)]
+struct QuantScratch {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    q: Vec<i8>,
+    acc: Vec<i32>,
+}
+
+/// A post-training int8 quantized copy of a trained [`Mlp`].
+///
+/// Produces the same [`Prediction`] shape as the float model (softmax
+/// probabilities, argmax class, confidence) from an integer-arithmetic forward
+/// pass; per-row output is bit-identical between
+/// [`predict`](Classifier::predict) and batched prediction, so quantized
+/// device cohorts keep the fleet's worker-count determinism.
+///
+/// # Examples
+///
+/// ```
+/// use adasense_ml::{Classifier, Mlp, MlpConfig, QuantizedMlp};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mlp = Mlp::new(MlpConfig::new(4, vec![8], 3), &mut StdRng::seed_from_u64(1));
+/// let quantized = QuantizedMlp::from_mlp(&mlp);
+/// assert_eq!(quantized.config(), mlp.config());
+///
+/// // The int8 model predicts the same class as the float model on easy inputs,
+/// // with probabilities that only differ by quantization noise.
+/// let features = [0.5, -1.0, 0.25, 2.0];
+/// let (f64_out, int8_out) = (mlp.predict(&features), quantized.predict(&features));
+/// assert_eq!(int8_out.probabilities.len(), f64_out.probabilities.len());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMlp {
+    config: MlpConfig,
+    layers: Vec<QuantizedLayer>,
+    /// Per-feature means of the carried-over input normalizer (empty when the
+    /// source model had none).
+    norm_means: Vec<f64>,
+    /// Per-feature *reciprocal* standard deviations — stored inverted so the
+    /// hot path multiplies instead of divides.
+    norm_inv_stds: Vec<f64>,
+}
+
+impl QuantizedMlp {
+    /// Quantizes a trained [`Mlp`]: every layer's weights are mapped to `i8`
+    /// with a per-layer symmetric scale; biases are carried over unchanged and
+    /// the fitted input normalizer is carried over with its standard
+    /// deviations pre-inverted (the int8 path multiplies by the reciprocal
+    /// instead of dividing — its own arithmetic, chosen for the
+    /// microcontroller-style hot path).
+    pub fn from_mlp(mlp: &Mlp) -> Self {
+        let layers = mlp
+            .layers()
+            .iter()
+            .map(|layer| {
+                let (inputs, outputs) = (layer.inputs(), layer.outputs());
+                let outputs_padded = outputs.div_ceil(GEMM_BLOCK) * GEMM_BLOCK;
+                let weight_scale = symmetric_scale(layer.weights.as_slice());
+                let weights = quantize_symmetric(layer.weights.as_slice(), weight_scale);
+                let mut weights_wide = vec![0.0f64; inputs * outputs_padded];
+                for i in 0..inputs {
+                    for j in 0..outputs {
+                        let (jb, jt) = (j / GEMM_BLOCK, j % GEMM_BLOCK);
+                        weights_wide[(jb * inputs + i) * GEMM_BLOCK + jt] =
+                            f64::from(weights[i * outputs + j]);
+                    }
+                }
+                let mut biases_padded = layer.biases.clone();
+                biases_padded.resize(outputs_padded, 0.0);
+                QuantizedLayer {
+                    inputs,
+                    outputs,
+                    outputs_padded,
+                    weights,
+                    weights_wide,
+                    weight_scale,
+                    biases: layer.biases.clone(),
+                    biases_padded,
+                }
+            })
+            .collect();
+        let (norm_means, norm_inv_stds) = match mlp.normalizer() {
+            Some(n) => (n.means().to_vec(), n.stds().iter().map(|s| 1.0 / s).collect()),
+            None => (Vec::new(), Vec::new()),
+        };
+        Self { config: mlp.config().clone(), layers, norm_means, norm_inv_stds }
+    }
+
+    /// The architecture this model was quantized from.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// The quantized layers.
+    pub fn layers(&self) -> &[QuantizedLayer] {
+        &self.layers
+    }
+
+    /// The size of the int8 weight tensor in bytes (the quantity that must fit
+    /// in the wearable's memory; biases and scales add a few `f64`s on top).
+    pub fn weight_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len()).sum()
+    }
+
+    fn assert_input(&self, features: &[f64]) {
+        assert_eq!(
+            features.len(),
+            self.config.input_dim,
+            "expected {} features, got {}",
+            self.config.input_dim,
+            features.len()
+        );
+    }
+
+    /// The widest activation row any layer produces or consumes (padded
+    /// output widths included, so every GEMM block store stays in bounds).
+    fn max_width(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.inputs.max(l.outputs_padded))
+            .max()
+            .unwrap_or(self.config.input_dim)
+    }
+
+    /// One full forward pass over `scratch` buffers; returns the prediction.
+    ///
+    /// Every stage is a separate pass over plain slices (standardize →
+    /// max-abs → quantize → integer GEMV → rescale) with no loop-carried
+    /// state other than the exact integer accumulators, so the compiler can
+    /// vectorize each pass independently.
+    fn forward_row(&self, features: &[f64], scratch: &mut QuantScratch) -> Prediction {
+        self.assert_input(features);
+        let width = self.max_width();
+        scratch.x.resize(width, 0.0);
+        scratch.y.resize(width, 0.0);
+        scratch.q.resize(width, 0);
+        scratch.acc.resize(width, 0);
+
+        let mut dim = self.config.input_dim;
+        if self.norm_means.is_empty() {
+            scratch.x[..dim].copy_from_slice(features);
+        } else {
+            for (((x, v), m), inv_s) in scratch.x[..dim]
+                .iter_mut()
+                .zip(features)
+                .zip(&self.norm_means)
+                .zip(&self.norm_inv_stds)
+            {
+                *x = (v - m) * inv_s;
+            }
+        }
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            // Dynamic symmetric requantization of the layer input, in fixed
+            // 4-blocks (see `QuantizedLayer::forward` for the rationale).
+            let s_x = scale_from_max_abs(max_abs(&scratch.x[..dim]));
+            let inv_s = 1.0 / s_x;
+            let mut q_blocks = scratch.q[..dim].chunks_exact_mut(4);
+            let mut x_blocks = scratch.x[..dim].chunks_exact(4);
+            for (qb, xb) in (&mut q_blocks).zip(&mut x_blocks) {
+                for t in 0..4 {
+                    qb[t] = quantize_value(xb[t], inv_s);
+                }
+            }
+            for (q, &v) in q_blocks.into_remainder().iter_mut().zip(x_blocks.remainder()) {
+                *q = quantize_value(v, inv_s);
+            }
+            layer.forward(
+                &scratch.q[..dim],
+                s_x,
+                i < last,
+                &mut scratch.y[..layer.outputs],
+                &mut scratch.acc[..layer.outputs],
+            );
+            dim = layer.outputs;
+            std::mem::swap(&mut scratch.x, &mut scratch.y);
+        }
+        prediction_from_logits(&scratch.x[..dim])
+    }
+}
+
+impl Classifier for QuantizedMlp {
+    fn input_dim(&self) -> usize {
+        self.config.input_dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.config.output_dim
+    }
+
+    fn label(&self) -> &str {
+        BackendKind::Int8.label()
+    }
+
+    fn predict(&self, features: &[f64]) -> Prediction {
+        self.forward_row(features, &mut QuantScratch::default())
+    }
+
+    /// Batched inference: the same dynamic-quantization arithmetic as
+    /// [`predict`](Classifier::predict), evaluated stage by stage over flat
+    /// per-batch buffers.
+    ///
+    /// The integer accumulation runs on the host's float units: quantized
+    /// activations and weights are integers with magnitude ≤ 127, so every
+    /// product (≤ 16129) and every partial sum (≤ `inputs × 16129`, far below
+    /// 2^53) is exactly representable in `f64`, and the accumulated value is
+    /// **bit-identical** to the scalar path's i32 accumulator.  This is what
+    /// makes the batched int8 path faster than the `f64` matrix path — no
+    /// per-row matrix allocations, fused normalize/quantize/rescale passes —
+    /// without giving up a single bit of the integer-arithmetic semantics
+    /// (property-tested against [`predict`](Classifier::predict) row by row).
+    fn predict_batch_into(&self, rows: &[Vec<f64>], out: &mut Vec<Prediction>) {
+        out.clear();
+        if rows.is_empty() {
+            return;
+        }
+        for row in rows {
+            self.assert_input(row);
+        }
+        let n = rows.len();
+        let width = self.max_width();
+        // Thread-local scratch: the current activations in the first half,
+        // the next layer's outputs in the second (row stride = `width`), plus
+        // the per-row max-magnitude feeding each dynamic requantization.
+        // Reusing the buffers across calls keeps the hot path free of
+        // allocation *and* of the zero-initialization a fresh `vec!` pays.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+        }
+        SCRATCH.with(|cell| {
+            let mut borrow = cell.borrow_mut();
+            let (buf, maxes) = &mut *borrow;
+            if buf.len() < 2 * n * width {
+                buf.resize(2 * n * width, 0.0);
+            }
+            if maxes.len() < n {
+                maxes.resize(n, 0.0);
+            }
+            let (mut a, mut b) = buf.split_at_mut(n * width);
+            let mut dim = self.config.input_dim;
+
+            // Standardize every row into `a` (multiply by the pre-inverted
+            // stds).
+            for (r, row) in rows.iter().enumerate() {
+                let dst = &mut a[r * width..r * width + dim];
+                if self.norm_means.is_empty() {
+                    dst.copy_from_slice(row);
+                } else {
+                    for (((x, v), m), inv_s) in
+                        dst.iter_mut().zip(row).zip(&self.norm_means).zip(&self.norm_inv_stds)
+                    {
+                        *x = (v - m) * inv_s;
+                    }
+                }
+                maxes[r] = max_abs(dst);
+            }
+
+            let last = self.layers.len() - 1;
+            for (li, layer) in self.layers.iter().enumerate() {
+                for r in 0..n {
+                    let arow = &mut a[r * width..r * width + dim];
+                    // Dynamic symmetric requantization onto the integer grid
+                    // (fixed 4-blocks so the pass unrolls and vectorizes).
+                    let s_x = scale_from_max_abs(maxes[r]);
+                    let inv_s = 1.0 / s_x;
+                    let mut blocks = arow.chunks_exact_mut(4);
+                    for block in &mut blocks {
+                        let block: &mut [f64; 4] =
+                            block.try_into().expect("chunks_exact yields 4-wide blocks");
+                        for v in block {
+                            *v = quantize_grid(*v, inv_s);
+                        }
+                    }
+                    for v in blocks.into_remainder() {
+                        *v = quantize_grid(*v, inv_s);
+                    }
+                    // Exact integer accumulation (see the method docs).  The
+                    // microkernel streams one contiguous weight panel per
+                    // column block, keeps the whole accumulator block in
+                    // registers across the input loop, and applies the
+                    // rescale/bias/ReLU epilogue straight from those
+                    // registers; the padded columns and biases make every
+                    // block full-width.  Hidden layers track the next
+                    // requantization's max in independent lanes (exact: `max`
+                    // reassociates freely, ReLU outputs need no `abs`, and
+                    // padded lanes contribute an exact 0).
+                    let rescale = s_x * layer.weight_scale;
+                    let brow = &mut b[r * width..r * width + layer.outputs_padded];
+                    let mut row_max = 0.0f64;
+                    for (jb, block) in brow.chunks_exact_mut(GEMM_BLOCK).enumerate() {
+                        let panel =
+                            &layer.weights_wide[jb * dim * GEMM_BLOCK..(jb + 1) * dim * GEMM_BLOCK];
+                        let mut acc = [0.0f64; GEMM_BLOCK];
+                        for (&xk, wk) in arow.iter().zip(panel.chunks_exact(GEMM_BLOCK)) {
+                            for t in 0..GEMM_BLOCK {
+                                acc[t] += xk * wk[t];
+                            }
+                        }
+                        let bias = &layer.biases_padded[jb * GEMM_BLOCK..(jb + 1) * GEMM_BLOCK];
+                        if li < last {
+                            let mut lanes = [0.0f64; GEMM_BLOCK];
+                            for t in 0..GEMM_BLOCK {
+                                let y = (acc[t] * rescale + bias[t]).max(0.0);
+                                lanes[t] = lanes[t].max(y);
+                                acc[t] = y;
+                            }
+                            for lane in lanes {
+                                row_max = row_max.max(lane);
+                            }
+                        } else {
+                            for t in 0..GEMM_BLOCK {
+                                acc[t] = acc[t] * rescale + bias[t];
+                            }
+                        }
+                        block.copy_from_slice(&acc);
+                    }
+                    maxes[r] = row_max;
+                }
+                dim = layer.outputs;
+                std::mem::swap(&mut a, &mut b);
+            }
+            out.extend((0..n).map(|r| prediction_from_logits(&a[r * width..r * width + dim])));
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_mlp(seed: u64) -> Mlp {
+        Mlp::new(MlpConfig::new(6, vec![10, 8], 4), &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_a_step() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let values: Vec<f64> = (0..512).map(|_| rng.random_range(-4.0..4.0)).collect();
+        let scale = symmetric_scale(&values);
+        let restored = dequantize(&quantize_symmetric(&values, scale), scale);
+        for (v, r) in values.iter().zip(&restored) {
+            assert!(
+                (v - r).abs() <= scale / 2.0 + 1e-12,
+                "round-trip error {} exceeds half a quantization step {}",
+                (v - r).abs(),
+                scale / 2.0
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_values_saturate_at_the_i8_range() {
+        // A scale chosen too small must clamp, not wrap.
+        let q = quantize_symmetric(&[10.0, -10.0], 0.01);
+        assert_eq!(q, vec![127, -127]);
+        // The max-abs scale maps the extremes exactly onto ±127.
+        let values = [2.54, -2.54, 0.0];
+        let scale = symmetric_scale(&values);
+        assert_eq!(quantize_symmetric(&values, scale), vec![127, -127, 0]);
+    }
+
+    #[test]
+    fn zero_and_empty_slices_get_the_neutral_scale() {
+        assert_eq!(symmetric_scale(&[]), 1.0);
+        assert_eq!(symmetric_scale(&[0.0, 0.0]), 1.0);
+        assert_eq!(quantize_symmetric(&[0.0], 1.0), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn non_positive_scales_are_rejected() {
+        let _ = quantize_symmetric(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn quantized_model_mirrors_the_float_architecture() {
+        let mlp = random_mlp(5);
+        let q = QuantizedMlp::from_mlp(&mlp);
+        assert_eq!(q.config(), mlp.config());
+        assert_eq!(q.layers().len(), mlp.layers().len());
+        for (ql, fl) in q.layers().iter().zip(mlp.layers()) {
+            assert_eq!(ql.inputs(), fl.inputs());
+            assert_eq!(ql.outputs(), fl.outputs());
+            assert_eq!(ql.weights().len(), fl.weights.element_count());
+            assert!(ql.weight_scale() > 0.0);
+        }
+        assert_eq!(q.weight_bytes(), 6 * 10 + 10 * 8 + 8 * 4);
+        assert_eq!(Classifier::label(&q), "int8");
+    }
+
+    #[test]
+    fn quantized_predictions_stay_close_to_the_float_model() {
+        let mlp = random_mlp(11);
+        let q = QuantizedMlp::from_mlp(&mlp);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..64 {
+            let features: Vec<f64> = (0..6).map(|_| rng.random_range(-2.0..2.0)).collect();
+            let f = Mlp::predict(&mlp, &features);
+            let i = Classifier::predict(&q, &features);
+            for (pf, pi) in f.probabilities.iter().zip(&i.probabilities) {
+                assert!(
+                    (pf - pi).abs() < 0.15,
+                    "quantization moved a probability by {} (f64 {pf}, int8 {pi})",
+                    (pf - pi).abs()
+                );
+            }
+            assert!((0.0..=1.0).contains(&i.confidence));
+            assert!((i.probabilities.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn batch_rows_are_bit_identical_to_single_rows() {
+        let mlp = random_mlp(17);
+        let q = QuantizedMlp::from_mlp(&mlp);
+        let rows: Vec<Vec<f64>> =
+            (0..23).map(|r| (0..6).map(|c| ((r * 6 + c) as f64 * 0.37).sin()).collect()).collect();
+        let mut batch = Vec::new();
+        q.predict_batch_into(&rows, &mut batch);
+        assert_eq!(batch.len(), rows.len());
+        for (row, prediction) in rows.iter().zip(&batch) {
+            assert_eq!(prediction, &Classifier::predict(&q, row), "must be bit-identical");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 6 features")]
+    fn wrong_input_size_is_rejected() {
+        let _ = Classifier::predict(&QuantizedMlp::from_mlp(&random_mlp(1)), &[1.0]);
+    }
+
+    #[test]
+    fn non_finite_rows_stay_bit_identical_between_batch_and_single() {
+        // Garbage inputs (a dead upstream source) must not split the batched
+        // and scalar paths: the saturating float→int cast maps NaN to 0 and
+        // the grid path mirrors that explicitly.
+        let q = QuantizedMlp::from_mlp(&random_mlp(23));
+        let rows = vec![
+            vec![f64::NAN, 1.0, -2.0, 0.5, 0.0, 3.0],
+            vec![f64::INFINITY, 1.0, -2.0, 0.5, 0.0, 3.0],
+            vec![f64::NEG_INFINITY, f64::NAN, -2.0, 0.5, 0.0, 3.0],
+            vec![0.25; 6],
+        ];
+        let mut batch = Vec::new();
+        q.predict_batch_into(&rows, &mut batch);
+        for (row, prediction) in rows.iter().zip(&batch) {
+            let single = Classifier::predict(&q, row);
+            assert_eq!(single.class, prediction.class);
+            assert_eq!(single.probabilities, prediction.probabilities, "must stay bit-identical");
+        }
+    }
+}

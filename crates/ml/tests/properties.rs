@@ -73,6 +73,39 @@ proptest! {
         let bank = MemoryFootprint::bank(&MlpConfig::paper(), models, 4);
         prop_assert_eq!(bank.total_bytes(), models * single.total_bytes());
     }
+
+    /// `QuantizedMlp::predict_batch_into` rows are bit-identical to repeated
+    /// single-row `predict` calls — the contract the fleet's worker-count
+    /// determinism rests on — for arbitrary inputs and seeds.
+    #[test]
+    fn quantized_batch_rows_equal_single_rows(
+        rows in prop::collection::vec(finite_vec(15), 1..12),
+        seed in 0u64..200,
+    ) {
+        let model = Mlp::new(MlpConfig::paper(), &mut StdRng::seed_from_u64(seed));
+        let quantized = QuantizedMlp::from_mlp(&model);
+        let mut batch = Vec::new();
+        quantized.predict_batch_into(&rows, &mut batch);
+        prop_assert_eq!(batch.len(), rows.len());
+        for (row, prediction) in rows.iter().zip(&batch) {
+            let single = Classifier::predict(&quantized, row);
+            prop_assert_eq!(&single.probabilities, &prediction.probabilities);
+            prop_assert_eq!(single.class, prediction.class);
+            prop_assert!(single.confidence == prediction.confidence);
+        }
+    }
+
+    /// Symmetric int8 quantization round-trips within half a quantization step
+    /// for in-range values, regardless of the data's spread.
+    #[test]
+    fn quantize_round_trip_error_is_bounded(values in prop::collection::vec(-100.0f64..100.0, 1..64)) {
+        let scale = adasense_ml::quantized::symmetric_scale(&values);
+        let q = adasense_ml::quantized::quantize_symmetric(&values, scale);
+        let restored = adasense_ml::quantized::dequantize(&q, scale);
+        for (v, r) in values.iter().zip(&restored) {
+            prop_assert!((v - r).abs() <= scale / 2.0 + 1e-12);
+        }
+    }
 }
 
 /// Training on a tiny synthetic problem reaches high accuracy from a variety of
