@@ -26,6 +26,12 @@ pub enum AdaSenseError {
         /// The label of the unknown configuration.
         label: String,
     },
+    /// A telemetry stream could not be ingested (connection failure, corrupt
+    /// or truncated frame, unsupported wire-format version, …).
+    Ingest {
+        /// What went wrong while ingesting the stream.
+        reason: String,
+    },
 }
 
 impl AdaSenseError {
@@ -43,6 +49,11 @@ impl AdaSenseError {
     pub fn simulation(reason: impl Into<String>) -> Self {
         Self::Simulation { reason: reason.into() }
     }
+
+    /// Creates an [`AdaSenseError::Ingest`] error.
+    pub fn ingest(reason: impl Into<String>) -> Self {
+        Self::Ingest { reason: reason.into() }
+    }
 }
 
 impl fmt::Display for AdaSenseError {
@@ -54,6 +65,7 @@ impl fmt::Display for AdaSenseError {
             AdaSenseError::UnknownConfiguration { label } => {
                 write!(f, "unknown sensor configuration `{label}`")
             }
+            AdaSenseError::Ingest { reason } => write!(f, "telemetry ingestion failed: {reason}"),
         }
     }
 }
@@ -71,6 +83,7 @@ mod tests {
             AdaSenseError::training("empty training set"),
             AdaSenseError::simulation("empty scenario"),
             AdaSenseError::UnknownConfiguration { label: "F1_A1".into() },
+            AdaSenseError::ingest("truncated frame"),
         ];
         for error in errors {
             let message = error.to_string();

@@ -24,7 +24,11 @@
 //!
 //! The scheduler also exposes [`FleetScheduler::run_scenarios`], an
 //! order-preserving parallel runner for explicit `(scenario, controller)` job
-//! lists; the Fig. 6 / Fig. 7 experiment sweeps run through it.
+//! lists; the Fig. 6 / Fig. 7 experiment sweeps run through it.  Live
+//! telemetry joins the same machinery through
+//! [`FleetScheduler::run_with_feeds`]: a cohort of [`ExternalDevice`]s —
+//! channel- or socket-fed [`SampleSource`]s from [`crate::ingest`] — ticks in
+//! the same lockstep chunks alongside the scenario-driven population.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -36,7 +40,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::controller::ControllerKind;
 use crate::error::AdaSenseError;
-use crate::runtime::{DeviceRuntime, ScenarioSource, TickPhase};
+use crate::runtime::{DeviceRuntime, SampleSource, ScenarioSource, TickPhase};
 use crate::scenario::{FaultInjector, PopulationSpec};
 use crate::simulation::{ScenarioSpec, SimulationReport, Simulator};
 use crate::training::{ExperimentSpec, TrainedSystem};
@@ -125,6 +129,122 @@ impl FleetSpec {
             return Err(AdaSenseError::invalid_spec("lockstep_devices must be non-zero"));
         }
         self.population.validate()
+    }
+
+    /// Everything this spec determines about one device, derived purely from
+    /// `(base_seed, device_id)`: its seed, its routine and backend assignment,
+    /// and the realized scenario it will live.
+    ///
+    /// This is the exact setup [`FleetScheduler::run`] uses, exposed so replay
+    /// tooling can rebuild a device's world outside the scheduler — record its
+    /// stream with a [`TraceRecorder`](crate::ingest::TraceRecorder), then
+    /// feed the trace back as an [`ExternalDevice`].
+    pub fn device_plan(&self, device_id: u64) -> DevicePlan {
+        let seed = device_seed(self.base_seed, device_id);
+        let profile = self.population.prior.assign(seed);
+        let backend = self.population.backend.assign(seed);
+        let (scenario, routine) = match profile.routine {
+            Some(preset) => (
+                preset.script().scenario(self.duration_s, profile.dwell_scale, seed),
+                preset.label().to_string(),
+            ),
+            None => (
+                ScenarioSpec::random(self.setting, self.duration_s, seed),
+                format!("dwell-{}", self.setting.label()),
+            ),
+        };
+        DevicePlan { device_id, seed, routine, backend, scenario }
+    }
+}
+
+/// One device's fully derived setup within a fleet (see
+/// [`FleetSpec::device_plan`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DevicePlan {
+    /// The device's id within the fleet.
+    pub device_id: u64,
+    /// The derived seed ([`device_seed`]`(base_seed, device_id)`).
+    pub seed: u64,
+    /// The routine label the device's summary will carry.
+    pub routine: String,
+    /// The inference backend the device is assigned.
+    pub backend: BackendKind,
+    /// The realized scenario the device lives.
+    pub scenario: ScenarioSpec,
+}
+
+/// An externally fed device joining a fleet run: a live [`SampleSource`]
+/// (typically a [`ChannelSource`](crate::ingest::ChannelSource) or
+/// [`SocketSource`](crate::ingest::SocketSource)) plus the metadata its
+/// [`DeviceSummary`] row should carry.
+///
+/// The source is driven until it reports end-of-stream (or until
+/// `duration_s`, when bounded).  Fault exposure is a capture-side property
+/// the feed does not carry, so external rows always report
+/// `faulted_epochs == 0`.
+pub struct ExternalDevice {
+    /// The id the device's summary row carries.  The caller is responsible
+    /// for keeping feed ids distinct from the scenario cohort's `0..devices`.
+    pub device_id: u64,
+    /// The seed recorded in the summary row (`0` unless the feed replays a
+    /// known seeded run).
+    pub seed: u64,
+    /// The routine label recorded in the summary row.
+    pub routine: String,
+    /// The inference backend the device classifies with.
+    pub backend: BackendKind,
+    /// Optional tick budget, in seconds.  `None` runs until the source
+    /// exhausts — a feed that never signals end-of-stream then never returns.
+    pub duration_s: Option<f64>,
+    /// The live sample feed.
+    pub source: Box<dyn SampleSource + Send>,
+}
+
+impl ExternalDevice {
+    /// Wraps `source` as an external device with neutral metadata: seed 0,
+    /// routine `"external"`, the full-precision backend and no tick budget.
+    pub fn new(device_id: u64, source: impl SampleSource + Send + 'static) -> Self {
+        Self {
+            device_id,
+            seed: 0,
+            routine: "external".to_string(),
+            backend: BackendKind::F64,
+            duration_s: None,
+            source: Box::new(source),
+        }
+    }
+
+    /// Sets the summary metadata this device's row carries (for example the
+    /// plan of the recorded run a trace replays).
+    pub fn with_metadata(mut self, seed: u64, routine: impl Into<String>) -> Self {
+        self.seed = seed;
+        self.routine = routine.into();
+        self
+    }
+
+    /// Sets the inference backend this device classifies with.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Bounds the device's run to `duration_s` seconds even if the feed keeps
+    /// producing.
+    pub fn with_duration(mut self, duration_s: f64) -> Self {
+        self.duration_s = Some(duration_s);
+        self
+    }
+}
+
+impl std::fmt::Debug for ExternalDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExternalDevice")
+            .field("device_id", &self.device_id)
+            .field("seed", &self.seed)
+            .field("routine", &self.routine)
+            .field("backend", &self.backend)
+            .field("duration_s", &self.duration_s)
+            .finish_non_exhaustive()
     }
 }
 
@@ -452,12 +572,70 @@ impl<'a> FleetScheduler<'a> {
     /// propagates per-device simulation errors.
     pub fn run(&self, fleet: &FleetSpec) -> Result<FleetReport, AdaSenseError> {
         fleet.validate()?;
+        self.run_with_feeds(fleet, Vec::new())
+    }
+
+    /// Runs `fleet` with a cohort of externally fed devices alongside the
+    /// scenario-driven ones: live telemetry feeds ([`ExternalDevice`]) join
+    /// the same worker pool, tick in the same lockstep chunks of
+    /// [`FleetSpec::lockstep_devices`], and batch their classifier calls the
+    /// same way.  `fleet.devices` may be `0` for a feed-only run.
+    ///
+    /// The report lists the scenario cohort first (by device id), then the
+    /// feed cohort in the order given.  Scenario rows are bit-identical to
+    /// [`run`](FleetScheduler::run); a feed row is bit-identical to the run
+    /// that produced its trace when the feed replays a recording (the
+    /// `telemetry_replay` binary gates exactly that in CI).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::InvalidSpec`] for degenerate specs (including
+    /// no devices in either cohort) and propagates per-device errors.
+    pub fn run_with_feeds(
+        &self,
+        fleet: &FleetSpec,
+        feeds: Vec<ExternalDevice>,
+    ) -> Result<FleetReport, AdaSenseError> {
+        if fleet.devices > 0 {
+            fleet.validate()?;
+        } else {
+            if feeds.is_empty() {
+                return Err(AdaSenseError::invalid_spec(
+                    "a fleet needs at least one device (scenario-driven or external)",
+                ));
+            }
+            if fleet.lockstep_devices == 0 {
+                return Err(AdaSenseError::invalid_spec("lockstep_devices must be non-zero"));
+            }
+            fleet.population.validate()?;
+        }
         let chunk = fleet.lockstep_devices as u64;
         let chunks: Vec<std::ops::Range<u64>> = (0..fleet.devices.div_ceil(chunk))
             .map(|c| (c * chunk)..((c + 1) * chunk).min(fleet.devices))
             .collect();
-        let summaries = run_jobs(self.worker_threads(), chunks.len(), |i| {
-            self.run_chunk(fleet, chunks[i].clone())
+        // Feed sources are stateful and owned, so each feed chunk sits in a
+        // take-once slot its job claims exactly once.
+        let mut feed_chunks: Vec<Mutex<Option<Vec<ExternalDevice>>>> = Vec::new();
+        let mut feeds = feeds.into_iter();
+        loop {
+            let group: Vec<ExternalDevice> = feeds.by_ref().take(fleet.lockstep_devices).collect();
+            if group.is_empty() {
+                break;
+            }
+            feed_chunks.push(Mutex::new(Some(group)));
+        }
+        let scenario_jobs = chunks.len();
+        let summaries = run_jobs(self.worker_threads(), scenario_jobs + feed_chunks.len(), |i| {
+            if i < scenario_jobs {
+                self.run_chunk(fleet, chunks[i].clone())
+            } else {
+                let group = feed_chunks[i - scenario_jobs]
+                    .lock()
+                    .expect("no worker panicked holding a feed slot")
+                    .take()
+                    .expect("each feed chunk is claimed exactly once");
+                self.run_feed_chunk(fleet.controller, group)
+            }
         })?;
         Ok(FleetReport {
             controller: fleet.controller.label(),
@@ -484,39 +662,37 @@ impl<'a> FleetScheduler<'a> {
         })
     }
 
-    /// Runs one lockstep chunk of devices to completion.
+    /// The exact sample source a fleet device runs over: the plan's realized
+    /// scenario played through the simulated accelerometer, wrapped in the
+    /// population's fault injector.  Exposed so replay tooling can rebuild a
+    /// device's world outside the scheduler.
+    pub fn device_source(
+        &self,
+        fleet: &FleetSpec,
+        plan: &DevicePlan,
+    ) -> FaultInjector<ScenarioSource> {
+        FaultInjector::for_device(
+            ScenarioSource::new(self.spec, &plan.scenario),
+            fleet.population.fault,
+            plan.scenario.duration_s(),
+            plan.seed,
+        )
+    }
+
+    /// Runs one lockstep chunk of scenario-driven devices to completion.
     fn run_chunk(
         &self,
         fleet: &FleetSpec,
         device_ids: std::ops::Range<u64>,
     ) -> Result<Vec<DeviceSummary>, AdaSenseError> {
         let chunk_len = (device_ids.end - device_ids.start) as usize;
-        let legacy_label = format!("dwell-{}", fleet.setting.label());
-        let mut seeds = Vec::with_capacity(chunk_len);
-        let mut routines = Vec::with_capacity(chunk_len);
+        let mut plans = Vec::with_capacity(chunk_len);
         let mut backends = Vec::with_capacity(chunk_len);
         let mut runtimes = Vec::with_capacity(chunk_len);
-        for device_id in device_ids.clone() {
-            let seed = device_seed(fleet.base_seed, device_id);
-            let profile = fleet.population.prior.assign(seed);
-            let backend = fleet.population.backend.assign(seed);
-            let (scenario, routine) = match profile.routine {
-                Some(preset) => (
-                    preset.script().scenario(fleet.duration_s, profile.dwell_scale, seed),
-                    preset.label().to_string(),
-                ),
-                None => (
-                    ScenarioSpec::random(fleet.setting, fleet.duration_s, seed),
-                    legacy_label.clone(),
-                ),
-            };
-            let duration_s = scenario.duration_s();
-            let source = FaultInjector::for_device(
-                ScenarioSource::new(self.spec, &scenario),
-                fleet.population.fault,
-                duration_s,
-                seed,
-            );
+        for device_id in device_ids {
+            let plan = fleet.device_plan(device_id);
+            let duration_s = plan.scenario.duration_s();
+            let source = self.device_source(fleet, &plan);
             let runtime = DeviceRuntime::for_source(
                 self.spec,
                 self.system,
@@ -525,22 +701,99 @@ impl<'a> FleetScheduler<'a> {
                 duration_s,
             )?
             .with_recording(false)
+            .with_classifier(self.system.backend(plan.backend));
+            backends.push(plan.backend);
+            plans.push(plan);
+            runtimes.push(runtime);
+        }
+
+        self.run_lockstep(&mut runtimes, &backends);
+
+        Ok(plans
+            .into_iter()
+            .zip(runtimes)
+            .map(|(plan, runtime)| DeviceSummary {
+                device_id: plan.device_id,
+                seed: plan.seed,
+                routine: plan.routine,
+                backend: plan.backend.label().to_string(),
+                faulted_epochs: runtime.source().faulted_captures(),
+                epochs: runtime.epochs(),
+                correct_epochs: runtime.correct_epochs(),
+                accuracy: runtime.accuracy(),
+                average_current_ua: runtime.average_current_ua(),
+                total_charge_uc: runtime.total_charge().micro_coulombs(),
+                duration_s: runtime.elapsed_s(),
+                residency_s: runtime.residency_seconds().to_vec(),
+            })
+            .collect())
+    }
+
+    /// Runs one lockstep chunk of externally fed devices until every feed
+    /// exhausts (or hits its tick budget).
+    fn run_feed_chunk(
+        &self,
+        controller: ControllerKind,
+        feeds: Vec<ExternalDevice>,
+    ) -> Result<Vec<DeviceSummary>, AdaSenseError> {
+        let mut metas = Vec::with_capacity(feeds.len());
+        let mut backends = Vec::with_capacity(feeds.len());
+        let mut runtimes = Vec::with_capacity(feeds.len());
+        for feed in feeds {
+            let ExternalDevice { device_id, seed, routine, backend, duration_s, source } = feed;
+            let runtime = match duration_s {
+                Some(duration_s) => DeviceRuntime::for_source(
+                    self.spec,
+                    self.system,
+                    controller,
+                    source,
+                    duration_s,
+                )?,
+                None => DeviceRuntime::new(self.spec, self.system, controller, source),
+            }
+            .with_recording(false)
             .with_classifier(self.system.backend(backend));
-            seeds.push(seed);
-            routines.push(routine);
+            metas.push((device_id, seed, routine, backend));
             backends.push(backend);
             runtimes.push(runtime);
         }
 
-        // Tick every live device once per iteration; batch all pending
-        // classifications of the tick into one forward pass *per backend*
-        // (devices on different backends cannot share a matrix product, but
-        // each backend group still batches).  The pools retain their row
-        // buffers, so the per-tick loop allocates nothing once they have
-        // grown.  Devices are drained into the pools in device order and each
-        // pool is resolved in that same order, so the batch composition — and
-        // with it every per-row result — depends only on the spec, never on
-        // the worker count.
+        self.run_lockstep(&mut runtimes, &backends);
+
+        Ok(metas
+            .into_iter()
+            .zip(runtimes)
+            .map(|((device_id, seed, routine, backend), runtime)| DeviceSummary {
+                device_id,
+                seed,
+                routine,
+                backend: backend.label().to_string(),
+                faulted_epochs: 0, // fault exposure is a capture-side property
+                epochs: runtime.epochs(),
+                correct_epochs: runtime.correct_epochs(),
+                accuracy: runtime.accuracy(),
+                average_current_ua: runtime.average_current_ua(),
+                total_charge_uc: runtime.total_charge().micro_coulombs(),
+                duration_s: runtime.elapsed_s(),
+                residency_s: runtime.residency_seconds().to_vec(),
+            })
+            .collect())
+    }
+
+    /// Ticks every live device of a chunk once per iteration, batching all
+    /// pending classifications of the tick into one forward pass *per
+    /// backend* (devices on different backends cannot share a matrix product,
+    /// but each backend group still batches).  The pools retain their row
+    /// buffers, so the per-tick loop allocates nothing once they have grown.
+    /// Devices are drained into the pools in device order and each pool is
+    /// resolved in that same order, so the batch composition — and with it
+    /// every per-row result — depends only on the spec, never on the worker
+    /// count.  Devices whose source exhausts simply drop out of the lockstep.
+    fn run_lockstep<S: crate::runtime::SampleSource>(
+        &self,
+        runtimes: &mut [DeviceRuntime<'_, S>],
+        backends: &[BackendKind],
+    ) {
         let mut pools: Vec<BatchPool> =
             BackendKind::ALL.iter().map(|_| BatchPool::default()).collect();
         let mut predictions: Vec<Prediction> = Vec::new();
@@ -553,10 +806,11 @@ impl<'a> FleetScheduler<'a> {
                 if runtime.is_complete() {
                     continue;
                 }
-                any_live = true;
                 match runtime.begin_tick() {
-                    TickPhase::Idle(_) => {}
+                    TickPhase::Exhausted => {}
+                    TickPhase::Idle(_) => any_live = true,
                     TickPhase::Classify => {
+                        any_live = true;
                         if runtime.batches_with_unified() {
                             pools[backend_index(backends[i])].push(i, runtime.pending_features());
                         } else {
@@ -582,25 +836,6 @@ impl<'a> FleetScheduler<'a> {
                 }
             }
         }
-
-        Ok(device_ids
-            .zip(seeds.into_iter().zip(routines.into_iter().zip(backends)))
-            .zip(runtimes)
-            .map(|((device_id, (seed, (routine, backend))), runtime)| DeviceSummary {
-                device_id,
-                seed,
-                routine,
-                backend: backend.label().to_string(),
-                faulted_epochs: runtime.source().faulted_captures(),
-                epochs: runtime.epochs(),
-                correct_epochs: runtime.correct_epochs(),
-                accuracy: runtime.accuracy(),
-                average_current_ua: runtime.average_current_ua(),
-                total_charge_uc: runtime.total_charge().micro_coulombs(),
-                duration_s: runtime.elapsed_s(),
-                residency_s: runtime.residency_seconds().to_vec(),
-            })
-            .collect())
     }
 }
 
@@ -810,6 +1045,110 @@ mod tests {
             ControllerKind::StaticHigh,
         )];
         assert!(FleetScheduler::new(spec, system).run_scenarios(&jobs).is_err());
+    }
+
+    #[test]
+    fn channel_fed_cohorts_join_scenario_fleets() {
+        use crate::ingest::{telemetry_channel, TraceRecorder};
+
+        let (spec, system) = shared_system();
+        let fleet = FleetSpec::new(4, 20.0, 3);
+        let scheduler = FleetScheduler::new(spec, system).with_threads(2);
+        let baseline = scheduler.run(&fleet).unwrap();
+
+        // Record every device's stream, then replay the recordings as a
+        // channel-fed cohort running alongside the same scenario cohort.
+        let mut feeds = Vec::new();
+        let mut feeders = Vec::new();
+        for device_id in 0..fleet.devices {
+            let plan = fleet.device_plan(device_id);
+            let recorder = TraceRecorder::new(scheduler.device_source(&fleet, &plan));
+            let mut runtime = DeviceRuntime::for_source(
+                spec,
+                system,
+                fleet.controller,
+                recorder,
+                plan.scenario.duration_s(),
+            )
+            .unwrap();
+            runtime.run_to_completion();
+            let trace = runtime.source().trace().clone();
+            let (mut tx, source) = telemetry_channel(4);
+            feeders.push(std::thread::spawn(move || tx.send_trace(&trace)));
+            feeds.push(
+                ExternalDevice::new(fleet.devices + device_id, source)
+                    .with_metadata(plan.seed, plan.routine.clone())
+                    .with_backend(plan.backend),
+            );
+        }
+        let combined = scheduler.run_with_feeds(&fleet, feeds).unwrap();
+        for feeder in feeders {
+            feeder.join().expect("feeder thread").expect("all batches accepted");
+        }
+
+        assert_eq!(combined.len(), 2 * baseline.len());
+        assert_eq!(
+            combined.devices[..baseline.len()],
+            baseline.devices[..],
+            "scenario rows must be unchanged by the feed cohort"
+        );
+        for (scenario_row, feed_row) in
+            baseline.devices.iter().zip(&combined.devices[baseline.len()..])
+        {
+            assert_eq!(feed_row.device_id, scenario_row.device_id + fleet.devices);
+            assert_eq!(feed_row.seed, scenario_row.seed);
+            assert_eq!(feed_row.routine, scenario_row.routine);
+            assert_eq!(feed_row.backend, scenario_row.backend);
+            assert_eq!(feed_row.epochs, scenario_row.epochs);
+            assert_eq!(feed_row.correct_epochs, scenario_row.correct_epochs);
+            assert_eq!(feed_row.accuracy, scenario_row.accuracy);
+            assert_eq!(feed_row.average_current_ua, scenario_row.average_current_ua);
+            assert_eq!(feed_row.total_charge_uc, scenario_row.total_charge_uc);
+            assert_eq!(feed_row.duration_s, scenario_row.duration_s);
+            assert_eq!(feed_row.residency_s, scenario_row.residency_s);
+        }
+    }
+
+    #[test]
+    fn feed_only_fleets_run_with_zero_scenario_devices() {
+        use crate::ingest::{telemetry_channel, TraceRecorder};
+
+        let (spec, system) = shared_system();
+        let fleet = FleetSpec::new(1, 12.0, 5);
+        let scheduler = FleetScheduler::new(spec, system).with_threads(2);
+        let plan = fleet.device_plan(0);
+        let recorder = TraceRecorder::new(scheduler.device_source(&fleet, &plan));
+        let mut runtime = DeviceRuntime::for_source(
+            spec,
+            system,
+            fleet.controller,
+            recorder,
+            plan.scenario.duration_s(),
+        )
+        .unwrap();
+        runtime.run_to_completion();
+        let epochs = runtime.epochs();
+        let trace = runtime.source().trace().clone();
+
+        let (mut tx, source) = telemetry_channel(2);
+        let feeder = std::thread::spawn(move || tx.send_trace(&trace));
+        let empty = FleetSpec { devices: 0, ..fleet };
+        let report = scheduler
+            .run_with_feeds(&empty, vec![ExternalDevice::new(7, source)])
+            .expect("feed-only fleets are valid");
+        feeder.join().expect("feeder thread").expect("all batches accepted");
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.devices[0].device_id, 7);
+        assert_eq!(report.devices[0].routine, "external");
+        assert_eq!(report.devices[0].epochs, epochs);
+    }
+
+    #[test]
+    fn fleets_with_no_devices_at_all_are_rejected() {
+        let (spec, system) = shared_system();
+        let scheduler = FleetScheduler::new(spec, system);
+        let empty = FleetSpec { devices: 0, ..FleetSpec::new(1, 12.0, 5) };
+        assert!(scheduler.run_with_feeds(&empty, Vec::new()).is_err());
     }
 
     #[test]

@@ -1,0 +1,1232 @@
+//! Live telemetry ingestion: the binary wire format and the [`SampleSource`]s
+//! that replay it into a [`DeviceRuntime`](crate::runtime::DeviceRuntime).
+//!
+//! The closed loop of the paper is driven by *whatever implements
+//! [`SampleSource`]*.  Until now that was only the simulated
+//! [`ScenarioSource`](crate::runtime::ScenarioSource); this module adds the
+//! production path — real device traffic streamed off-device for scoring and
+//! adaptation, as in compressed-sensing telemetry pipelines for remote health
+//! monitoring:
+//!
+//! * **Wire format** — a compact, versioned, little-endian binary framing of
+//!   [`TelemetryBatch`]es (spec in `docs/WIRE_FORMAT.md`): [`FrameEncoder`]
+//!   writes header / batch / end-of-stream frames into a reused buffer,
+//!   [`FrameDecoder`] reads them back with full validation, and
+//!   [`TelemetryTrace`] bundles a whole recorded session.
+//! * **[`ChannelSource`]** — a bounded in-process ring buffer
+//!   ([`telemetry_channel`]): the producer half ([`TelemetrySender`]) blocks
+//!   when the ring is full, giving natural backpressure; dropping it signals
+//!   end-of-stream.  This is the test / fleet-cohort transport.
+//! * **[`SocketSource`]** — length-prefixed frames over TCP or Unix-domain
+//!   sockets with a connect-time [`ReconnectPolicy`]; backpressure is the
+//!   transport's own flow control (the reader decodes one frame per tick and
+//!   buffers at most one small fixed read block ahead).
+//! * **[`TraceRecorder`]** — a decorator that records everything a wrapped
+//!   source delivers (windows *and* the ground-truth labels the runtime will
+//!   score against) so any simulated run — including fault-injected ones —
+//!   can be exported and replayed bit-identically.
+//!
+//! The acceptance bar for this layer is **determinism**: replaying a recorded
+//! trace through a socket must reproduce the originating run's
+//! [`DeviceSummary`](crate::fleet::DeviceSummary) rows bit for bit (gated in
+//! CI by the `telemetry_replay` binary).  That works because the runtime's
+//! control decisions are pure functions of the sample stream, and the wire
+//! format preserves every `f64` bit pattern exactly.
+
+use std::io::{BufReader, Read, Write};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::time::Duration;
+
+use adasense_data::{Activity, EPOCH_LABEL_OFFSET_S};
+use adasense_sensor::{Sample3, SensorConfig, TelemetryBatch};
+
+use crate::error::AdaSenseError;
+use crate::runtime::SampleSource;
+
+/// Magic bytes opening every telemetry stream.
+pub const WIRE_MAGIC: [u8; 4] = *b"ADSN";
+
+/// Wire-format version this build writes and accepts (see
+/// `docs/WIRE_FORMAT.md` for the versioning rules).
+pub const WIRE_VERSION: u16 = 1;
+
+/// Frame-kind tag of a sample batch.
+const KIND_BATCH: u8 = 0x01;
+/// Frame-kind tag of the end-of-stream marker.
+const KIND_END: u8 = 0x02;
+
+/// Fixed part of a batch payload: kind, config, label, reserved byte, two
+/// `f64` times and the `u32` sample count.
+const BATCH_HEAD_LEN: usize = 4 + 8 + 8 + 4;
+/// Encoded size of one sample (four little-endian `f64`s).
+const SAMPLE_LEN: usize = 32;
+/// Upper bound on a frame payload, enforced by the decoder (rejecting
+/// corrupt length prefixes before any allocation) and by the encoder
+/// (refusing to produce a frame the decoder would reject).  The largest
+/// legitimate batch (2 s at 100 Hz) is ~6.3 KiB; 1 MiB leaves two orders of
+/// magnitude of headroom for future formats.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Encodes wire-format frames into an internal buffer that is reused across
+/// calls, so a steady-state producer allocates nothing per frame.
+///
+/// # Examples
+///
+/// Encode a stream and decode it back:
+///
+/// ```
+/// use adasense::ingest::{FrameDecoder, FrameEncoder, FrameKind};
+/// use adasense_sensor::{Sample3, SensorConfig, TelemetryBatch};
+///
+/// let batch = TelemetryBatch::new(
+///     SensorConfig::paper_pareto_front()[0],
+///     2.0,
+///     2.0,
+///     0,
+///     vec![Sample3::new(0.0, 0.0, 0.0, 1.0)],
+/// );
+///
+/// let mut encoder = FrameEncoder::new();
+/// let mut stream = Vec::new();
+/// stream.extend_from_slice(encoder.header());
+/// stream.extend_from_slice(encoder.batch(&batch));
+/// stream.extend_from_slice(encoder.end(1));
+///
+/// let mut decoder = FrameDecoder::new();
+/// let mut reader = &stream[..];
+/// decoder.read_header(&mut reader).unwrap();
+/// let mut decoded = TelemetryBatch::placeholder();
+/// assert_eq!(decoder.read_frame(&mut reader, &mut decoded).unwrap(), FrameKind::Batch);
+/// assert_eq!(decoded, batch);
+/// assert_eq!(
+///     decoder.read_frame(&mut reader, &mut decoded).unwrap(),
+///     FrameKind::End { batches: 1 }
+/// );
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameEncoder {
+    buf: Vec<u8>,
+}
+
+impl FrameEncoder {
+    /// Creates an encoder with an empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes the 8-byte stream header (magic, version, flags).
+    pub fn header(&mut self) -> &[u8] {
+        self.buf.clear();
+        self.buf.extend_from_slice(&WIRE_MAGIC);
+        self.buf.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        self.buf.extend_from_slice(&0u16.to_le_bytes());
+        &self.buf
+    }
+
+    /// Encodes one length-prefixed batch frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded payload would exceed [`MAX_FRAME_LEN`]: the
+    /// decoder rejects such frames, so encoding one would break the
+    /// encode→decode identity contract (and far beyond it, the `u32` length
+    /// prefix would silently truncate).  The largest legitimate batch is
+    /// three orders of magnitude below the cap.
+    pub fn batch(&mut self, batch: &TelemetryBatch) -> &[u8] {
+        let payload_len = BATCH_HEAD_LEN + batch.samples.len() * SAMPLE_LEN;
+        assert!(
+            payload_len <= MAX_FRAME_LEN,
+            "batch of {} samples encodes to {payload_len} B, above the {MAX_FRAME_LEN} B frame \
+             cap the decoder enforces",
+            batch.samples.len()
+        );
+        self.buf.clear();
+        self.buf.reserve(4 + payload_len);
+        self.buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        self.buf.push(KIND_BATCH);
+        self.buf.push(batch.config.index() as u8);
+        self.buf.push(batch.label);
+        self.buf.push(0); // reserved
+        self.buf.extend_from_slice(&batch.t_end.to_le_bytes());
+        self.buf.extend_from_slice(&batch.window_s.to_le_bytes());
+        self.buf.extend_from_slice(&(batch.samples.len() as u32).to_le_bytes());
+        for sample in &batch.samples {
+            self.buf.extend_from_slice(&sample.t.to_le_bytes());
+            self.buf.extend_from_slice(&sample.x.to_le_bytes());
+            self.buf.extend_from_slice(&sample.y.to_le_bytes());
+            self.buf.extend_from_slice(&sample.z.to_le_bytes());
+        }
+        &self.buf
+    }
+
+    /// Encodes the end-of-stream frame carrying the number of batch frames
+    /// sent before it (an integrity check for the reader).
+    pub fn end(&mut self, batches: u64) -> &[u8] {
+        self.buf.clear();
+        self.buf.extend_from_slice(&9u32.to_le_bytes());
+        self.buf.push(KIND_END);
+        self.buf.extend_from_slice(&batches.to_le_bytes());
+        &self.buf
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// What [`FrameDecoder::read_frame`] decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A sample batch was decoded into the caller's [`TelemetryBatch`].
+    Batch,
+    /// The end-of-stream marker; `batches` is the producer's batch count.
+    End {
+        /// Number of batch frames the producer claims to have sent.
+        batches: u64,
+    },
+}
+
+/// Decodes wire-format frames from any [`Read`], validating every field and
+/// reusing one internal payload buffer (and the caller's [`TelemetryBatch`])
+/// across frames.
+///
+/// See [`FrameEncoder`] for a round-trip example.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    payload: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// Creates a decoder with an empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads and validates the 8-byte stream header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Ingest`] on bad magic, an unsupported version,
+    /// non-zero flags or a truncated header.
+    pub fn read_header<R: Read + ?Sized>(&mut self, reader: &mut R) -> Result<(), AdaSenseError> {
+        let mut head = [0u8; 8];
+        read_exact(reader, &mut head, "stream header")?;
+        if head[0..4] != WIRE_MAGIC {
+            return Err(AdaSenseError::ingest(format!(
+                "bad magic {:02x?} (expected `ADSN`)",
+                &head[0..4]
+            )));
+        }
+        let version = u16::from_le_bytes([head[4], head[5]]);
+        if version != WIRE_VERSION {
+            return Err(AdaSenseError::ingest(format!(
+                "unsupported wire-format version {version} (this build speaks {WIRE_VERSION})"
+            )));
+        }
+        let flags = u16::from_le_bytes([head[6], head[7]]);
+        if flags != 0 {
+            return Err(AdaSenseError::ingest(format!("unsupported header flags {flags:#06x}")));
+        }
+        Ok(())
+    }
+
+    /// Reads the next frame.  Batch frames are decoded into `batch` in place
+    /// (its sample allocation is reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Ingest`] on a truncated stream, an oversized
+    /// or inconsistent length prefix, an unknown frame kind, or an invalid
+    /// sensor-configuration / label tag.
+    pub fn read_frame<R: Read + ?Sized>(
+        &mut self,
+        reader: &mut R,
+        batch: &mut TelemetryBatch,
+    ) -> Result<FrameKind, AdaSenseError> {
+        let mut len_bytes = [0u8; 4];
+        read_exact(reader, &mut len_bytes, "frame length prefix")?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(AdaSenseError::ingest(format!(
+                "frame length {len} is outside 1..={MAX_FRAME_LEN}"
+            )));
+        }
+        self.payload.resize(len, 0);
+        read_exact(reader, &mut self.payload, "frame payload")?;
+        match self.payload[0] {
+            KIND_BATCH => {
+                self.decode_batch(batch)?;
+                Ok(FrameKind::Batch)
+            }
+            KIND_END => {
+                if self.payload.len() != 9 {
+                    return Err(AdaSenseError::ingest(format!(
+                        "end-of-stream frame has length {len}, expected 9"
+                    )));
+                }
+                let mut count = [0u8; 8];
+                count.copy_from_slice(&self.payload[1..9]);
+                Ok(FrameKind::End { batches: u64::from_le_bytes(count) })
+            }
+            kind => Err(AdaSenseError::ingest(format!("unknown frame kind {kind:#04x}"))),
+        }
+    }
+
+    /// Decodes the batch payload in `self.payload` into `batch`.
+    fn decode_batch(&self, batch: &mut TelemetryBatch) -> Result<(), AdaSenseError> {
+        let payload = &self.payload;
+        if payload.len() < BATCH_HEAD_LEN {
+            return Err(AdaSenseError::ingest(format!(
+                "batch frame has length {}, expected at least {BATCH_HEAD_LEN}",
+                payload.len()
+            )));
+        }
+        let config = SensorConfig::from_index(payload[1] as usize).ok_or_else(|| {
+            AdaSenseError::ingest(format!("invalid sensor-configuration tag {}", payload[1]))
+        })?;
+        let label = payload[2];
+        if label as usize >= Activity::COUNT {
+            return Err(AdaSenseError::ingest(format!(
+                "invalid class label {label} (must be < {})",
+                Activity::COUNT
+            )));
+        }
+        let t_end = f64::from_le_bytes(payload[4..12].try_into().expect("8-byte slice"));
+        let window_s = f64::from_le_bytes(payload[12..20].try_into().expect("8-byte slice"));
+        if !t_end.is_finite() || !window_s.is_finite() || window_s <= 0.0 {
+            return Err(AdaSenseError::ingest(format!(
+                "batch times are not sane (t_end {t_end}, window {window_s})"
+            )));
+        }
+        let count = u32::from_le_bytes(payload[20..24].try_into().expect("4-byte slice")) as usize;
+        if payload.len() != BATCH_HEAD_LEN + count * SAMPLE_LEN {
+            return Err(AdaSenseError::ingest(format!(
+                "batch frame length {} does not match its sample count {count}",
+                payload.len()
+            )));
+        }
+        batch.reset(config, t_end, window_s, label);
+        batch.samples.reserve(count);
+        for chunk in payload[BATCH_HEAD_LEN..].chunks_exact(SAMPLE_LEN) {
+            batch.samples.push(Sample3::new(
+                f64::from_le_bytes(chunk[0..8].try_into().expect("8-byte slice")),
+                f64::from_le_bytes(chunk[8..16].try_into().expect("8-byte slice")),
+                f64::from_le_bytes(chunk[16..24].try_into().expect("8-byte slice")),
+                f64::from_le_bytes(chunk[24..32].try_into().expect("8-byte slice")),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, mapping I/O errors (including EOF) to
+/// [`AdaSenseError::Ingest`] with `what` naming the missing piece.
+fn read_exact<R: Read + ?Sized>(
+    reader: &mut R,
+    buf: &mut [u8],
+    what: &str,
+) -> Result<(), AdaSenseError> {
+    reader
+        .read_exact(buf)
+        .map_err(|e| AdaSenseError::ingest(format!("stream ended inside {what}: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Traces
+// ---------------------------------------------------------------------------
+
+/// A whole recorded telemetry session: every batch a device's runtime
+/// consumed, in delivery order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryTrace {
+    /// The recorded batches, oldest first.
+    pub batches: Vec<TelemetryBatch>,
+}
+
+impl TelemetryTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Whether the trace holds no batches.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Writes the trace as one complete wire-format stream (header, batch
+    /// frames, end-of-stream marker).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Ingest`] when the writer fails.
+    pub fn encode_to<W: Write + ?Sized>(&self, writer: &mut W) -> Result<(), AdaSenseError> {
+        let io = |e: std::io::Error| AdaSenseError::ingest(format!("writing trace failed: {e}"));
+        let mut encoder = FrameEncoder::new();
+        writer.write_all(encoder.header()).map_err(io)?;
+        for batch in &self.batches {
+            writer.write_all(encoder.batch(batch)).map_err(io)?;
+        }
+        writer.write_all(encoder.end(self.batches.len() as u64)).map_err(io)?;
+        Ok(())
+    }
+
+    /// The trace as one complete wire-format byte stream.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_to(&mut out).expect("writing to a Vec cannot fail");
+        out
+    }
+
+    /// Reads one complete stream from `reader` (header through end-of-stream
+    /// marker), leaving the reader positioned just past the marker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Ingest`] on any malformed frame, on a stream
+    /// that ends without the end-of-stream marker, or when the marker's batch
+    /// count disagrees with the batches actually read.
+    pub fn decode_from<R: Read + ?Sized>(reader: &mut R) -> Result<Self, AdaSenseError> {
+        let mut decoder = FrameDecoder::new();
+        decoder.read_header(reader)?;
+        let mut trace = TelemetryTrace::new();
+        let mut batch = TelemetryBatch::placeholder();
+        loop {
+            match decoder.read_frame(reader, &mut batch)? {
+                FrameKind::Batch => trace.batches.push(batch.clone()),
+                FrameKind::End { batches } => {
+                    if batches != trace.batches.len() as u64 {
+                        return Err(AdaSenseError::ingest(format!(
+                            "end-of-stream marker claims {batches} batches, read {}",
+                            trace.batches.len()
+                        )));
+                    }
+                    return Ok(trace);
+                }
+            }
+        }
+    }
+
+    /// Decodes one complete stream from a byte slice, rejecting trailing
+    /// garbage after the end-of-stream marker.
+    ///
+    /// # Errors
+    ///
+    /// See [`TelemetryTrace::decode_from`].
+    pub fn decode(mut bytes: &[u8]) -> Result<Self, AdaSenseError> {
+        let trace = Self::decode_from(&mut bytes)?;
+        if !bytes.is_empty() {
+            return Err(AdaSenseError::ingest(format!(
+                "{} trailing bytes after the end-of-stream marker",
+                bytes.len()
+            )));
+        }
+        Ok(trace)
+    }
+}
+
+/// A [`SampleSource`] decorator that records everything the wrapped source
+/// delivers — sample windows *and* the ground-truth label of each classified
+/// epoch — as a [`TelemetryTrace`] for later replay.
+///
+/// Recording sits *outside* any fault decorator, so a fault-injected run is
+/// recorded exactly as the runtime saw it and replays bit-identically.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder<S> {
+    inner: S,
+    trace: TelemetryTrace,
+}
+
+impl<S> TraceRecorder<S> {
+    /// Wraps `inner`, recording every window it delivers.
+    pub fn new(inner: S) -> Self {
+        Self { inner, trace: TelemetryTrace::new() }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &TelemetryTrace {
+        &self.trace
+    }
+
+    /// Consumes the recorder, returning the wrapped source and the trace.
+    pub fn into_parts(self) -> (S, TelemetryTrace) {
+        (self.inner, self.trace)
+    }
+}
+
+impl<S: SampleSource> SampleSource for TraceRecorder<S> {
+    /// Captures through the wrapped source, then records the window together
+    /// with the epoch's ground-truth label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wrapped source cannot provide ground truth for the
+    /// captured epoch (the runtime would hit the same contract violation one
+    /// phase later).
+    fn capture_window(
+        &mut self,
+        config: SensorConfig,
+        t_end: f64,
+        window_s: f64,
+        out: &mut Vec<Sample3>,
+    ) {
+        self.inner.capture_window(config, t_end, window_s, out);
+        let label = self
+            .inner
+            .ground_truth(t_end - EPOCH_LABEL_OFFSET_S)
+            .expect("the recorded source provides ground truth for every captured epoch");
+        self.trace.batches.push(TelemetryBatch::new(
+            config,
+            t_end,
+            window_s,
+            label.index() as u8,
+            out.clone(),
+        ));
+    }
+
+    fn ground_truth(&self, t_s: f64) -> Option<Activity> {
+        self.inner.ground_truth(t_s)
+    }
+
+    fn is_exhausted(&mut self) -> bool {
+        self.inner.is_exhausted()
+    }
+
+    fn never_exhausts(&self) -> bool {
+        self.inner.never_exhausts()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared replay state
+// ---------------------------------------------------------------------------
+
+/// The state both live sources share once a batch has been delivered: enough
+/// to answer the runtime's ground-truth query for the epoch just captured.
+#[derive(Debug, Clone, Copy, Default)]
+struct LastEpoch {
+    t_end: f64,
+    window_s: f64,
+    label: Option<Activity>,
+}
+
+impl LastEpoch {
+    fn remember(&mut self, batch: &TelemetryBatch) {
+        self.t_end = batch.t_end;
+        self.window_s = batch.window_s;
+        self.label = Activity::from_index(batch.label as usize);
+    }
+
+    fn label_at(&self, t_s: f64) -> Option<Activity> {
+        let label = self.label?;
+        (t_s <= self.t_end && t_s > self.t_end - self.window_s).then_some(label)
+    }
+}
+
+/// Panics with a precise message if a delivered batch does not match what the
+/// runtime asked for.  The stream and the controller must agree tick for
+/// tick; any divergence means the trace belongs to a different run (or the
+/// producer reordered frames), and silently serving it would corrupt every
+/// later control decision.
+fn check_batch(who: &str, batch: &TelemetryBatch, config: SensorConfig, t_end: f64, window_s: f64) {
+    assert!(
+        batch.config == config && batch.t_end == t_end && batch.window_s == window_s,
+        "{who}: stream is out of step with the runtime — delivered \
+         ({}, t_end {}, window {} s) but the runtime asked for ({}, t_end {}, window {} s)",
+        batch.config,
+        batch.t_end,
+        batch.window_s,
+        config,
+        t_end,
+        window_s
+    );
+    assert!(
+        (batch.label as usize) < Activity::COUNT,
+        "{who}: batch carries invalid class label {}",
+        batch.label
+    );
+}
+
+// ---------------------------------------------------------------------------
+// ChannelSource
+// ---------------------------------------------------------------------------
+
+/// Creates a bounded in-process telemetry ring: a [`TelemetrySender`] for the
+/// producer and a [`ChannelSource`] for the consuming device runtime.
+///
+/// `capacity` is the number of batches the ring buffers; a producer that gets
+/// ahead of the runtime by more than that blocks (backpressure).
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero (a rendezvous ring would deadlock the
+/// lockstep fleet scheduler, which ticks many devices from one thread).
+///
+/// # Examples
+///
+/// ```
+/// use adasense::ingest::telemetry_channel;
+/// use adasense::runtime::SampleSource;
+/// use adasense_data::Activity;
+/// use adasense_sensor::{Sample3, SensorConfig, TelemetryBatch};
+///
+/// let (mut tx, mut source) = telemetry_channel(4);
+/// let config = SensorConfig::paper_pareto_front()[0];
+/// let samples = vec![Sample3::new(1.5, 0.0, 0.0, 1.0)];
+/// tx.send(TelemetryBatch::new(config, 2.0, 2.0, Activity::Sit.index() as u8, samples)).unwrap();
+/// drop(tx); // end of stream
+///
+/// let mut window = Vec::new();
+/// assert!(!source.is_exhausted());
+/// source.capture_window(config, 2.0, 2.0, &mut window);
+/// assert_eq!(window.len(), 1);
+/// assert_eq!(source.ground_truth(2.0 - 1e-6), Some(Activity::Sit));
+/// assert!(source.is_exhausted());
+/// ```
+pub fn telemetry_channel(capacity: usize) -> (TelemetrySender, ChannelSource) {
+    assert!(capacity > 0, "a telemetry ring needs capacity for at least one batch");
+    let (tx, rx) = sync_channel(capacity);
+    (
+        TelemetrySender { tx, sent: 0 },
+        ChannelSource { rx, pending: None, done: false, last: LastEpoch::default(), delivered: 0 },
+    )
+}
+
+/// The producer half of a [`telemetry_channel`]: pushes batches into the
+/// bounded ring, blocking while it is full.  Dropping the sender signals
+/// end-of-stream to the [`ChannelSource`].
+#[derive(Debug)]
+pub struct TelemetrySender {
+    tx: SyncSender<TelemetryBatch>,
+    sent: u64,
+}
+
+impl TelemetrySender {
+    /// Sends one batch, blocking while the ring is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Ingest`] if the consumer went away.
+    pub fn send(&mut self, batch: TelemetryBatch) -> Result<(), AdaSenseError> {
+        self.tx
+            .send(batch)
+            .map_err(|_| AdaSenseError::ingest("the telemetry consumer disconnected"))?;
+        self.sent += 1;
+        Ok(())
+    }
+
+    /// Sends every batch of `trace` in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Ingest`] if the consumer went away.
+    pub fn send_trace(&mut self, trace: &TelemetryTrace) -> Result<(), AdaSenseError> {
+        for batch in &trace.batches {
+            self.send(batch.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Number of batches sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+/// A [`SampleSource`] fed through a bounded in-process ring buffer — the
+/// transport for channel-fed fleet cohorts and tests.
+///
+/// Exhaustion is signalled by dropping the [`TelemetrySender`]; the source
+/// reports [`is_exhausted`](SampleSource::is_exhausted) once the ring is
+/// drained after that.
+#[derive(Debug)]
+pub struct ChannelSource {
+    rx: Receiver<TelemetryBatch>,
+    pending: Option<TelemetryBatch>,
+    done: bool,
+    last: LastEpoch,
+    delivered: u64,
+}
+
+impl ChannelSource {
+    /// Number of batches delivered to the runtime so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Blocks until a batch is buffered or the stream has ended.
+    fn poll(&mut self) {
+        if self.pending.is_none() && !self.done {
+            match self.rx.recv() {
+                Ok(batch) => self.pending = Some(batch),
+                Err(_) => self.done = true,
+            }
+        }
+    }
+}
+
+impl SampleSource for ChannelSource {
+    /// Delivers the next buffered batch as the sensed window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has ended (the runtime checks
+    /// [`is_exhausted`](SampleSource::is_exhausted) first, so this is a
+    /// driver bug) or if the delivered batch does not match the requested
+    /// `(config, t_end, window_s)` — an out-of-step stream must fail loudly
+    /// rather than corrupt the closed loop.
+    fn capture_window(
+        &mut self,
+        config: SensorConfig,
+        t_end: f64,
+        window_s: f64,
+        out: &mut Vec<Sample3>,
+    ) {
+        self.poll();
+        let mut batch = self
+            .pending
+            .take()
+            .expect("capture_window called past end-of-stream (check is_exhausted first)");
+        check_batch("ChannelSource", &batch, config, t_end, window_s);
+        self.last.remember(&batch);
+        out.clear();
+        std::mem::swap(out, &mut batch.samples);
+        self.delivered += 1;
+    }
+
+    fn ground_truth(&self, t_s: f64) -> Option<Activity> {
+        self.last.label_at(t_s)
+    }
+
+    fn is_exhausted(&mut self) -> bool {
+        self.poll();
+        self.done && self.pending.is_none()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SocketSource
+// ---------------------------------------------------------------------------
+
+/// How [`SocketSource`] retries *connection establishment* (a replay server
+/// that is still starting up, a device waking before its gateway).
+///
+/// Reconnection does **not** apply mid-stream: a connection torn after the
+/// header would need server-side resume to stay deterministic, so a torn
+/// stream fails loudly instead (see `docs/WIRE_FORMAT.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Total connection attempts before giving up (at least 1).
+    pub attempts: u32,
+    /// Delay between consecutive attempts.
+    pub delay: Duration,
+}
+
+impl ReconnectPolicy {
+    /// A single attempt, no retries.
+    pub fn once() -> Self {
+        Self { attempts: 1, delay: Duration::ZERO }
+    }
+}
+
+impl Default for ReconnectPolicy {
+    /// 25 attempts, 200 ms apart — rides out a replay server that needs a few
+    /// seconds to come up.
+    fn default() -> Self {
+        Self { attempts: 25, delay: Duration::from_millis(200) }
+    }
+}
+
+/// A [`SampleSource`] reading length-prefixed wire-format frames off a byte
+/// stream — TCP, Unix-domain sockets, or any other [`Read`].
+///
+/// The source decodes exactly one frame per runtime tick; its only
+/// read-ahead is one decoded frame (the exhaustion probe) plus a fixed-size
+/// [`BufReader`] block (8 KiB — roughly ten low-rate frames), so
+/// backpressure remains the transport's own flow control: a slow consumer
+/// leaves the producer blocked in `write` once that bounded buffer and the
+/// kernel socket buffers fill.  End-of-stream is the wire format's explicit
+/// marker frame; a connection that dies without it fails loudly (see
+/// [`ReconnectPolicy`]).
+pub struct SocketSource {
+    reader: BufReader<Box<dyn Read + Send>>,
+    decoder: FrameDecoder,
+    batch: TelemetryBatch,
+    pending: bool,
+    done: bool,
+    last: LastEpoch,
+    delivered: u64,
+    peer: String,
+}
+
+impl SocketSource {
+    /// Connects to a TCP replay endpoint (for example `127.0.0.1:9000`),
+    /// retrying per `policy`, and validates the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Ingest`] when every attempt fails or the
+    /// header is invalid.
+    pub fn tcp(addr: &str, policy: ReconnectPolicy) -> Result<Self, AdaSenseError> {
+        let stream = connect_with_retries(addr, policy, |a| {
+            std::net::TcpStream::connect(a).map(|s| Box::new(s) as Box<dyn Read + Send>)
+        })?;
+        Self::from_boxed(stream, format!("tcp://{addr}"))
+    }
+
+    /// Connects to a Unix-domain socket replay endpoint, retrying per
+    /// `policy`, and validates the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Ingest`] when every attempt fails or the
+    /// header is invalid.
+    #[cfg(unix)]
+    pub fn unix(path: &str, policy: ReconnectPolicy) -> Result<Self, AdaSenseError> {
+        let stream = connect_with_retries(path, policy, |p| {
+            std::os::unix::net::UnixStream::connect(p).map(|s| Box::new(s) as Box<dyn Read + Send>)
+        })?;
+        Self::from_boxed(stream, format!("unix://{path}"))
+    }
+
+    /// Wraps an already-open byte stream (a file, an in-memory trace, a
+    /// connected socket) and validates the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Ingest`] if the header is invalid.
+    pub fn from_reader(reader: impl Read + Send + 'static) -> Result<Self, AdaSenseError> {
+        Self::from_boxed(Box::new(reader), "reader".to_string())
+    }
+
+    fn from_boxed(stream: Box<dyn Read + Send>, peer: String) -> Result<Self, AdaSenseError> {
+        let mut source = Self {
+            reader: BufReader::new(stream),
+            decoder: FrameDecoder::new(),
+            batch: TelemetryBatch::placeholder(),
+            pending: false,
+            done: false,
+            last: LastEpoch::default(),
+            delivered: 0,
+            peer,
+        };
+        source.decoder.read_header(&mut source.reader)?;
+        Ok(source)
+    }
+
+    /// The endpoint this source reads from (for diagnostics).
+    pub fn peer(&self) -> &str {
+        &self.peer
+    }
+
+    /// Number of batches delivered to the runtime so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Blocks until a frame is buffered or the end-of-stream marker arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed frame or a connection torn before the marker:
+    /// the runtime cannot surface errors mid-tick, and silently truncating a
+    /// trace would produce a plausible-looking but wrong run.
+    fn poll(&mut self) {
+        if self.pending || self.done {
+            return;
+        }
+        match self.decoder.read_frame(&mut self.reader, &mut self.batch) {
+            Ok(FrameKind::Batch) => self.pending = true,
+            Ok(FrameKind::End { batches }) => {
+                assert!(
+                    batches == self.delivered,
+                    "{}: end-of-stream marker claims {batches} batches, delivered {}",
+                    self.peer,
+                    self.delivered
+                );
+                self.done = true;
+            }
+            Err(error) => panic!("{}: {error}", self.peer),
+        }
+    }
+}
+
+impl std::fmt::Debug for SocketSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketSource")
+            .field("peer", &self.peer)
+            .field("delivered", &self.delivered)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SampleSource for SocketSource {
+    /// Delivers the next decoded frame as the sensed window.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`ChannelSource::capture_window`](ChannelSource) and on any stream
+    /// error: a torn or malformed stream fails loudly, because silently
+    /// truncating a trace would produce a plausible-looking but wrong run.
+    fn capture_window(
+        &mut self,
+        config: SensorConfig,
+        t_end: f64,
+        window_s: f64,
+        out: &mut Vec<Sample3>,
+    ) {
+        self.poll();
+        assert!(
+            self.pending,
+            "{}: capture_window called past end-of-stream (check is_exhausted first)",
+            self.peer
+        );
+        check_batch("SocketSource", &self.batch, config, t_end, window_s);
+        self.last.remember(&self.batch);
+        out.clear();
+        // Swap buffers instead of copying: the runtime gets the decoded
+        // samples, the decoder reuses the runtime's previous window allocation.
+        std::mem::swap(out, &mut self.batch.samples);
+        self.pending = false;
+        self.delivered += 1;
+    }
+
+    fn ground_truth(&self, t_s: f64) -> Option<Activity> {
+        self.last.label_at(t_s)
+    }
+
+    fn is_exhausted(&mut self) -> bool {
+        self.poll();
+        self.done
+    }
+}
+
+/// Dials `target` up to `policy.attempts` times, sleeping `policy.delay`
+/// between attempts.
+fn connect_with_retries(
+    target: &str,
+    policy: ReconnectPolicy,
+    connect: impl Fn(&str) -> std::io::Result<Box<dyn Read + Send>>,
+) -> Result<Box<dyn Read + Send>, AdaSenseError> {
+    let attempts = policy.attempts.max(1);
+    let mut last_error = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(policy.delay);
+        }
+        match connect(target) {
+            Ok(stream) => return Ok(stream),
+            Err(error) => last_error = Some(error),
+        }
+    }
+    Err(AdaSenseError::ingest(format!(
+        "connecting to {target} failed after {attempts} attempts: {}",
+        last_error.expect("at least one attempt ran")
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ControllerKind;
+    use crate::runtime::{DeviceRuntime, ScenarioSource};
+    use crate::scenario::{FaultInjector, FaultLevel};
+    use crate::simulation::tests::shared_system;
+    use crate::simulation::ScenarioSpec;
+
+    fn sample_batch(t_end: f64) -> TelemetryBatch {
+        let config = SensorConfig::paper_pareto_front()[2];
+        let samples = (0..25)
+            .map(|i| Sample3::new(t_end - 2.0 + i as f64 * 0.08, 0.01, -0.02, 0.98))
+            .collect();
+        TelemetryBatch::new(config, t_end, 2.0, Activity::Walk.index() as u8, samples)
+    }
+
+    #[test]
+    fn frames_round_trip_bit_exactly() {
+        let trace = TelemetryTrace { batches: (2..40).map(|t| sample_batch(t as f64)).collect() };
+        let encoded = trace.encode();
+        let decoded = TelemetryTrace::decode(&encoded).expect("round trip decodes");
+        assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn special_float_bit_patterns_survive() {
+        // Replay must preserve *bits*, not values: -0.0 and subnormals count.
+        let mut batch = sample_batch(2.0);
+        batch.samples[0] = Sample3::new(2.0, -0.0, f64::MIN_POSITIVE / 2.0, 1.0 + f64::EPSILON);
+        let trace = TelemetryTrace { batches: vec![batch.clone()] };
+        let decoded = TelemetryTrace::decode(&trace.encode()).unwrap();
+        let s = decoded.batches[0].samples[0];
+        assert_eq!(s.x.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(s.y.to_bits(), (f64::MIN_POSITIVE / 2.0).to_bits());
+        assert_eq!(s.z.to_bits(), (1.0 + f64::EPSILON).to_bits());
+    }
+
+    #[test]
+    fn every_strict_prefix_of_a_stream_is_rejected() {
+        let trace = TelemetryTrace { batches: vec![sample_batch(2.0), sample_batch(3.0)] };
+        let encoded = trace.encode();
+        for cut in 0..encoded.len() {
+            assert!(
+                TelemetryTrace::decode(&encoded[..cut]).is_err(),
+                "a stream truncated at byte {cut}/{} must not decode",
+                encoded.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected_not_panicked() {
+        let good = TelemetryTrace { batches: vec![sample_batch(2.0)] }.encode();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(TelemetryTrace::decode(&bad_magic).is_err());
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(TelemetryTrace::decode(&bad_version).is_err());
+
+        let mut bad_flags = good.clone();
+        bad_flags[6] = 1;
+        assert!(TelemetryTrace::decode(&bad_flags).is_err());
+
+        let mut bad_kind = good.clone();
+        bad_kind[12] = 0x7f; // frame kind byte of the first frame
+        assert!(TelemetryTrace::decode(&bad_kind).is_err());
+
+        let mut bad_config = good.clone();
+        bad_config[13] = 200; // config tag
+        assert!(TelemetryTrace::decode(&bad_config).is_err());
+
+        let mut bad_label = good.clone();
+        bad_label[14] = 17; // label tag
+        assert!(TelemetryTrace::decode(&bad_label).is_err());
+
+        let mut oversized = good.clone();
+        oversized[8..12].copy_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(TelemetryTrace::decode(&oversized).is_err());
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(TelemetryTrace::decode(&trailing).is_err());
+
+        assert!(TelemetryTrace::decode(&good).is_ok(), "the uncorrupted stream stays valid");
+    }
+
+    #[test]
+    fn oversized_batches_are_refused_at_encode_time() {
+        // An encoder that emitted a frame above MAX_FRAME_LEN would produce a
+        // stream the decoder rejects — a recorded trace that cannot be
+        // replayed.  It must refuse up front instead.
+        let mut huge = sample_batch(2.0);
+        huge.samples = vec![Sample3::new(0.0, 0.0, 0.0, 1.0); MAX_FRAME_LEN / SAMPLE_LEN + 1];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut encoder = FrameEncoder::new();
+            encoder.batch(&huge).len()
+        }));
+        assert!(result.is_err(), "encoding an over-cap batch must panic");
+
+        // The largest batch that fits the cap still round-trips.
+        let mut largest = sample_batch(2.0);
+        largest.samples =
+            vec![Sample3::new(0.0, 0.0, 0.0, 1.0); (MAX_FRAME_LEN - BATCH_HEAD_LEN) / SAMPLE_LEN];
+        let trace = TelemetryTrace { batches: vec![largest] };
+        assert_eq!(TelemetryTrace::decode(&trace.encode()).unwrap(), trace);
+    }
+
+    #[test]
+    fn end_marker_count_mismatch_is_rejected() {
+        let trace = TelemetryTrace { batches: vec![sample_batch(2.0)] };
+        let mut encoded = Vec::new();
+        let mut encoder = FrameEncoder::new();
+        encoded.extend_from_slice(encoder.header());
+        encoded.extend_from_slice(encoder.batch(&trace.batches[0]));
+        encoded.extend_from_slice(encoder.end(5));
+        assert!(TelemetryTrace::decode(&encoded).is_err());
+    }
+
+    #[test]
+    fn recorded_scenario_replays_bit_identically_through_a_channel() {
+        let (spec, system) = shared_system();
+        let scenario = ScenarioSpec::sit_then_walk(10.0, 10.0);
+        let controller = ControllerKind::Spot { stability_threshold: 3 };
+
+        // Original run, recorded.
+        let recorder = TraceRecorder::new(ScenarioSource::new(spec, &scenario));
+        let mut original =
+            DeviceRuntime::for_source(spec, system, controller, recorder, scenario.duration_s())
+                .unwrap();
+        original.run_to_completion();
+        let trace = original.source().trace().clone();
+        let original = original.into_report();
+        assert_eq!(trace.len(), original.records.len());
+
+        // Replay through the bounded ring from a feeder thread.
+        let (mut tx, source) = telemetry_channel(3);
+        let feeder = std::thread::spawn(move || tx.send_trace(&trace));
+        let mut replay = DeviceRuntime::new(spec, system, controller, source);
+        replay.run_to_completion();
+        feeder.join().expect("feeder thread").expect("all batches accepted");
+        assert_eq!(replay.into_report(), original, "channel replay must be bit-identical");
+    }
+
+    #[test]
+    fn recorded_faulty_run_replays_bit_identically_over_a_socket() {
+        let (spec, system) = shared_system();
+        let scenario = ScenarioSpec::sit_then_walk(8.0, 8.0);
+        let controller = ControllerKind::SpotWithConfidence {
+            stability_threshold: 2,
+            confidence_threshold: 0.85,
+        };
+
+        // Fault-injected original: recording wraps the injector, so the
+        // corrupted stream is what gets replayed.
+        let faulty = FaultInjector::for_device(
+            ScenarioSource::new(spec, &scenario),
+            FaultLevel::Heavy,
+            scenario.duration_s(),
+            99,
+        );
+        let mut original = DeviceRuntime::for_source(
+            spec,
+            system,
+            controller,
+            TraceRecorder::new(faulty),
+            scenario.duration_s(),
+        )
+        .unwrap();
+        original.run_to_completion();
+        let trace = original.source().trace().clone();
+        let original = original.into_report();
+
+        // Serve the encoded trace over a loopback TCP connection.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap().to_string();
+        let encoded = trace.encode();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept replay client");
+            conn.write_all(&encoded).expect("serve trace");
+        });
+
+        let source = SocketSource::tcp(&addr, ReconnectPolicy::default()).expect("connect");
+        let mut replay = DeviceRuntime::new(spec, system, controller, source);
+        replay.run_to_completion();
+        server.join().expect("server thread");
+        assert_eq!(replay.into_report(), original, "socket replay must be bit-identical");
+    }
+
+    #[test]
+    fn socket_source_reconnects_to_a_late_server() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener); // nobody is listening yet
+
+        let trace = TelemetryTrace { batches: vec![sample_batch(2.0)] };
+        let encoded = trace.encode();
+        let addr_for_server = addr.clone();
+        let server = std::thread::spawn(move || {
+            // Come up late: the client must retry until this bind succeeds.
+            std::thread::sleep(Duration::from_millis(300));
+            let listener = std::net::TcpListener::bind(&addr_for_server).expect("rebind");
+            let (mut conn, _) = listener.accept().expect("accept");
+            conn.write_all(&encoded).expect("serve");
+        });
+
+        let policy = ReconnectPolicy { attempts: 50, delay: Duration::from_millis(50) };
+        let mut source = SocketSource::tcp(&addr, policy).expect("retry until the server is up");
+        let mut out = Vec::new();
+        source.capture_window(trace.batches[0].config, 2.0, 2.0, &mut out);
+        assert_eq!(out, trace.batches[0].samples);
+        assert!(source.is_exhausted());
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn connect_failures_surface_after_the_policy_is_spent() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let policy = ReconnectPolicy { attempts: 2, delay: Duration::from_millis(1) };
+        let error = SocketSource::tcp(&addr, policy).expect_err("nobody listens");
+        assert!(matches!(error, AdaSenseError::Ingest { .. }));
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn unix_socket_transport_delivers_frames() {
+        // Keep the socket file inside the workspace target directory.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target");
+        let path = dir.join(format!("adasense-ingest-{}.sock", std::process::id()));
+        let path_str = path.to_str().expect("utf-8 target path").to_string();
+        let _ = std::fs::remove_file(&path);
+
+        let trace = TelemetryTrace { batches: vec![sample_batch(2.0), sample_batch(3.0)] };
+        let encoded = trace.encode();
+        let listener = std::os::unix::net::UnixListener::bind(&path).expect("bind unix socket");
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            conn.write_all(&encoded).expect("serve");
+        });
+
+        let mut source =
+            SocketSource::unix(&path_str, ReconnectPolicy::once()).expect("connect unix");
+        let mut out = Vec::new();
+        for batch in &trace.batches {
+            assert!(!source.is_exhausted());
+            source.capture_window(batch.config, batch.t_end, batch.window_s, &mut out);
+            assert_eq!(out, batch.samples);
+        }
+        assert!(source.is_exhausted());
+        assert_eq!(source.delivered(), 2);
+        server.join().expect("server thread");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn channel_capture_past_end_of_stream_panics() {
+        let (tx, mut source) = telemetry_channel(1);
+        drop(tx);
+        assert!(source.is_exhausted());
+        let mut out = Vec::new();
+        let config = SensorConfig::paper_pareto_front()[0];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            source.capture_window(config, 2.0, 2.0, &mut out);
+        }));
+        assert!(result.is_err(), "capturing past end-of-stream must panic");
+    }
+
+    #[test]
+    fn out_of_step_streams_fail_loudly() {
+        let (mut tx, mut source) = telemetry_channel(1);
+        tx.send(sample_batch(5.0)).unwrap();
+        let mut out = Vec::new();
+        let config = SensorConfig::paper_pareto_front()[0]; // batch was captured under [2]
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            source.capture_window(config, 5.0, 2.0, &mut out);
+        }));
+        assert!(result.is_err(), "a config mismatch must panic, not silently corrupt the run");
+    }
+
+    #[test]
+    fn zero_capacity_rings_are_rejected() {
+        assert!(std::panic::catch_unwind(|| telemetry_channel(0)).is_err());
+    }
+}

@@ -27,6 +27,9 @@
 //! * [`scenario`] — the scenario library: daily-routine scripts, population-level
 //!   activity priors and sensor-fault injection, wired through the fleet scheduler
 //!   via [`FleetSpec::population`](fleet::FleetSpec::population).
+//! * [`ingest`] — live telemetry ingestion: the versioned binary wire format
+//!   (`docs/WIRE_FORMAT.md`), channel- and socket-backed [`SampleSource`]s, and
+//!   trace recording/replay, so the same closed loop runs over real device feeds.
 //! * [`experiments`] — one runner per paper table/figure (Table I, Fig. 2, Fig. 5,
 //!   Fig. 6a/6b, Fig. 7, and the memory comparison), producing printable reports.
 //!
@@ -56,7 +59,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod controller;
 pub mod dse;
@@ -64,6 +67,7 @@ pub mod error;
 pub mod experiments;
 pub mod export;
 pub mod fleet;
+pub mod ingest;
 pub mod pareto;
 pub mod pipeline;
 pub mod runtime;
@@ -75,7 +79,12 @@ pub use controller::{ControllerInput, ControllerKind, SensorController, SpotCont
 pub use dse::{ConfigEvaluation, DesignSpaceExploration, DseReport};
 pub use error::AdaSenseError;
 pub use fleet::{
-    BackendBreakdown, DeviceSummary, FleetReport, FleetScheduler, FleetSpec, RoutineBreakdown,
+    BackendBreakdown, DeviceSummary, ExternalDevice, FleetReport, FleetScheduler, FleetSpec,
+    RoutineBreakdown,
+};
+pub use ingest::{
+    telemetry_channel, ChannelSource, FrameDecoder, FrameEncoder, FrameKind, ReconnectPolicy,
+    SocketSource, TelemetrySender, TelemetryTrace, TraceRecorder,
 };
 pub use pareto::pareto_front;
 pub use pipeline::{ClassifiedBatch, HarPipeline};
@@ -98,7 +107,12 @@ pub mod prelude {
     pub use crate::error::AdaSenseError;
     pub use crate::experiments;
     pub use crate::fleet::{
-        BackendBreakdown, DeviceSummary, FleetReport, FleetScheduler, FleetSpec, RoutineBreakdown,
+        BackendBreakdown, DeviceSummary, ExternalDevice, FleetReport, FleetScheduler, FleetSpec,
+        RoutineBreakdown,
+    };
+    pub use crate::ingest::{
+        telemetry_channel, ChannelSource, FrameDecoder, FrameEncoder, FrameKind, ReconnectPolicy,
+        SocketSource, TelemetrySender, TelemetryTrace, TraceRecorder,
     };
     pub use crate::pareto::pareto_front;
     pub use crate::pipeline::{ClassifiedBatch, HarPipeline};

@@ -36,6 +36,11 @@ pub const WINDOW_S: f64 = 2.0;
 /// The epoch (tick) length, in seconds (the paper classifies once per second).
 pub const EPOCH_S: f64 = 1.0;
 
+/// Offset subtracted from an epoch's end time when querying its ground truth,
+/// re-exported from the data substrate so trace recorders and label exporters
+/// sample the exact instants the runtime scores against.
+pub use adasense_data::EPOCH_LABEL_OFFSET_S;
+
 /// Provides the sensor data a [`DeviceRuntime`] consumes.
 ///
 /// Implementors are the "world" a device lives in: the closed-loop simulator uses
@@ -93,10 +98,67 @@ pub trait SampleSource {
 
     /// The ground-truth activity at time `t_s` (used to score predictions).
     ///
-    /// The runtime queries an instant just *inside* the epoch (`t_end - 1e-6`),
-    /// so sources defined over `[0, duration)` never see an out-of-range query
-    /// while being driven.  Must return `Some` for every driven tick.
+    /// The runtime queries an instant just *inside* the epoch
+    /// (`t_end - `[`EPOCH_LABEL_OFFSET_S`]), so sources defined over
+    /// `[0, duration)` never see an out-of-range query while being driven.
+    /// Must return `Some` for every driven tick.
     fn ground_truth(&self, t_s: f64) -> Option<Activity>;
+
+    /// Whether the source has permanently run out of windows to deliver.
+    ///
+    /// The runtime checks this at the *start* of every tick: once a source
+    /// reports exhaustion, the runtime finishes the epoch gracefully —
+    /// [`DeviceRuntime::begin_tick`] returns [`TickPhase::Exhausted`] without
+    /// accounting charge or residency for a tick that never happened, and
+    /// [`DeviceRuntime::is_complete`] turns `true` — instead of padding the
+    /// remaining timeline with silence.
+    ///
+    /// Simulated sources are never exhausted (the default): they synthesize a
+    /// window for any requested instant, and finite runs are bounded by the
+    /// runtime's own tick budget.  Live-feed sources
+    /// ([`ChannelSource`](crate::ingest::ChannelSource),
+    /// [`SocketSource`](crate::ingest::SocketSource)) return `true` once the
+    /// peer has signalled end-of-stream and every delivered window has been
+    /// consumed.  The method takes `&mut self` so such sources may block on —
+    /// and stash — the next frame to learn whether one exists.
+    fn is_exhausted(&mut self) -> bool {
+        false
+    }
+
+    /// Whether this source is known to *never* exhaust (it synthesizes a
+    /// window for any requested instant, like [`ScenarioSource`]).
+    ///
+    /// Purely a safety hint: [`DeviceRuntime::run_to_completion`] panics up
+    /// front when asked to run an open-ended runtime over such a source,
+    /// instead of spinning forever.  Live-feed sources keep the `false`
+    /// default — blocking on a quiet feed is ordinary waiting, not a hang.
+    fn never_exhausts(&self) -> bool {
+        false
+    }
+}
+
+impl<S: SampleSource + ?Sized> SampleSource for Box<S> {
+    fn capture_window(
+        &mut self,
+        config: SensorConfig,
+        t_end: f64,
+        window_s: f64,
+        out: &mut Vec<Sample3>,
+    ) {
+        (**self).capture_window(config, t_end, window_s, out);
+    }
+
+    fn ground_truth(&self, t_s: f64) -> Option<Activity> {
+        (**self).ground_truth(t_s)
+    }
+
+    fn is_exhausted(&mut self) -> bool {
+        (**self).is_exhausted()
+    }
+
+    fn never_exhausts(&self) -> bool {
+        (**self).never_exhausts()
+    }
 }
 
 /// A [`SampleSource`] that plays a [`ScenarioSpec`] through the simulated
@@ -141,6 +203,10 @@ impl SampleSource for ScenarioSource {
     fn ground_truth(&self, t_s: f64) -> Option<Activity> {
         self.trace.activity_at(t_s)
     }
+
+    fn never_exhausts(&self) -> bool {
+        true
+    }
 }
 
 /// What one call to [`DeviceRuntime::step`] produced.
@@ -167,6 +233,10 @@ pub enum TickPhase {
     /// features with [`DeviceRuntime::pending_features`] and finish the tick with
     /// [`DeviceRuntime::complete_tick`].
     Classify,
+    /// The source reported end-of-stream before the tick started: nothing was
+    /// sensed or accounted, and the runtime is now
+    /// [complete](DeviceRuntime::is_complete).
+    Exhausted,
 }
 
 /// A classification awaiting its prediction between `begin_tick` and
@@ -207,6 +277,7 @@ pub struct DeviceRuntime<'a, S: SampleSource> {
     record_epochs: bool,
     // Per-tick state and reusable buffers.
     ticks: usize,
+    exhausted: bool,
     pending: Option<PendingTick>,
     window: Vec<Sample3>,
     features: Vec<f64>,
@@ -221,7 +292,8 @@ pub struct DeviceRuntime<'a, S: SampleSource> {
 
 impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
     /// Creates an open-ended runtime over `source` with the paper's 2-second
-    /// window and 1-second epoch.  The runtime never reports completion; drive it
+    /// window and 1-second epoch.  The runtime reports completion only when the
+    /// source signals end-of-stream ([`SampleSource::is_exhausted`]); drive it
     /// with [`step`](DeviceRuntime::step) for as long as the source has data.
     pub fn new(
         spec: &'a ExperimentSpec,
@@ -245,6 +317,7 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
             total_ticks: None,
             record_epochs: true,
             ticks: 0,
+            exhausted: false,
             pending: None,
             window: Vec::new(),
             features: Vec::new(),
@@ -316,10 +389,11 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
         self.ticks as f64 * self.epoch_s
     }
 
-    /// Whether a finite runtime has consumed all its ticks (always `false` for
-    /// open-ended runtimes).
+    /// Whether the runtime has finished: a finite runtime has consumed all its
+    /// ticks, or the source reported end-of-stream
+    /// (see [`SampleSource::is_exhausted`]).
     pub fn is_complete(&self) -> bool {
-        self.total_ticks.is_some_and(|n| self.ticks >= n)
+        self.exhausted || self.total_ticks.is_some_and(|n| self.ticks >= n)
     }
 
     /// Number of classified epochs so far.
@@ -366,6 +440,13 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
     /// Panics if the previous tick's classification is still pending.
     pub fn begin_tick(&mut self) -> TickPhase {
         assert!(self.pending.is_none(), "complete_tick must resolve the previous tick first");
+        if self.exhausted || self.source.is_exhausted() {
+            // A finite external feed ran dry: finish the epoch gracefully —
+            // no charge, residency or silent padding for a tick that never
+            // happened.
+            self.exhausted = true;
+            return TickPhase::Exhausted;
+        }
         let config = self.controller.config();
         let charge = self.energy.charge_over(config, self.epoch_s);
         self.total_charge += charge;
@@ -432,7 +513,7 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
         let predicted = Activity::from_index(prediction.class).unwrap_or(Activity::Sit);
         let actual = self
             .source
-            .ground_truth(t_end - 1e-6)
+            .ground_truth(t_end - EPOCH_LABEL_OFFSET_S)
             .expect("the sample source provides ground truth for every driven tick");
         let correct = predicted == actual;
         let record = EpochRecord {
@@ -460,26 +541,39 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
     }
 
     /// Advances the closed loop by one epoch: sense, classify, score, let the
-    /// controller reconfigure the sensor.
-    pub fn step(&mut self) -> TickResult {
+    /// controller reconfigure the sensor.  Returns `None` — without sensing or
+    /// accounting anything — once the source reports end-of-stream (the
+    /// runtime is then [complete](DeviceRuntime::is_complete)).
+    pub fn step(&mut self) -> Option<TickResult> {
         match self.begin_tick() {
-            TickPhase::Idle(result) => result,
+            TickPhase::Exhausted => None,
+            TickPhase::Idle(result) => Some(result),
             TickPhase::Classify => {
                 let prediction = self.active_classifier().predict(&self.features);
-                self.complete_tick(prediction)
+                Some(self.complete_tick(prediction))
             }
         }
     }
 
-    /// Steps a finite runtime until [`DeviceRuntime::is_complete`].
+    /// Steps the runtime until [`DeviceRuntime::is_complete`]: a finite
+    /// runtime runs down its tick budget, and any runtime stops early when its
+    /// source reports end-of-stream.
     ///
     /// # Panics
     ///
-    /// Panics if called on an open-ended runtime (no tick budget to run down).
+    /// Panics if the runtime is open-ended over a source that declares it
+    /// [never exhausts](SampleSource::never_exhausts) ([`ScenarioSource`] and
+    /// any decorator around it) — such a loop would spin forever; bound the
+    /// runtime with [`for_source`](DeviceRuntime::for_source) instead.
     pub fn run_to_completion(&mut self) {
-        assert!(self.total_ticks.is_some(), "run_to_completion requires a finite runtime");
+        assert!(
+            self.total_ticks.is_some() || !self.source.never_exhausts(),
+            "run_to_completion requires a tick budget or an exhaustible source"
+        );
         while !self.is_complete() {
-            self.step();
+            if self.step().is_none() {
+                break;
+            }
         }
     }
 
@@ -573,7 +667,7 @@ mod tests {
             .expect("runtime builds");
         let mut tick_records = Vec::new();
         while !runtime.is_complete() {
-            let tick = runtime.step();
+            let tick = runtime.step().expect("scenario sources never exhaust");
             if let Some(record) = tick.record {
                 tick_records.push(record);
             }
@@ -599,6 +693,7 @@ mod tests {
         let mut split = DeviceRuntime::for_scenario(spec, system, controller, &scenario).unwrap();
         while !split.is_complete() {
             match split.begin_tick() {
+                TickPhase::Exhausted => unreachable!("scenario sources never exhaust"),
                 TickPhase::Idle(tick) => assert!(tick.record.is_none()),
                 TickPhase::Classify => {
                     assert!(split.batches_with_unified());
@@ -642,6 +737,112 @@ mod tests {
             DeviceRuntime::for_scenario(spec, system, ControllerKind::IntensityBased, &scenario)
                 .unwrap();
         assert!(!runtime.batches_with_unified());
+    }
+
+    /// A source that serves a fixed number of constant windows and then
+    /// signals end-of-stream, like a finite external feed.
+    struct FiniteFeed {
+        windows_left: usize,
+    }
+
+    impl SampleSource for FiniteFeed {
+        fn capture_window(
+            &mut self,
+            config: SensorConfig,
+            t_end: f64,
+            window_s: f64,
+            out: &mut Vec<Sample3>,
+        ) {
+            assert!(self.windows_left > 0, "the runtime must not capture past exhaustion");
+            self.windows_left -= 1;
+            out.clear();
+            let n = (window_s * config.frequency.hz()) as usize;
+            let dt = 1.0 / config.frequency.hz();
+            out.extend(
+                (0..n).map(|i| Sample3::new(t_end - window_s + i as f64 * dt, 0.0, 0.0, 1.0)),
+            );
+        }
+
+        fn ground_truth(&self, _t_s: f64) -> Option<Activity> {
+            Some(Activity::LieDown)
+        }
+
+        fn is_exhausted(&mut self) -> bool {
+            self.windows_left == 0
+        }
+    }
+
+    #[test]
+    fn exhausted_sources_finish_the_epoch_gracefully() {
+        let (spec, system) = shared_system();
+        let controller = ControllerKind::Spot { stability_threshold: 3 };
+
+        // 5 windows feed ticks 2..=6 (tick 1 fills the first buffer), so the
+        // runtime must stop after 6 ticks without padding with silence.
+        let mut runtime =
+            DeviceRuntime::new(spec, system, controller, FiniteFeed { windows_left: 5 });
+        assert!(!runtime.is_complete());
+        runtime.run_to_completion();
+        assert!(runtime.is_complete());
+        assert_eq!(runtime.ticks(), 6, "ticks stop at the last delivered window");
+        assert_eq!(runtime.epochs(), 5, "every delivered window is classified exactly once");
+        assert_eq!(runtime.elapsed_s(), 6.0);
+
+        // Once exhausted, further stepping is a no-op that keeps reporting
+        // completion — no charge or residency is accounted for phantom ticks.
+        let charge = runtime.total_charge();
+        assert_eq!(runtime.step(), None);
+        assert!(matches!(runtime.begin_tick(), TickPhase::Exhausted));
+        assert_eq!(runtime.total_charge(), charge);
+        assert_eq!(runtime.ticks(), 6);
+        let report = runtime.into_report();
+        assert_eq!(report.duration_s, 6.0);
+        assert_eq!(report.records.len(), 5);
+    }
+
+    #[test]
+    fn an_immediately_exhausted_source_yields_an_empty_run() {
+        let (spec, system) = shared_system();
+        let mut runtime = DeviceRuntime::new(
+            spec,
+            system,
+            ControllerKind::StaticHigh,
+            FiniteFeed { windows_left: 0 },
+        );
+        runtime.run_to_completion();
+        assert!(runtime.is_complete());
+        assert_eq!(runtime.ticks(), 0);
+        assert_eq!(runtime.epochs(), 0);
+        assert_eq!(runtime.total_charge(), Charge::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick budget or an exhaustible source")]
+    fn open_ended_scenario_runtimes_refuse_run_to_completion() {
+        // ScenarioSource synthesizes windows forever; running it open-ended
+        // to "completion" would spin, so it must panic up front.
+        let (spec, system) = shared_system();
+        let scenario = ScenarioSpec::sit_then_walk(6.0, 6.0);
+        let source = ScenarioSource::new(spec, &scenario);
+        DeviceRuntime::new(spec, system, ControllerKind::StaticHigh, source).run_to_completion();
+    }
+
+    #[test]
+    fn exhaustion_also_ends_a_finite_runtime_early() {
+        let (spec, system) = shared_system();
+        // A 20 s budget over a feed that dries up after 3 windows: the runtime
+        // must finish at tick 4, not at the budget.
+        let mut runtime = DeviceRuntime::for_source(
+            spec,
+            system,
+            ControllerKind::StaticHigh,
+            FiniteFeed { windows_left: 3 },
+            20.0,
+        )
+        .expect("runtime builds");
+        runtime.run_to_completion();
+        assert_eq!(runtime.ticks(), 4);
+        assert_eq!(runtime.epochs(), 3);
     }
 
     #[test]

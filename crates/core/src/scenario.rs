@@ -813,6 +813,14 @@ impl<S: SampleSource> SampleSource for FaultInjector<S> {
     fn ground_truth(&self, t_s: f64) -> Option<Activity> {
         self.inner.ground_truth(t_s)
     }
+
+    fn is_exhausted(&mut self) -> bool {
+        self.inner.is_exhausted()
+    }
+
+    fn never_exhausts(&self) -> bool {
+        self.inner.never_exhausts()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,120 @@
+//! Ground-truth label-track export for recorded telemetry traces.
+//!
+//! The ingestion layer streams one labelled sample window per classification
+//! epoch off-device (see `docs/WIRE_FORMAT.md`).  This module provides the
+//! ground-truth side of that trace: sampling an [`ActivitySchedule`] at the
+//! same per-epoch instants the device runtime scores against, and rendering
+//! the resulting label track in a plotting-friendly CSV form.
+
+use crate::activity::Activity;
+use crate::schedule::ActivitySchedule;
+
+/// Offset subtracted from an epoch's end time when querying its ground-truth
+/// label, in seconds.
+///
+/// The device runtime classifies the window ending at `t_end` and scores it
+/// against the activity at `t_end - EPOCH_LABEL_OFFSET_S` — an instant just
+/// *inside* the epoch, so schedules defined over `[0, duration)` never see an
+/// out-of-range query.  Trace recorders and label exporters use the same
+/// offset so recorded labels match what the runtime would have scored.
+pub const EPOCH_LABEL_OFFSET_S: f64 = 1e-6;
+
+/// The ground-truth label of each classification epoch of `schedule`: entry
+/// `k` is the activity at `(k + 1) * epoch_s - `[`EPOCH_LABEL_OFFSET_S`],
+/// covering every full epoch the schedule spans.
+///
+/// ```
+/// use adasense_data::export::label_track;
+/// use adasense_data::{Activity, ActivitySchedule};
+///
+/// let schedule = ActivitySchedule::sit_then_walk(2.0, 2.0);
+/// let track = label_track(&schedule, 1.0);
+/// assert_eq!(track, vec![Activity::Sit, Activity::Sit, Activity::Walk, Activity::Walk]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `epoch_s` is not strictly positive.
+pub fn label_track(schedule: &ActivitySchedule, epoch_s: f64) -> Vec<Activity> {
+    assert!(epoch_s > 0.0, "epoch length must be positive, got {epoch_s}");
+    // The nudge keeps a quotient that lands just below an integer (float
+    // division of a duration that is an exact multiple of the epoch) from
+    // dropping the final full epoch.
+    let epochs = (schedule.total_duration_s() / epoch_s + 1e-9).floor() as usize;
+    (1..=epochs)
+        .map(|k| {
+            let t = k as f64 * epoch_s - EPOCH_LABEL_OFFSET_S;
+            schedule.activity_at(t).expect("every full epoch lies inside the schedule")
+        })
+        .collect()
+}
+
+/// CSV of a label track: one row per epoch (`t_end_s,label`), with `t_end_s`
+/// the epoch's end time printed to microsecond precision with trailing zeros
+/// trimmed (so sub-second epoch lengths like 0.25 s are not rounded away).
+pub fn label_track_to_csv(track: &[Activity], epoch_s: f64) -> String {
+    let mut out = String::from("t_end_s,label\n");
+    for (k, activity) in track.iter().enumerate() {
+        let t = format!("{:.6}", (k + 1) as f64 * epoch_s);
+        let t = t.trim_end_matches('0').trim_end_matches('.');
+        out.push_str(&format!("{t},{}\n", activity.name()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_track_samples_just_inside_each_epoch() {
+        // A boundary exactly on an epoch end must attribute the epoch to the
+        // activity *before* the switch (the window that was classified).
+        let schedule = ActivitySchedule::sit_then_walk(3.0, 2.0);
+        let track = label_track(&schedule, 1.0);
+        assert_eq!(
+            track,
+            vec![Activity::Sit, Activity::Sit, Activity::Sit, Activity::Walk, Activity::Walk]
+        );
+    }
+
+    #[test]
+    fn partial_trailing_epochs_are_dropped() {
+        let schedule = ActivitySchedule::sit_then_walk(1.0, 1.5);
+        assert_eq!(label_track(&schedule, 1.0).len(), 2);
+    }
+
+    #[test]
+    fn empty_schedules_have_empty_tracks() {
+        assert!(label_track(&ActivitySchedule::default(), 1.0).is_empty());
+    }
+
+    #[test]
+    fn inexact_float_quotients_keep_the_final_epoch() {
+        // 0.3 / 0.1 is 2.999…96 in f64; the final full epoch must not be
+        // dropped by the floor.
+        let schedule = ActivitySchedule::sit_then_walk(0.2, 0.1);
+        let track = label_track(&schedule, 0.1);
+        assert_eq!(track, vec![Activity::Sit, Activity::Sit, Activity::Walk]);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch length must be positive")]
+    fn zero_epochs_are_rejected() {
+        let _ = label_track(&ActivitySchedule::sit_then_walk(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn csv_lists_one_row_per_epoch() {
+        let track = vec![Activity::Sit, Activity::Walk];
+        let csv = label_track_to_csv(&track, 1.0);
+        assert_eq!(csv, "t_end_s,label\n1,sit\n2,walk\n");
+    }
+
+    #[test]
+    fn csv_timestamps_keep_sub_second_epoch_precision() {
+        let track = vec![Activity::Sit, Activity::Sit, Activity::Walk, Activity::Walk];
+        let csv = label_track_to_csv(&track, 0.25);
+        assert_eq!(csv, "t_end_s,label\n0.25,sit\n0.5,sit\n0.75,walk\n1,walk\n");
+    }
+}

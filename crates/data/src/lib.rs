@@ -20,6 +20,8 @@
 //!   [`adasense_sensor::SignalSource`] usable by the simulated accelerometer.
 //! * [`dataset`] — labelled window datasets across sensor configurations, with
 //!   deterministic train/test splits.
+//! * [`export`] — per-epoch ground-truth label tracks for recorded telemetry
+//!   traces (sampled at the same instants the device runtime scores against).
 //!
 //! # Example
 //!
@@ -37,16 +39,18 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod activity;
 pub mod dataset;
+pub mod export;
 pub mod generator;
 pub mod schedule;
 pub mod signal;
 
 pub use activity::Activity;
 pub use dataset::{DatasetSpec, LabeledWindow, TrainTestSplit, WindowDataset};
+pub use export::EPOCH_LABEL_OFFSET_S;
 pub use generator::ActivityTrace;
 pub use schedule::{
     ActivityChangeSetting, ActivitySchedule, JitteredSegment, ScheduleBuilder, Segment,
@@ -57,6 +61,7 @@ pub use signal::{ActivitySignalModel, SubjectParams};
 pub mod prelude {
     pub use crate::activity::Activity;
     pub use crate::dataset::{DatasetSpec, LabeledWindow, TrainTestSplit, WindowDataset};
+    pub use crate::export::EPOCH_LABEL_OFFSET_S;
     pub use crate::generator::ActivityTrace;
     pub use crate::schedule::{
         ActivityChangeSetting, ActivitySchedule, JitteredSegment, ScheduleBuilder, Segment,

@@ -17,6 +17,9 @@
 //! * [`sample`] — the 3-axis sample type and helpers.
 //! * [`fault`] — transient fault transforms (dropout, stuck axes, noise bursts)
 //!   applied to captured windows by the scenario layer's fault injector.
+//! * [`telemetry`] — the decoded telemetry frame payload ([`TelemetryBatch`]):
+//!   one configuration-tagged, ground-truth-labelled sample window per
+//!   classification epoch, as streamed off-device by the ingestion layer.
 //! * [`accelerometer`] — the simulated sensor itself: given a continuous analog
 //!   [`SignalSource`] it produces the digital sample stream that a real IMU would,
 //!   including under-sampling, averaging and noise.
@@ -52,6 +55,7 @@ pub mod energy;
 pub mod fault;
 pub mod noise;
 pub mod sample;
+pub mod telemetry;
 
 pub use accelerometer::{Accelerometer, SignalSource};
 pub use config::{AveragingWindow, OperationMode, SamplingFrequency, SensorConfig};
@@ -59,6 +63,7 @@ pub use energy::{Charge, EnergyModel};
 pub use fault::FaultKind;
 pub use noise::NoiseModel;
 pub use sample::Sample3;
+pub use telemetry::{ClassLabel, TelemetryBatch};
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
@@ -68,4 +73,5 @@ pub mod prelude {
     pub use crate::fault::FaultKind;
     pub use crate::noise::NoiseModel;
     pub use crate::sample::Sample3;
+    pub use crate::telemetry::{ClassLabel, TelemetryBatch};
 }

@@ -1,0 +1,123 @@
+//! The decoded telemetry frame payload exchanged between devices and hosts.
+//!
+//! A wearable streaming its accelerometer windows off-device sends one
+//! [`TelemetryBatch`] per classification epoch: the sensor configuration the
+//! window was captured under, the window's end time and length, the
+//! ground-truth class label (when the stream carries supervision, e.g. for
+//! replayed benchmark traces) and the samples themselves.  The binary wire
+//! encoding of a batch lives in the ingestion layer (`adasense::ingest`, spec
+//! in `docs/WIRE_FORMAT.md`); this module only defines the in-memory form so
+//! the substrate crates can produce and consume batches without depending on
+//! the framework crate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SensorConfig;
+use crate::sample::Sample3;
+
+/// The class label carried by a telemetry batch: a raw classifier class index.
+///
+/// The sensor substrate does not know the activity taxonomy (that lives in
+/// `adasense-data`), so labels travel as the bare `u8` class index and are
+/// converted to/from `Activity` at the ingestion layer.
+pub type ClassLabel = u8;
+
+/// One decoded telemetry frame: a timestamped window of samples plus its
+/// sensor-configuration tag and ground-truth label.
+///
+/// A batch is the unit a sample source replaying live telemetry (the
+/// framework crate's `adasense::runtime::SampleSource` implementations) hands
+/// to the device runtime once per classified epoch.  The `samples` buffer is
+/// designed for reuse: decoders refill an existing batch in place (see
+/// [`TelemetryBatch::reset`]) instead of allocating a fresh one per frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryBatch {
+    /// Sensor configuration the window was captured under.
+    pub config: SensorConfig,
+    /// End time of the window, in seconds from the start of the stream.
+    pub t_end: f64,
+    /// Length of the window, in seconds.
+    pub window_s: f64,
+    /// Ground-truth class index for the epoch ending at `t_end` (the
+    /// classifier class order of `adasense-data`'s `Activity`).
+    pub label: ClassLabel,
+    /// The captured samples, oldest first.
+    pub samples: Vec<Sample3>,
+}
+
+impl TelemetryBatch {
+    /// Creates a batch from its parts.
+    pub fn new(
+        config: SensorConfig,
+        t_end: f64,
+        window_s: f64,
+        label: ClassLabel,
+        samples: Vec<Sample3>,
+    ) -> Self {
+        Self { config, t_end, window_s, label, samples }
+    }
+
+    /// An empty placeholder batch (no samples, zeroed times), useful as the
+    /// reusable target of an in-place decoder.
+    pub fn placeholder() -> Self {
+        Self {
+            config: SensorConfig::paper_pareto_front()[0],
+            t_end: 0.0,
+            window_s: 0.0,
+            label: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Resets the header fields and clears the sample buffer, keeping its
+    /// allocation — the first step of refilling the batch in place.
+    pub fn reset(&mut self, config: SensorConfig, t_end: f64, window_s: f64, label: ClassLabel) {
+        self.config = config;
+        self.t_end = t_end;
+        self.window_s = window_s;
+        self.label = label;
+        self.samples.clear();
+    }
+
+    /// Start time of the window, in seconds.
+    pub fn t_start(&self) -> f64 {
+        self.t_end - self.window_s
+    }
+
+    /// Number of samples in the window.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_keeps_the_sample_allocation() {
+        let mut batch = TelemetryBatch::placeholder();
+        batch.samples.extend((0..32).map(|i| Sample3::new(i as f64, 0.0, 0.0, 1.0)));
+        let capacity = batch.samples.capacity();
+        let config = SensorConfig::paper_pareto_front()[1];
+        batch.reset(config, 10.0, 2.0, 3);
+        assert_eq!(batch.config, config);
+        assert_eq!(batch.t_end, 10.0);
+        assert_eq!(batch.t_start(), 8.0);
+        assert_eq!(batch.label, 3);
+        assert!(batch.is_empty());
+        assert_eq!(batch.samples.capacity(), capacity, "reset must keep the allocation");
+    }
+
+    #[test]
+    fn placeholder_is_empty() {
+        let batch = TelemetryBatch::placeholder();
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+    }
+}
