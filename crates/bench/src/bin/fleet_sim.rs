@@ -5,11 +5,13 @@
 //! Run with `cargo run --release -p adasense-bench --bin fleet_sim`
 //! (add `--quick` for a reduced training set; `--devices N` and `--duration S`
 //! to change the population; `--backend <f64|int8|mixed>` selects the
-//! inference backend assignment).  Exits non-zero if the determinism check
-//! fails.
+//! inference backend assignment; `--bench-json` additionally writes the
+//! throughput measurement to `BENCH_fleet.json` — `--bench-out PATH` to move
+//! it — for the `perf-track` CI job).  Exits non-zero if the determinism
+//! check fails.
 
 use adasense::prelude::*;
-use adasense_bench::{int_arg, string_arg, train_system, RunScale};
+use adasense_bench::{int_arg, peak_rss_bytes, string_arg, train_system, FleetBench, RunScale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = RunScale::from_args();
@@ -45,12 +47,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Fleet simulation — {devices} devices × {duration_s} s\n");
     println!("{}", parallel.to_table_string());
-    let simulated_s: f64 = parallel.devices.iter().map(|d| d.duration_s).sum();
+    let simulated_s = parallel.total_duration_s();
     println!(
         "wall clock: {:.2} s on {threads} workers ({:.0}x realtime)",
         wall.as_secs_f64(),
         simulated_s / wall.as_secs_f64().max(1e-9)
     );
+
+    if std::env::args().any(|a| a == "--bench-json") {
+        let bench = FleetBench {
+            devices,
+            duration_s,
+            device_ticks: parallel.total_epochs(),
+            wall_s: wall.as_secs_f64(),
+            threads,
+            peak_rss_bytes: peak_rss_bytes(),
+        };
+        let path = string_arg("--bench-out")?.unwrap_or_else(|| "BENCH_fleet.json".to_string());
+        std::fs::write(&path, bench.to_json())?;
+        println!(
+            "bench: {:.0} device-ticks/s, peak RSS {} → {path}",
+            bench.device_ticks_per_sec(),
+            bench
+                .peak_rss_bytes
+                .map_or("n/a".to_string(), |b| format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0)))
+        );
+    }
 
     eprintln!("[fleet_sim] verifying bit-identity against a single-threaded run…");
     let serial = scheduler.with_threads(1).run(&fleet)?;

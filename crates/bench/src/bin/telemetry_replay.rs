@@ -119,8 +119,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         preset.label(),
         fault.label()
     );
-    let reference = scheduler.run(&fleet)?;
-    println!("{}", reference.to_table_string());
+    let reference = scheduler.run_collect(&fleet)?;
+    println!("{}", reference.report.to_table_string());
 
     // 2) Record every device's stream and export it as a wire-format file.
     std::fs::create_dir_all(&trace_dir)?;
@@ -174,7 +174,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for server in servers {
         server.join().expect("replay server thread")?;
     }
-    compare_cohorts("socket replay", &reference.devices, &replayed.devices, ignore_faults)?;
+    compare_cohorts("socket replay", &reference.summaries, &replayed.summaries, ignore_faults)?;
 
     // 4) Mixed fleet: the scenario cohort and a channel-fed replay cohort in
     //    one scheduler run.
@@ -195,9 +195,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for feeder in feeders {
         feeder.join().expect("channel feeder thread")?;
     }
-    let (scenario_half, feed_half) = mixed.devices.split_at(devices as usize);
-    compare_cohorts("mixed fleet, scenario half", &reference.devices, scenario_half, false)?;
-    let mut expected_feed_half = reference.devices.clone();
+    let (scenario_half, feed_half) = mixed.summaries.split_at(devices as usize);
+    compare_cohorts("mixed fleet, scenario half", &reference.summaries, scenario_half, false)?;
+    let mut expected_feed_half = reference.summaries.clone();
     for row in &mut expected_feed_half {
         row.device_id += devices;
         if ignore_faults {

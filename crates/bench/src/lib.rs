@@ -94,6 +94,63 @@ pub fn int_arg(name: &str) -> Result<Option<u64>, String> {
     }
 }
 
+/// Peak resident set size of this process so far, in bytes, read from
+/// `/proc/self/status` (`VmHWM`).  Returns `None` off Linux or when the file
+/// is unreadable — callers should report the figure as unavailable rather
+/// than fail the run.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
+/// One fleet-throughput measurement, serialized to `BENCH_fleet.json` by
+/// `fleet_sim --bench-json` and tracked per PR by the `perf-track` CI job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetBench {
+    /// Cohort size (devices simulated).
+    pub devices: u64,
+    /// Simulated seconds per device.
+    pub duration_s: f64,
+    /// Classified epochs across the whole cohort (one device-tick each).
+    pub device_ticks: u64,
+    /// Wall-clock seconds of the fleet run (training excluded).
+    pub wall_s: f64,
+    /// Worker threads the scheduler ran with.
+    pub threads: usize,
+    /// Peak resident set size in bytes, when the platform exposes it.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+impl FleetBench {
+    /// Simulated device-ticks per wall-clock second.
+    pub fn device_ticks_per_sec(&self) -> f64 {
+        self.device_ticks as f64 / self.wall_s.max(1e-9)
+    }
+
+    /// The JSON document written to `BENCH_fleet.json` (hand-rolled: the
+    /// vendored serde is a no-op stand-in, and the schema is five keys).
+    pub fn to_json(&self) -> String {
+        let rss = match self.peak_rss_bytes {
+            Some(bytes) => bytes.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\n  \"devices\": {},\n  \"duration_s\": {:.1},\n  \"device_ticks\": {},\n  \
+             \"wall_s\": {:.3},\n  \"device_ticks_per_sec\": {:.1},\n  \"threads\": {},\n  \
+             \"peak_rss_bytes\": {}\n}}\n",
+            self.devices,
+            self.duration_s,
+            self.device_ticks,
+            self.wall_s,
+            self.device_ticks_per_sec(),
+            self.threads,
+            rss
+        )
+    }
+}
+
 /// Trains the HAR system for the selected scale, printing a short progress note.
 ///
 /// # Errors

@@ -32,6 +32,12 @@ pub enum AdaSenseError {
         /// What went wrong while ingesting the stream.
         reason: String,
     },
+    /// A sharded fleet artifact (summary spool, encoded report, shard plan)
+    /// was invalid or could not be produced.
+    Shard {
+        /// What went wrong with the shard artifact.
+        reason: String,
+    },
 }
 
 impl AdaSenseError {
@@ -54,6 +60,11 @@ impl AdaSenseError {
     pub fn ingest(reason: impl Into<String>) -> Self {
         Self::Ingest { reason: reason.into() }
     }
+
+    /// Creates an [`AdaSenseError::Shard`] error.
+    pub fn shard(reason: impl Into<String>) -> Self {
+        Self::Shard { reason: reason.into() }
+    }
 }
 
 impl fmt::Display for AdaSenseError {
@@ -66,6 +77,7 @@ impl fmt::Display for AdaSenseError {
                 write!(f, "unknown sensor configuration `{label}`")
             }
             AdaSenseError::Ingest { reason } => write!(f, "telemetry ingestion failed: {reason}"),
+            AdaSenseError::Shard { reason } => write!(f, "fleet sharding failed: {reason}"),
         }
     }
 }
@@ -84,6 +96,7 @@ mod tests {
             AdaSenseError::simulation("empty scenario"),
             AdaSenseError::UnknownConfiguration { label: "F1_A1".into() },
             AdaSenseError::ingest("truncated frame"),
+            AdaSenseError::shard("torn summary spool"),
         ];
         for error in errors {
             let message = error.to_string();

@@ -18,9 +18,16 @@
 //!   [`BackendSpec`](crate::scenario::BackendSpec)).  Chunk boundaries depend
 //!   only on the spec — never on the worker count — so a fleet run is
 //!   **bit-identical at any thread count**.
-//! * [`FleetReport`] — per-device [`DeviceSummary`] rows plus population
-//!   percentiles of power, accuracy and per-configuration residency, with
-//!   per-routine and per-backend breakdowns.
+//! * [`FleetReport`] — mergeable population statistics (exact means, sketch
+//!   percentiles of power, accuracy and per-configuration residency, per-routine
+//!   and per-backend breakdowns) in memory bounded by the population's
+//!   *diversity*, never its size.  Reports from device-range shards
+//!   ([`FleetSpec::shards`], [`FleetScheduler::run_shard`]) merge into exactly
+//!   the monolithic report — byte-for-byte under [`FleetReport::encode`] — and
+//!   per-device rows stream to an on-disk [`SpoolWriter`](crate::shard::SpoolWriter)
+//!   (or any [`SummarySink`]) instead of accumulating in RAM, so million-device
+//!   cohorts fit one box.  [`FleetScheduler::run_collect`] keeps the rows for
+//!   the workloads that want them.
 //!
 //! The scheduler also exposes [`FleetScheduler::run_scenarios`], an
 //! order-preserving parallel runner for explicit `(scenario, controller)` job
@@ -42,6 +49,10 @@ use crate::controller::ControllerKind;
 use crate::error::AdaSenseError;
 use crate::runtime::{DeviceRuntime, SampleSource, ScenarioSource, TickPhase};
 use crate::scenario::{FaultInjector, PopulationSpec};
+use crate::shard::{
+    decode_str, encode_str, shard_ranges, ByteCursor, DiscardSink, FleetStats, ShardRange,
+    SummarySink, REPORT_MAGIC, REPORT_VERSION,
+};
 use crate::simulation::{ScenarioSpec, SimulationReport, Simulator};
 use crate::training::{ExperimentSpec, TrainedSystem};
 
@@ -154,6 +165,19 @@ impl FleetSpec {
             ),
         };
         DevicePlan { device_id, seed, routine, backend, scenario }
+    }
+
+    /// Splits the fleet into `shards` contiguous device-id ranges, aligned to
+    /// [`lockstep_devices`](FleetSpec::lockstep_devices) chunk boundaries and
+    /// maximally balanced (trailing ranges may be empty when there are fewer
+    /// chunks than shards).  Each range, run through
+    /// [`FleetScheduler::run_shard`], schedules exactly the lockstep chunks
+    /// the monolithic run would, and the shard reports merge into exactly the
+    /// monolithic report — per-device seeding makes every device's life
+    /// independent of which shard runs it.  The canonical merge order is
+    /// ascending shard index (see [`crate::shard`]).
+    pub fn shards(&self, shards: usize) -> Vec<ShardRange> {
+        shard_ranges(self.devices, self.lockstep_devices as u64, shards)
     }
 }
 
@@ -335,80 +359,183 @@ pub struct RoutineBreakdown {
     pub mean_faulted_fraction: f64,
 }
 
-/// The aggregated result of a fleet run: one [`DeviceSummary`] per device (in
-/// device-id order) plus population percentiles.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// The aggregated result of a fleet run: mergeable population statistics in
+/// memory bounded by the population's *diversity* (routines × backends ×
+/// sketch buckets), never by its size.
+///
+/// Means are exact (an [`ExactSum`](crate::shard::ExactSum) per metric) and
+/// percentiles come from a [`QuantileSketch`](crate::shard::QuantileSketch),
+/// so reports built per device-range shard [`merge`](FleetReport::merge) into
+/// *exactly* — bit for bit, in any merge order — the report of the monolithic
+/// run; [`encode`](FleetReport::encode) is canonical, making that equality
+/// checkable byte for byte (the `fleet_shard` binary gates it in CI).
+/// Per-device rows no longer live in the report:
+/// [`FleetScheduler::run_collect`] returns them alongside it, and
+/// [`FleetScheduler::run_shard`] streams them to a [`SummarySink`] such as the
+/// on-disk [`SpoolWriter`](crate::shard::SpoolWriter).
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
     /// Label of the controller the fleet ran.
     pub controller: String,
-    /// One summary per device, ordered by device id.
-    pub devices: Vec<DeviceSummary>,
+    /// The mergeable population statistics.
+    pub stats: FleetStats,
 }
 
 impl FleetReport {
+    /// An empty report for a fleet running `controller` (the merge identity).
+    pub fn new(controller: impl Into<String>) -> Self {
+        Self { controller: controller.into(), stats: FleetStats::new() }
+    }
+
+    /// Folds one completed device into the report.
+    pub fn observe(&mut self, device: &DeviceSummary) {
+        self.stats.observe(device);
+    }
+
+    /// Merges another shard's report into this one.  Any merge order gives
+    /// bit-identical state; the canonical order is ascending shard index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Shard`] when the reports ran different
+    /// controllers — such populations are different experiments.
+    pub fn merge(&mut self, other: &FleetReport) -> Result<(), AdaSenseError> {
+        if self.controller != other.controller {
+            return Err(AdaSenseError::shard(format!(
+                "cannot merge a `{}` report into a `{}` report",
+                other.controller, self.controller
+            )));
+        }
+        self.stats.merge(&other.stats);
+        Ok(())
+    }
+
+    /// Encodes the report canonically: equal reports — in particular a merged
+    /// sharded run and its monolithic counterpart — produce identical bytes.
+    /// The layout (magic `ADSR`) is specified in `docs/WIRE_FORMAT.md`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&REPORT_MAGIC);
+        out.extend_from_slice(&REPORT_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // flags, reserved
+        encode_str(&mut out, &self.controller);
+        self.stats.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes a report written by [`encode`](FleetReport::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Shard`] on bad magic, an unsupported version,
+    /// non-zero flags, or a truncated/corrupt body.
+    pub fn decode(bytes: &[u8]) -> Result<Self, AdaSenseError> {
+        if bytes.len() < 8 {
+            return Err(AdaSenseError::shard("encoded report is shorter than its header"));
+        }
+        if bytes[0..4] != REPORT_MAGIC {
+            return Err(AdaSenseError::shard(format!(
+                "bad report magic {:02x?} (expected `ADSR`)",
+                &bytes[0..4]
+            )));
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != REPORT_VERSION {
+            return Err(AdaSenseError::shard(format!(
+                "unsupported report version {version} (this build speaks {REPORT_VERSION})"
+            )));
+        }
+        let flags = u16::from_le_bytes([bytes[6], bytes[7]]);
+        if flags != 0 {
+            return Err(AdaSenseError::shard(format!("unsupported report flags {flags:#06x}")));
+        }
+        let mut cursor = ByteCursor::new(&bytes[8..]);
+        let controller = decode_str(&mut cursor)?;
+        let stats = FleetStats::decode_from(&mut cursor)?;
+        cursor.finish()?;
+        Ok(Self { controller, stats })
+    }
+
     /// Number of devices in the fleet.
-    pub fn len(&self) -> usize {
-        self.devices.len()
+    pub fn len(&self) -> u64 {
+        self.stats.devices
     }
 
     /// Whether the fleet is empty.
     pub fn is_empty(&self) -> bool {
-        self.devices.is_empty()
+        self.stats.devices == 0
+    }
+
+    /// Total classified epochs across the population.
+    pub fn total_epochs(&self) -> u64 {
+        self.stats.epochs
+    }
+
+    /// Total simulated time across the population, in seconds (exact: the
+    /// correctly rounded sum of every device's duration).
+    pub fn total_duration_s(&self) -> f64 {
+        self.stats.duration_s.value()
     }
 
     /// Mean recognition accuracy across the population (0–1).  [`f64::NAN`]
     /// for an empty fleet.
     pub fn mean_accuracy(&self) -> f64 {
-        mean(self.devices.iter().map(|d| d.accuracy))
+        self.stats.accuracy.mean()
     }
 
     /// Mean average sensor current across the population, in µA.  [`f64::NAN`]
     /// for an empty fleet.
     pub fn mean_current_ua(&self) -> f64 {
-        mean(self.devices.iter().map(|d| d.average_current_ua))
+        self.stats.current_ua.mean()
     }
 
     /// The `p`-th percentile (nearest-rank, `0 < p <= 100`) of per-device
-    /// accuracy.  [`f64::NAN`] for an empty fleet (a percentile of nothing is
-    /// undefined, and any numeric stand-in would read as a real accuracy).
+    /// accuracy, answered from the mergeable sketch (a magnitude-truncated
+    /// bucket representative within 2^-12 relative error; see
+    /// [`QuantileSketch::percentile`](crate::shard::QuantileSketch::percentile)).
+    /// [`f64::NAN`] for an empty fleet (a percentile of nothing is undefined,
+    /// and any numeric stand-in would read as a real accuracy).
     pub fn accuracy_percentile(&self, p: f64) -> f64 {
-        percentile(self.devices.iter().map(|d| d.accuracy).collect(), p)
+        self.stats.accuracy.percentile(p)
     }
 
-    /// The `p`-th percentile (nearest-rank) of per-device average current, µA.
-    /// [`f64::NAN`] for an empty fleet.
+    /// The `p`-th percentile (nearest-rank, sketch-answered) of per-device
+    /// average current, µA.  [`f64::NAN`] for an empty fleet.
     pub fn current_percentile(&self, p: f64) -> f64 {
-        percentile(self.devices.iter().map(|d| d.average_current_ua).collect(), p)
+        self.stats.current_ua.percentile(p)
     }
 
-    /// The `p`-th percentile (nearest-rank) of the population's residency
-    /// fraction in `config`.  [`f64::NAN`] for an empty fleet.
+    /// The `p`-th percentile (nearest-rank, sketch-answered) of the
+    /// population's residency fraction in `config`.  [`f64::NAN`] for an
+    /// empty fleet.
     pub fn residency_percentile(&self, config: SensorConfig, p: f64) -> f64 {
-        percentile(self.devices.iter().map(|d| d.residency_fraction(config)).collect(), p)
+        self.stats.residency[config.index()].percentile(p)
+    }
+
+    /// Mean fraction of the population's time spent in `config` (0–1).
+    /// [`f64::NAN`] for an empty fleet.
+    pub fn mean_residency_fraction(&self, config: SensorConfig) -> f64 {
+        self.stats.residency[config.index()].mean()
     }
 
     /// Mean fraction of fault-exposed classified epochs across the population
     /// (0–1).  [`f64::NAN`] for an empty fleet.
     pub fn mean_faulted_fraction(&self) -> f64 {
-        mean(self.devices.iter().map(DeviceSummary::faulted_fraction))
+        self.stats.faulted_fraction.mean()
     }
 
     /// Groups the population by routine, returning one [`RoutineBreakdown`]
     /// per distinct routine label, sorted by label.
     pub fn routine_breakdown(&self) -> Vec<RoutineBreakdown> {
-        let mut groups: std::collections::BTreeMap<&str, Vec<&DeviceSummary>> =
-            std::collections::BTreeMap::new();
-        for device in &self.devices {
-            groups.entry(device.routine.as_str()).or_default().push(device);
-        }
-        groups
-            .into_iter()
-            .map(|(routine, members)| RoutineBreakdown {
-                routine: routine.to_string(),
-                devices: members.len(),
-                mean_accuracy: mean(members.iter().map(|d| d.accuracy)),
-                mean_current_ua: mean(members.iter().map(|d| d.average_current_ua)),
-                mean_faulted_fraction: mean(members.iter().map(|d| d.faulted_fraction())),
+        self.stats
+            .routines
+            .iter()
+            .map(|(routine, group)| RoutineBreakdown {
+                routine: routine.clone(),
+                devices: group.devices as usize,
+                mean_accuracy: group.mean_of(&group.accuracy),
+                mean_current_ua: group.mean_of(&group.current_ua),
+                mean_faulted_fraction: group.mean_of(&group.faulted_fraction),
             })
             .collect()
     }
@@ -416,19 +543,15 @@ impl FleetReport {
     /// Groups the population by inference backend, returning one
     /// [`BackendBreakdown`] per distinct backend label, sorted by label.
     pub fn backend_breakdown(&self) -> Vec<BackendBreakdown> {
-        let mut groups: std::collections::BTreeMap<&str, Vec<&DeviceSummary>> =
-            std::collections::BTreeMap::new();
-        for device in &self.devices {
-            groups.entry(device.backend.as_str()).or_default().push(device);
-        }
-        groups
-            .into_iter()
-            .map(|(backend, members)| BackendBreakdown {
-                backend: backend.to_string(),
-                devices: members.len(),
-                mean_accuracy: mean(members.iter().map(|d| d.accuracy)),
-                mean_current_ua: mean(members.iter().map(|d| d.average_current_ua)),
-                epochs: members.iter().map(|d| d.epochs).sum(),
+        self.stats
+            .backends
+            .iter()
+            .map(|(backend, group)| BackendBreakdown {
+                backend: backend.clone(),
+                devices: group.devices as usize,
+                mean_accuracy: group.mean_of(&group.accuracy),
+                mean_current_ua: group.mean_of(&group.current_ua),
+                epochs: group.epochs as usize,
             })
             .collect()
     }
@@ -460,7 +583,7 @@ impl FleetReport {
         ));
         out.push_str("residency (population mean, SPOT states):\n");
         for config in SensorConfig::paper_pareto_front() {
-            let fraction = mean(self.devices.iter().map(|d| d.residency_fraction(config)));
+            let fraction = self.mean_residency_fraction(config);
             out.push_str(&format!("  {:<12} {}%\n", config.label(), cell(100.0 * fraction, 6, 1)));
         }
         out.push_str("per-routine breakdown:\n");
@@ -501,8 +624,8 @@ fn cell(value: f64, width: usize, prec: usize) -> String {
 }
 
 /// Arithmetic mean of an iterator of values; [`f64::NAN`] for an empty input
-/// (same rationale as [`percentile`]: a fabricated 0 would read as a real
-/// figure).  Shared with the experiment reports in [`crate::experiments`].
+/// — a fabricated 0 would read as a real figure.  Shared with the experiment
+/// reports in [`crate::experiments`].
 pub(crate) fn mean(values: impl Iterator<Item = f64>) -> f64 {
     let mut sum = 0.0;
     let mut count = 0usize;
@@ -517,16 +640,19 @@ pub(crate) fn mean(values: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
-/// Nearest-rank percentile of `values` (`0 < p <= 100`); [`f64::NAN`] for an
-/// empty input — a percentile of nothing is undefined, and returning 0 would
-/// silently read as a real (and alarming) accuracy or current figure.
-fn percentile(mut values: Vec<f64>, p: f64) -> f64 {
-    if values.is_empty() {
-        return f64::NAN;
-    }
-    values.sort_by(f64::total_cmp);
-    let rank = ((p / 100.0 * values.len() as f64).ceil() as usize).clamp(1, values.len());
-    values[rank - 1]
+/// A fleet run that kept its per-device rows: the mergeable [`FleetReport`]
+/// plus one [`DeviceSummary`] per device.  Produced by
+/// [`FleetScheduler::run_collect`] and [`FleetScheduler::run_with_feeds`] for
+/// the workloads that need row-level detail in RAM (replay gates, per-device
+/// assertions); memory grows with the cohort, so bounded-memory paths use
+/// [`FleetScheduler::run`] or [`FleetScheduler::run_shard`] instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRun {
+    /// The mergeable population report.
+    pub report: FleetReport,
+    /// One summary per device: the scenario cohort first (by device id), then
+    /// any feed cohort in the order given.
+    pub summaries: Vec<DeviceSummary>,
 }
 
 /// The parallel fleet scheduler: a worker pool over a shared job queue.
@@ -563,14 +689,114 @@ impl<'a> FleetScheduler<'a> {
     /// [`DeviceRuntime`], chunks of devices tick in lockstep with batched
     /// classification, and the chunks are distributed over the worker pool.
     ///
-    /// The report is bit-identical for any worker count because device seeds,
-    /// chunk boundaries and result order depend only on the spec.
+    /// Memory is **bounded**: completed rows fold into the mergeable report
+    /// and are dropped, so a million-device cohort costs no more RAM than a
+    /// hundred-device one.  Use [`run_collect`](FleetScheduler::run_collect)
+    /// to keep the rows, or [`run_shard`](FleetScheduler::run_shard) to
+    /// stream them to an on-disk spool.
+    ///
+    /// The report is bit-identical for any worker count because device seeds
+    /// and chunk boundaries depend only on the spec and every report
+    /// statistic is independent of the chunk completion order.
     ///
     /// # Errors
     ///
     /// Returns [`AdaSenseError::InvalidSpec`] for degenerate specs and
     /// propagates per-device simulation errors.
     pub fn run(&self, fleet: &FleetSpec) -> Result<FleetReport, AdaSenseError> {
+        self.run_shard(fleet, ShardRange::whole(fleet.devices), &mut DiscardSink)
+    }
+
+    /// Runs the devices of one [`ShardRange`] of `fleet`, streaming every
+    /// completed [`DeviceSummary`] row to `sink` (a
+    /// [`SpoolWriter`](crate::shard::SpoolWriter) for on-disk spooling,
+    /// [`DiscardSink`] for report-only runs) and returning the shard's
+    /// mergeable report.  Memory is bounded: no row outlives its sink push.
+    ///
+    /// Rows reach the sink grouped by lockstep chunk but in chunk-*completion*
+    /// order, which depends on worker scheduling — consumers needing an order
+    /// must sort by `device_id`.  The report is insensitive to that order, so
+    /// it stays bit-identical at any worker count, and shard reports
+    /// [`merge`](FleetReport::merge) into exactly the monolithic
+    /// [`run`](FleetScheduler::run) report (canonically in ascending shard
+    /// order; see [`FleetSpec::shards`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::InvalidSpec`] for degenerate specs or a range
+    /// outside the fleet, and propagates per-device and sink errors.
+    pub fn run_shard(
+        &self,
+        fleet: &FleetSpec,
+        range: ShardRange,
+        sink: &mut dyn SummarySink,
+    ) -> Result<FleetReport, AdaSenseError> {
+        fleet.validate()?;
+        if range.start > range.end || range.end > fleet.devices {
+            return Err(AdaSenseError::invalid_spec(format!(
+                "shard range {range} does not fit a fleet of {} devices",
+                fleet.devices
+            )));
+        }
+        let chunk = fleet.lockstep_devices as u64;
+        let chunks: Vec<std::ops::Range<u64>> = (0..range.len().div_ceil(chunk))
+            .map(|c| (range.start + c * chunk)..(range.start + (c + 1) * chunk).min(range.end))
+            .collect();
+        let next = AtomicUsize::new(0);
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        let error: Mutex<Option<AdaSenseError>> = Mutex::new(None);
+        // The aggregate and the sink share one lock: rows are observed and
+        // spooled under it in chunk-completion order.  The report is a
+        // function of the row *multiset*, so that order never shows.
+        let shared = Mutex::new((FleetStats::new(), sink));
+        std::thread::scope(|scope| {
+            for _ in 0..self.worker_threads().clamp(1, chunks.len().max(1)) {
+                scope.spawn(|| loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= chunks.len() {
+                        break;
+                    }
+                    let outcome = self.run_chunk(fleet, chunks[i].clone()).and_then(|rows| {
+                        let mut guard =
+                            shared.lock().expect("no worker panicked holding the aggregate");
+                        let (stats, sink) = &mut *guard;
+                        for row in &rows {
+                            stats.observe(row);
+                            sink.push(row)?;
+                        }
+                        Ok(())
+                    });
+                    if let Err(e) = outcome {
+                        failed.store(true, Ordering::Relaxed);
+                        error
+                            .lock()
+                            .expect("no worker panicked holding the error slot")
+                            .get_or_insert(e);
+                    }
+                });
+            }
+        });
+        if let Some(e) = error.into_inner().expect("no worker panicked holding the error slot") {
+            return Err(e);
+        }
+        let (stats, _) = shared.into_inner().expect("no worker panicked holding the aggregate");
+        Ok(FleetReport { controller: fleet.controller.label(), stats })
+    }
+
+    /// Runs `fleet` like [`run`](FleetScheduler::run) but keeps every
+    /// [`DeviceSummary`] row in RAM, returned in device-id order alongside
+    /// the report.  Memory grows with the cohort; prefer
+    /// [`run`](FleetScheduler::run) or
+    /// [`run_shard`](FleetScheduler::run_shard) for large fleets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::InvalidSpec`] for degenerate specs and
+    /// propagates per-device simulation errors.
+    pub fn run_collect(&self, fleet: &FleetSpec) -> Result<FleetRun, AdaSenseError> {
         fleet.validate()?;
         self.run_with_feeds(fleet, Vec::new())
     }
@@ -581,11 +807,11 @@ impl<'a> FleetScheduler<'a> {
     /// [`FleetSpec::lockstep_devices`], and batch their classifier calls the
     /// same way.  `fleet.devices` may be `0` for a feed-only run.
     ///
-    /// The report lists the scenario cohort first (by device id), then the
+    /// The summaries list the scenario cohort first (by device id), then the
     /// feed cohort in the order given.  Scenario rows are bit-identical to
-    /// [`run`](FleetScheduler::run); a feed row is bit-identical to the run
-    /// that produced its trace when the feed replays a recording (the
-    /// `telemetry_replay` binary gates exactly that in CI).
+    /// [`run_collect`](FleetScheduler::run_collect); a feed row is
+    /// bit-identical to the run that produced its trace when the feed replays
+    /// a recording (the `telemetry_replay` binary gates exactly that in CI).
     ///
     /// # Errors
     ///
@@ -595,7 +821,7 @@ impl<'a> FleetScheduler<'a> {
         &self,
         fleet: &FleetSpec,
         feeds: Vec<ExternalDevice>,
-    ) -> Result<FleetReport, AdaSenseError> {
+    ) -> Result<FleetRun, AdaSenseError> {
         if fleet.devices > 0 {
             fleet.validate()?;
         } else {
@@ -637,10 +863,12 @@ impl<'a> FleetScheduler<'a> {
                 self.run_feed_chunk(fleet.controller, group)
             }
         })?;
-        Ok(FleetReport {
-            controller: fleet.controller.label(),
-            devices: summaries.into_iter().flatten().collect(),
-        })
+        let summaries: Vec<DeviceSummary> = summaries.into_iter().flatten().collect();
+        let mut report = FleetReport::new(fleet.controller.label());
+        for row in &summaries {
+            report.observe(row);
+        }
+        Ok(FleetRun { report, summaries })
     }
 
     /// Runs an explicit list of `(scenario, controller)` simulations over the
@@ -959,9 +1187,12 @@ mod tests {
             let parallel =
                 FleetScheduler::new(spec, system).with_threads(threads).run(&fleet).unwrap();
             assert_eq!(single, parallel, "{threads}-thread run must be bit-identical");
+            assert_eq!(single.encode(), parallel.encode(), "encodings must match bytewise");
         }
         assert_eq!(single.len(), 12);
-        assert!(single.devices.iter().enumerate().all(|(i, d)| d.device_id == i as u64));
+        let collected = FleetScheduler::new(spec, system).run_collect(&fleet).unwrap();
+        assert_eq!(collected.report, single, "collecting rows must not change the report");
+        assert!(collected.summaries.iter().enumerate().all(|(i, d)| d.device_id == i as u64));
     }
 
     #[test]
@@ -981,8 +1212,8 @@ mod tests {
     fn fleet_devices_match_standalone_simulations() {
         let (spec, system) = shared_system();
         let fleet = FleetSpec::new(4, 20.0, 3);
-        let report = FleetScheduler::new(spec, system).with_threads(2).run(&fleet).unwrap();
-        for device in &report.devices {
+        let run = FleetScheduler::new(spec, system).with_threads(2).run_collect(&fleet).unwrap();
+        for device in &run.summaries {
             let scenario = ScenarioSpec::random(fleet.setting, fleet.duration_s, device.seed);
             let standalone = Simulator::new(spec, system)
                 .with_controller(fleet.controller)
@@ -999,9 +1230,9 @@ mod tests {
         let (spec, system) = shared_system();
         let fleet =
             FleetSpec { controller: ControllerKind::IntensityBased, ..FleetSpec::new(3, 12.0, 5) };
-        let report = FleetScheduler::new(spec, system).with_threads(2).run(&fleet).unwrap();
-        assert_eq!(report.len(), 3);
-        assert!(report.devices.iter().all(|d| d.epochs > 0));
+        let run = FleetScheduler::new(spec, system).with_threads(2).run_collect(&fleet).unwrap();
+        assert_eq!(run.report.len(), 3);
+        assert!(run.summaries.iter().all(|d| d.epochs > 0));
     }
 
     #[test]
@@ -1054,7 +1285,7 @@ mod tests {
         let (spec, system) = shared_system();
         let fleet = FleetSpec::new(4, 20.0, 3);
         let scheduler = FleetScheduler::new(spec, system).with_threads(2);
-        let baseline = scheduler.run(&fleet).unwrap();
+        let baseline = scheduler.run_collect(&fleet).unwrap();
 
         // Record every device's stream, then replay the recordings as a
         // channel-fed cohort running alongside the same scenario cohort.
@@ -1086,14 +1317,14 @@ mod tests {
             feeder.join().expect("feeder thread").expect("all batches accepted");
         }
 
-        assert_eq!(combined.len(), 2 * baseline.len());
+        assert_eq!(combined.summaries.len(), 2 * baseline.summaries.len());
         assert_eq!(
-            combined.devices[..baseline.len()],
-            baseline.devices[..],
+            combined.summaries[..baseline.summaries.len()],
+            baseline.summaries[..],
             "scenario rows must be unchanged by the feed cohort"
         );
         for (scenario_row, feed_row) in
-            baseline.devices.iter().zip(&combined.devices[baseline.len()..])
+            baseline.summaries.iter().zip(&combined.summaries[baseline.summaries.len()..])
         {
             assert_eq!(feed_row.device_id, scenario_row.device_id + fleet.devices);
             assert_eq!(feed_row.seed, scenario_row.seed);
@@ -1137,10 +1368,10 @@ mod tests {
             .run_with_feeds(&empty, vec![ExternalDevice::new(7, source)])
             .expect("feed-only fleets are valid");
         feeder.join().expect("feeder thread").expect("all batches accepted");
-        assert_eq!(report.len(), 1);
-        assert_eq!(report.devices[0].device_id, 7);
-        assert_eq!(report.devices[0].routine, "external");
-        assert_eq!(report.devices[0].epochs, epochs);
+        assert_eq!(report.summaries.len(), 1);
+        assert_eq!(report.summaries[0].device_id, 7);
+        assert_eq!(report.summaries[0].routine, "external");
+        assert_eq!(report.summaries[0].epochs, epochs);
     }
 
     #[test]
@@ -1152,15 +1383,81 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_nearest_rank() {
-        assert_eq!(percentile(vec![3.0, 1.0, 2.0, 4.0], 50.0), 2.0);
-        assert_eq!(percentile(vec![3.0, 1.0, 2.0, 4.0], 100.0), 4.0);
-        assert_eq!(percentile(vec![3.0, 1.0, 2.0, 4.0], 1.0), 1.0);
+    fn sharded_runs_merge_into_the_monolithic_report() {
+        let (spec, system) = shared_system();
+        let fleet = FleetSpec { lockstep_devices: 4, ..FleetSpec::new(12, 20.0, 7) };
+        let scheduler = FleetScheduler::new(spec, system).with_threads(2);
+        let monolithic = scheduler.run(&fleet).unwrap();
+        for shards in [1, 3, 4, 6] {
+            let ranges = fleet.shards(shards);
+            assert_eq!(ranges.len(), shards);
+            assert_eq!(ranges.iter().map(ShardRange::len).sum::<u64>(), fleet.devices);
+            let mut merged = FleetReport::new(fleet.controller.label());
+            for range in ranges {
+                let part = scheduler.run_shard(&fleet, range, &mut DiscardSink).unwrap();
+                merged.merge(&part).unwrap();
+            }
+            assert_eq!(merged, monolithic, "{shards} shards must merge into the monolithic run");
+            assert_eq!(merged.encode(), monolithic.encode(), "byte equality at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn run_shard_spools_every_row() {
+        use crate::shard::{SpoolReader, SpoolWriter};
+
+        let (spec, system) = shared_system();
+        let fleet = FleetSpec { lockstep_devices: 3, ..FleetSpec::new(8, 20.0, 11) };
+        let scheduler = FleetScheduler::new(spec, system).with_threads(4);
+        let mut bytes = Vec::new();
+        let mut writer = SpoolWriter::new(&mut bytes).unwrap();
+        let report =
+            scheduler.run_shard(&fleet, ShardRange::whole(fleet.devices), &mut writer).unwrap();
+        assert_eq!(writer.rows(), fleet.devices);
+        writer.finish().unwrap();
+
+        let mut rows: Vec<DeviceSummary> =
+            SpoolReader::new(&bytes[..]).unwrap().collect::<Result<_, _>>().unwrap();
+        rows.sort_by_key(|r| r.device_id);
+        let collected = scheduler.run_collect(&fleet).unwrap();
+        assert_eq!(rows, collected.summaries, "spooled rows must round-trip bit-exactly");
+        assert_eq!(report, collected.report);
+    }
+
+    #[test]
+    fn reports_encode_and_decode_round_trip() {
+        let (spec, system) = shared_system();
+        let fleet = FleetSpec::new(5, 20.0, 9);
+        let report = FleetScheduler::new(spec, system).run(&fleet).unwrap();
+        let bytes = report.encode();
+        let decoded = FleetReport::decode(&bytes).unwrap();
+        assert_eq!(decoded, report);
+        assert_eq!(decoded.encode(), bytes, "re-encoding must reproduce the bytes");
+        assert!(FleetReport::decode(&bytes[..bytes.len() - 1]).is_err(), "truncation detected");
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(FleetReport::decode(&bad).is_err(), "bad magic detected");
+    }
+
+    #[test]
+    fn reports_for_different_controllers_refuse_to_merge() {
+        let mut spot = FleetReport::new("spot");
+        let high = FleetReport::new("static-high");
+        assert!(spot.merge(&high).is_err());
+    }
+
+    #[test]
+    fn out_of_range_shards_are_rejected() {
+        let (spec, system) = shared_system();
+        let fleet = FleetSpec::new(4, 20.0, 3);
+        let scheduler = FleetScheduler::new(spec, system);
+        let range = ShardRange { start: 0, end: fleet.devices + 1 };
+        assert!(scheduler.run_shard(&fleet, range, &mut DiscardSink).is_err());
     }
 
     #[test]
     fn empty_fleet_percentiles_are_nan_not_zero() {
-        let empty = FleetReport { controller: "none".to_string(), devices: Vec::new() };
+        let empty = FleetReport::new("none");
         assert!(empty.is_empty());
         for p in [1.0, 50.0, 99.0, 100.0] {
             assert!(empty.accuracy_percentile(p).is_nan(), "accuracy p{p} must be NaN");
@@ -1187,12 +1484,12 @@ mod tests {
         let parallel = FleetScheduler::new(spec, system).with_threads(4).run(&fleet).unwrap();
         assert_eq!(single, parallel, "population fleets must stay worker-count deterministic");
         assert!(
-            single.devices.iter().any(|d| d.faulted_epochs > 0),
+            single.stats.faulted_epochs > 0,
             "a heavy-fault cohort must see fault-exposed epochs"
         );
         let breakdown = single.routine_breakdown();
         assert!(!breakdown.is_empty());
-        assert_eq!(breakdown.iter().map(|g| g.devices).sum::<usize>(), single.len());
+        assert_eq!(breakdown.iter().map(|g| g.devices as u64).sum::<u64>(), single.len());
         assert!(breakdown.iter().all(|g| !g.routine.starts_with("dwell-")));
         let text = single.to_table_string();
         for group in &breakdown {
@@ -1212,16 +1509,15 @@ mod tests {
         let single = FleetScheduler::new(spec, system).with_threads(1).run(&fleet).unwrap();
         let parallel = FleetScheduler::new(spec, system).with_threads(4).run(&fleet).unwrap();
         assert_eq!(single, parallel, "mixed-backend fleets must stay worker-count deterministic");
-        let backends: std::collections::BTreeSet<&str> =
-            single.devices.iter().map(|d| d.backend.as_str()).collect();
+        let backends: Vec<&str> = single.stats.backends.keys().map(String::as_str).collect();
         assert_eq!(
-            backends.into_iter().collect::<Vec<_>>(),
+            backends,
             vec!["f64", "int8"],
             "a half-int8 cohort of 12 devices should realize both backends"
         );
         let breakdown = single.backend_breakdown();
         assert_eq!(breakdown.len(), 2);
-        assert_eq!(breakdown.iter().map(|g| g.devices).sum::<usize>(), single.len());
+        assert_eq!(breakdown.iter().map(|g| g.devices as u64).sum::<u64>(), single.len());
         assert!(breakdown.iter().all(|g| g.epochs > 0));
         let text = single.to_table_string();
         assert!(text.contains("per-backend breakdown:"), "missing backend section in:\n{text}");
@@ -1236,8 +1532,8 @@ mod tests {
                 .with_backend(crate::scenario::BackendSpec::Uniform(BackendKind::Int8)),
             ..FleetSpec::new(3, 20.0, 3)
         };
-        let report = FleetScheduler::new(spec, system).with_threads(2).run(&fleet).unwrap();
-        for device in &report.devices {
+        let run = FleetScheduler::new(spec, system).with_threads(2).run_collect(&fleet).unwrap();
+        for device in &run.summaries {
             assert_eq!(device.backend, "int8");
             let scenario = ScenarioSpec::random(fleet.setting, fleet.duration_s, device.seed);
             let standalone = Simulator::new(spec, system)
@@ -1256,15 +1552,15 @@ mod tests {
         // seeds, routines and schedules (and thus durations) stay identical.
         let (spec, system) = shared_system();
         let base = FleetSpec::new(6, 20.0, 17);
-        let f64_fleet = FleetScheduler::new(spec, system).run(&base).unwrap();
+        let f64_fleet = FleetScheduler::new(spec, system).run_collect(&base).unwrap();
         let int8_fleet = FleetScheduler::new(spec, system)
-            .run(&FleetSpec {
+            .run_collect(&FleetSpec {
                 population: PopulationSpec::legacy()
                     .with_backend(crate::scenario::BackendSpec::Uniform(BackendKind::Int8)),
                 ..base
             })
             .unwrap();
-        for (a, b) in f64_fleet.devices.iter().zip(&int8_fleet.devices) {
+        for (a, b) in f64_fleet.summaries.iter().zip(&int8_fleet.summaries) {
             assert_eq!(a.seed, b.seed);
             assert_eq!(a.routine, b.routine);
             assert_eq!(a.duration_s, b.duration_s);
@@ -1274,7 +1570,7 @@ mod tests {
 
     #[test]
     fn empty_fleet_table_prints_dashes_not_fabricated_zeros() {
-        let empty = FleetReport { controller: "none".to_string(), devices: Vec::new() };
+        let empty = FleetReport::new("none");
         let text = empty.to_table_string();
         assert!(text.contains('-'), "NaN statistics must render as `-`:\n{text}");
         assert!(!text.contains("NaN"), "raw NaN must not leak into the table:\n{text}");
@@ -1295,8 +1591,8 @@ mod tests {
         let (spec, system) = shared_system();
         let fleet = FleetSpec::new(4, 20.0, 3);
         assert_eq!(fleet.population, crate::scenario::PopulationSpec::legacy());
-        let report = FleetScheduler::new(spec, system).with_threads(2).run(&fleet).unwrap();
-        for device in &report.devices {
+        let run = FleetScheduler::new(spec, system).with_threads(2).run_collect(&fleet).unwrap();
+        for device in &run.summaries {
             assert_eq!(device.routine, "dwell-Medium");
             assert_eq!(device.faulted_epochs, 0, "legacy populations are fault-free");
         }

@@ -54,6 +54,9 @@ pub const WIRE_VERSION: u16 = 1;
 const KIND_BATCH: u8 = 0x01;
 /// Frame-kind tag of the end-of-stream marker.
 const KIND_END: u8 = 0x02;
+/// Frame-kind tag of a shard's encoded fleet report (the shard→coordinator
+/// transport of the `fleet_shard` binary).
+const KIND_REPORT: u8 = 0x03;
 
 /// Fixed part of a batch payload: kind, config, label, reserved byte, two
 /// `f64` times and the `u32` sample count.
@@ -66,6 +69,13 @@ const SAMPLE_LEN: usize = 32;
 /// legitimate batch (2 s at 100 Hz) is ~6.3 KiB; 1 MiB leaves two orders of
 /// magnitude of headroom for future formats.
 pub const MAX_FRAME_LEN: usize = 1 << 20;
+/// Upper bound on a report frame payload.  An encoded
+/// [`FleetReport`](crate::fleet::FleetReport) scales with the population's
+/// *diversity* (sketch buckets × routine/backend groups), not its device
+/// count — a million-device report measures well under a megabyte — so
+/// 64 MiB rejects corrupt length prefixes while leaving orders of magnitude
+/// of headroom.
+pub const MAX_REPORT_FRAME_LEN: usize = 64 << 20;
 
 // ---------------------------------------------------------------------------
 // Encoding
@@ -172,6 +182,33 @@ impl FrameEncoder {
         self.buf.extend_from_slice(&batches.to_le_bytes());
         &self.buf
     }
+
+    /// Encodes one length-prefixed report frame: shard `shard`'s canonically
+    /// encoded fleet report, as produced by
+    /// [`FleetReport::encode`](crate::fleet::FleetReport::encode).  This is
+    /// the shard→coordinator transport of the `fleet_shard` binary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload would exceed [`MAX_REPORT_FRAME_LEN`]: the
+    /// decoder rejects such frames, so encoding one would break the
+    /// encode→decode identity contract.
+    pub fn report(&mut self, shard: u32, report: &[u8]) -> &[u8] {
+        let payload_len = 5 + report.len();
+        assert!(
+            payload_len <= MAX_REPORT_FRAME_LEN,
+            "encoded report of {} B exceeds the {MAX_REPORT_FRAME_LEN} B frame cap the decoder \
+             enforces",
+            report.len()
+        );
+        self.buf.clear();
+        self.buf.reserve(4 + payload_len);
+        self.buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        self.buf.push(KIND_REPORT);
+        self.buf.extend_from_slice(&shard.to_le_bytes());
+        self.buf.extend_from_slice(report);
+        &self.buf
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -188,6 +225,12 @@ pub enum FrameKind {
         /// Number of batch frames the producer claims to have sent.
         batches: u64,
     },
+    /// A shard's encoded fleet report; the bytes are available from
+    /// [`FrameDecoder::report_payload`] until the next `read_frame` call.
+    Report {
+        /// The sending shard's index in the coordinator's shard plan.
+        shard: u32,
+    },
 }
 
 /// Decodes wire-format frames from any [`Read`], validating every field and
@@ -198,6 +241,9 @@ pub enum FrameKind {
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
     payload: Vec<u8>,
+    /// Whether `payload` currently holds a report frame (gates
+    /// [`report_payload`](FrameDecoder::report_payload)).
+    holds_report: bool,
 }
 
 impl FrameDecoder {
@@ -250,15 +296,23 @@ impl FrameDecoder {
         let mut len_bytes = [0u8; 4];
         read_exact(reader, &mut len_bytes, "frame length prefix")?;
         let len = u32::from_le_bytes(len_bytes) as usize;
-        if len == 0 || len > MAX_FRAME_LEN {
+        // The generous report cap gates the allocation; the tighter batch cap
+        // is enforced once the kind byte is known.
+        if len == 0 || len > MAX_REPORT_FRAME_LEN {
             return Err(AdaSenseError::ingest(format!(
-                "frame length {len} is outside 1..={MAX_FRAME_LEN}"
+                "frame length {len} is outside 1..={MAX_REPORT_FRAME_LEN}"
             )));
         }
+        self.holds_report = false;
         self.payload.resize(len, 0);
         read_exact(reader, &mut self.payload, "frame payload")?;
         match self.payload[0] {
             KIND_BATCH => {
+                if len > MAX_FRAME_LEN {
+                    return Err(AdaSenseError::ingest(format!(
+                        "batch frame length {len} exceeds the {MAX_FRAME_LEN} B cap"
+                    )));
+                }
                 self.decode_batch(batch)?;
                 Ok(FrameKind::Batch)
             }
@@ -272,7 +326,31 @@ impl FrameDecoder {
                 count.copy_from_slice(&self.payload[1..9]);
                 Ok(FrameKind::End { batches: u64::from_le_bytes(count) })
             }
+            KIND_REPORT => {
+                if self.payload.len() < 5 {
+                    return Err(AdaSenseError::ingest(format!(
+                        "report frame has length {len}, expected at least 5"
+                    )));
+                }
+                let shard =
+                    u32::from_le_bytes(self.payload[1..5].try_into().expect("4-byte slice"));
+                self.holds_report = true;
+                Ok(FrameKind::Report { shard })
+            }
             kind => Err(AdaSenseError::ingest(format!("unknown frame kind {kind:#04x}"))),
+        }
+    }
+
+    /// The encoded report bytes of the most recently decoded
+    /// [`FrameKind::Report`] frame (pass them to
+    /// [`FleetReport::decode`](crate::fleet::FleetReport::decode)).  Empty
+    /// unless the last [`read_frame`](FrameDecoder::read_frame) returned a
+    /// report.
+    pub fn report_payload(&self) -> &[u8] {
+        if self.holds_report {
+            &self.payload[5..]
+        } else {
+            &[]
         }
     }
 
@@ -403,6 +481,11 @@ impl TelemetryTrace {
         loop {
             match decoder.read_frame(reader, &mut batch)? {
                 FrameKind::Batch => trace.batches.push(batch.clone()),
+                FrameKind::Report { shard } => {
+                    return Err(AdaSenseError::ingest(format!(
+                        "telemetry trace contains a fleet-report frame (shard {shard})"
+                    )));
+                }
                 FrameKind::End { batches } => {
                     if batches != trace.batches.len() as u64 {
                         return Err(AdaSenseError::ingest(format!(
@@ -851,6 +934,14 @@ impl SocketSource {
         }
         match self.decoder.read_frame(&mut self.reader, &mut self.batch) {
             Ok(FrameKind::Batch) => self.pending = true,
+            Ok(FrameKind::Report { shard }) => {
+                // Report frames belong on shard→coordinator links, not on a
+                // device telemetry feed.
+                panic!(
+                    "{}: unexpected fleet-report frame for shard {shard} on a telemetry feed",
+                    self.peer
+                )
+            }
             Ok(FrameKind::End { batches }) => {
                 assert!(
                     batches == self.delivered,
@@ -1050,6 +1141,69 @@ mod tests {
             vec![Sample3::new(0.0, 0.0, 0.0, 1.0); (MAX_FRAME_LEN - BATCH_HEAD_LEN) / SAMPLE_LEN];
         let trace = TelemetryTrace { batches: vec![largest] };
         assert_eq!(TelemetryTrace::decode(&trace.encode()).unwrap(), trace);
+    }
+
+    #[test]
+    fn report_frames_round_trip_and_respect_their_own_cap() {
+        use crate::fleet::FleetReport;
+
+        let mut report = FleetReport::new("spot");
+        report.observe(&crate::fleet::DeviceSummary {
+            device_id: 3,
+            seed: 9,
+            routine: "office_day".to_string(),
+            backend: "f64".to_string(),
+            faulted_epochs: 0,
+            epochs: 10,
+            correct_epochs: 9,
+            accuracy: 0.9,
+            average_current_ua: 41.5,
+            total_charge_uc: 830.0,
+            duration_s: 20.0,
+            residency_s: vec![20.0],
+        });
+        let bytes = report.encode();
+
+        let mut encoder = FrameEncoder::new();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(encoder.header());
+        stream.extend_from_slice(encoder.report(2, &bytes));
+
+        let mut decoder = FrameDecoder::new();
+        let mut reader = &stream[..];
+        decoder.read_header(&mut reader).unwrap();
+        let mut scratch = TelemetryBatch::placeholder();
+        assert_eq!(decoder.report_payload(), &[] as &[u8], "no report before one is decoded");
+        let kind = decoder.read_frame(&mut reader, &mut scratch).unwrap();
+        assert_eq!(kind, FrameKind::Report { shard: 2 });
+        assert_eq!(decoder.report_payload(), &bytes[..], "payload must survive framing intact");
+        assert_eq!(FleetReport::decode(decoder.report_payload()).unwrap(), report);
+
+        // A batch-kind frame claiming a length above the batch cap is
+        // rejected even though the generous report cap admits the bytes.
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(encoder.header());
+        oversized.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        oversized.push(0x01); // KIND_BATCH
+        oversized.resize(oversized.len() + MAX_FRAME_LEN, 0);
+        let mut reader = &oversized[..];
+        let mut decoder = FrameDecoder::new();
+        decoder.read_header(&mut reader).unwrap();
+        let error = decoder.read_frame(&mut reader, &mut scratch).unwrap_err();
+        assert!(
+            error.to_string().contains("exceeds"),
+            "over-cap batch must fail on the batch cap, got: {error}"
+        );
+
+        // A report frame shorter than its shard-index header is rejected.
+        let mut stub = Vec::new();
+        stub.extend_from_slice(encoder.header());
+        stub.extend_from_slice(&2u32.to_le_bytes());
+        stub.push(0x03); // KIND_REPORT
+        stub.push(0);
+        let mut reader = &stub[..];
+        decoder.read_header(&mut reader).unwrap();
+        assert!(decoder.read_frame(&mut reader, &mut scratch).is_err());
     }
 
     #[test]

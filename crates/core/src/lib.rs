@@ -30,6 +30,11 @@
 //! * [`ingest`] — live telemetry ingestion: the versioned binary wire format
 //!   (`docs/WIRE_FORMAT.md`), channel- and socket-backed [`SampleSource`]s, and
 //!   trace recording/replay, so the same closed loop runs over real device feeds.
+//! * [`shard`] — sharded million-device fleets: order-independent exact sums and
+//!   mergeable quantile sketches behind [`FleetReport`],
+//!   chunk-aligned device-range shard plans, and the on-disk device-summary
+//!   spool that keeps fleet memory bounded (the `fleet_shard` coordinator
+//!   proves sharded == monolithic byte-for-byte).
 //! * [`experiments`] — one runner per paper table/figure (Table I, Fig. 2, Fig. 5,
 //!   Fig. 6a/6b, Fig. 7, and the memory comparison), producing printable reports.
 //!
@@ -72,6 +77,7 @@ pub mod pareto;
 pub mod pipeline;
 pub mod runtime;
 pub mod scenario;
+pub mod shard;
 pub mod simulation;
 pub mod training;
 
@@ -79,8 +85,8 @@ pub use controller::{ControllerInput, ControllerKind, SensorController, SpotCont
 pub use dse::{ConfigEvaluation, DesignSpaceExploration, DseReport};
 pub use error::AdaSenseError;
 pub use fleet::{
-    BackendBreakdown, DeviceSummary, ExternalDevice, FleetReport, FleetScheduler, FleetSpec,
-    RoutineBreakdown,
+    BackendBreakdown, DeviceSummary, ExternalDevice, FleetReport, FleetRun, FleetScheduler,
+    FleetSpec, RoutineBreakdown,
 };
 pub use ingest::{
     telemetry_channel, ChannelSource, FrameDecoder, FrameEncoder, FrameKind, ReconnectPolicy,
@@ -92,6 +98,10 @@ pub use runtime::{DeviceRuntime, SampleSource, ScenarioSource, TickPhase, TickRe
 pub use scenario::{
     BackendSpec, DeviceProfile, FaultInjector, FaultLevel, FaultPlan, FaultProfile, FaultWindow,
     PopulationPrior, PopulationSpec, RoutinePreset, RoutineScript,
+};
+pub use shard::{
+    DiscardSink, ExactSum, FleetStats, GroupStat, MetricStat, QuantileSketch, ShardRange,
+    SpoolReader, SpoolWriter, SummarySink,
 };
 pub use simulation::{EpochRecord, ScenarioSpec, SimulationReport, Simulator};
 pub use training::{ExperimentSpec, TrainedSystem};
@@ -107,8 +117,8 @@ pub mod prelude {
     pub use crate::error::AdaSenseError;
     pub use crate::experiments;
     pub use crate::fleet::{
-        BackendBreakdown, DeviceSummary, ExternalDevice, FleetReport, FleetScheduler, FleetSpec,
-        RoutineBreakdown,
+        BackendBreakdown, DeviceSummary, ExternalDevice, FleetReport, FleetRun, FleetScheduler,
+        FleetSpec, RoutineBreakdown,
     };
     pub use crate::ingest::{
         telemetry_channel, ChannelSource, FrameDecoder, FrameEncoder, FrameKind, ReconnectPolicy,
@@ -120,6 +130,10 @@ pub mod prelude {
     pub use crate::scenario::{
         BackendSpec, DeviceProfile, FaultInjector, FaultLevel, FaultPlan, FaultProfile,
         FaultWindow, PopulationPrior, PopulationSpec, RoutinePreset, RoutineScript,
+    };
+    pub use crate::shard::{
+        DiscardSink, ExactSum, FleetStats, QuantileSketch, ShardRange, SpoolReader, SpoolWriter,
+        SummarySink,
     };
     pub use crate::simulation::{EpochRecord, ScenarioSpec, SimulationReport, Simulator};
     pub use crate::training::{ExperimentSpec, TrainedSystem};

@@ -1,0 +1,240 @@
+//! Property-based tests for the sharded-fleet algebra: the exact sums and
+//! quantile sketches behind `FleetReport` must merge associatively and
+//! commutatively (up to the documented ascending-shard-index order, which the
+//! algebra does not actually require), merged reports must encode to exactly
+//! the monolithic bytes for any partition of the rows, empty shards must merge
+//! as the identity, and the summary spool must round-trip rows bit for bit.
+
+use adasense::prelude::*;
+use proptest::prelude::*;
+
+/// Values that stress every path of the accumulators: both signs, zeros,
+/// subnormals, huge/tiny magnitudes, infinities and NaN.
+fn any_metric_value() -> impl Strategy<Value = f64> {
+    let specials = prop::sample::select(vec![
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        f64::MIN_POSITIVE,
+        f64::MIN_POSITIVE / 4.0,
+        f64::MAX,
+        -f64::MAX,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NAN,
+        1.0 + f64::EPSILON,
+    ]);
+    // The vendored proptest has no `prop_oneof!`; mix by picking a lane.
+    (0u32..10, -1.0e6f64..1.0e6, specials)
+        .prop_map(|(lane, regular, special)| if lane < 8 { regular } else { special })
+}
+
+/// Finite, well-scaled values for summary rows (rows produced by the
+/// simulator are always finite).
+fn any_row_value() -> impl Strategy<Value = f64> {
+    let specials = prop::sample::select(vec![0.0, -0.0, 1.0 + f64::EPSILON, f64::MIN_POSITIVE]);
+    (0u32..9, 0.0f64..1.0e5, specials)
+        .prop_map(|(lane, regular, special)| if lane < 8 { regular } else { special })
+}
+
+fn any_summary() -> impl Strategy<Value = DeviceSummary> {
+    (
+        (0u64..1_000_000, 0u64..u64::MAX),
+        prop::sample::select(vec!["office_day", "active_day", "dwell-medium"]),
+        prop::sample::select(vec!["f64", "int8"]),
+        0usize..100,
+        prop::collection::vec(any_row_value(), 4),
+        prop::collection::vec(0.0f64..3600.0, SensorConfig::COUNT),
+    )
+        .prop_map(|((device_id, seed), routine, backend, epochs, values, residency_s)| {
+            DeviceSummary {
+                device_id,
+                seed,
+                routine: routine.to_string(),
+                backend: backend.to_string(),
+                faulted_epochs: epochs / 3,
+                epochs,
+                correct_epochs: epochs / 2,
+                accuracy: values[0],
+                average_current_ua: values[1],
+                total_charge_uc: values[2],
+                duration_s: values[3],
+                residency_s,
+            }
+        })
+}
+
+fn sum_of(values: &[f64]) -> ExactSum {
+    let mut sum = ExactSum::new();
+    for &v in values {
+        sum.add(v);
+    }
+    sum
+}
+
+fn sketch_of(values: &[f64]) -> QuantileSketch {
+    let mut sketch = QuantileSketch::new();
+    for &v in values {
+        sketch.insert(v);
+    }
+    sketch
+}
+
+fn report_of(rows: &[DeviceSummary]) -> FleetReport {
+    let mut report = FleetReport::new("prop");
+    for row in rows {
+        report.observe(row);
+    }
+    report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The exact sum is a function of the input *multiset*: any permutation
+    /// and any two-way split produce bit-identical state and value.
+    #[test]
+    fn exact_sums_are_order_and_partition_independent(
+        values in prop::collection::vec(any_metric_value(), 0..64),
+        cut in 0usize..64,
+        rotate in 0usize..64,
+    ) {
+        let reference = sum_of(&values);
+
+        let mut rotated = values.clone();
+        rotated.rotate_left(rotate % values.len().max(1));
+        prop_assert_eq!(sum_of(&rotated), reference.clone());
+
+        let cut = cut % (values.len() + 1);
+        let mut merged = sum_of(&values[..cut]);
+        merged.merge(&sum_of(&values[cut..]));
+        prop_assert_eq!(&merged, &reference);
+        prop_assert_eq!(merged.value().to_bits(), reference.value().to_bits());
+    }
+
+    /// Sketch merging is associative and commutative, with the empty sketch
+    /// as identity — so any shard partition yields the monolithic sketch.
+    #[test]
+    fn sketch_merge_is_associative_commutative_with_identity(
+        a in prop::collection::vec(any_metric_value(), 0..32),
+        b in prop::collection::vec(any_metric_value(), 0..32),
+        c in prop::collection::vec(any_metric_value(), 0..32),
+    ) {
+        let (sa, sb, sc) = (sketch_of(&a), sketch_of(&b), sketch_of(&c));
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut right_tail = sb.clone();
+        right_tail.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+
+        // a ∪ b == b ∪ a
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // a ∪ ∅ == a, and the merged sketch matches one built in one pass.
+        let mut padded = sa.clone();
+        padded.merge(&QuantileSketch::new());
+        prop_assert_eq!(&padded, &sa);
+        let whole: Vec<f64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(&ab, &sketch_of(&whole));
+    }
+
+    /// Merged percentiles are bit-identical to the monolithic sketch's for
+    /// every partition, and NaN inputs order last (PR 3 NaN semantics: an
+    /// empty sketch answers NaN rather than fabricating a number).
+    #[test]
+    fn merged_percentiles_match_the_monolithic_sketch(
+        values in prop::collection::vec(any_metric_value(), 0..96),
+        cut_a in 0usize..97,
+        cut_b in 0usize..97,
+    ) {
+        let reference = sketch_of(&values);
+        let (mut lo, mut hi) = (cut_a % (values.len() + 1), cut_b % (values.len() + 1));
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let mut merged = sketch_of(&values[..lo]);
+        merged.merge(&sketch_of(&values[lo..hi]));
+        merged.merge(&sketch_of(&values[hi..]));
+        prop_assert_eq!(&merged, &reference);
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            prop_assert_eq!(merged.percentile(p).to_bits(), reference.percentile(p).to_bits());
+        }
+        if values.is_empty() {
+            prop_assert!(merged.percentile(50.0).is_nan());
+        }
+        if values.iter().any(|v| v.is_nan()) {
+            prop_assert!(merged.percentile(100.0).is_nan(), "NaN inputs order last");
+        }
+    }
+
+    /// Any partition of the summary rows into shards merges — in ascending
+    /// shard order — into a report that encodes to exactly the monolithic
+    /// bytes, and empty shards merge as the identity.
+    #[test]
+    fn sharded_reports_encode_to_the_monolithic_bytes(
+        rows in prop::collection::vec(any_summary(), 0..24),
+        cuts in prop::collection::vec(0usize..25, 0..4),
+    ) {
+        let reference = report_of(&rows);
+
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (rows.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(rows.len());
+        bounds.sort_unstable();
+
+        let mut merged = FleetReport::new("prop");
+        merged.merge(&FleetReport::new("prop")).unwrap(); // empty identity up front
+        for pair in bounds.windows(2) {
+            merged.merge(&report_of(&rows[pair[0]..pair[1]])).unwrap();
+        }
+        prop_assert_eq!(&merged, &reference);
+        prop_assert_eq!(merged.encode(), reference.encode());
+
+        let decoded = FleetReport::decode(&merged.encode()).unwrap();
+        prop_assert_eq!(&decoded, &reference);
+        if rows.is_empty() {
+            prop_assert!(merged.mean_accuracy().is_nan(), "empty fleets answer NaN, not 0");
+        }
+    }
+
+    /// The on-disk spool round-trips every row bit for bit and rejects
+    /// truncation at any byte boundary.
+    #[test]
+    fn spools_round_trip_rows_bit_for_bit(
+        rows in prop::collection::vec(any_summary(), 0..12),
+        cut in 0usize..4096,
+    ) {
+        let mut writer = SpoolWriter::new(Vec::new()).unwrap();
+        for row in &rows {
+            writer.push(row).unwrap();
+        }
+        prop_assert_eq!(writer.rows(), rows.len() as u64);
+        let bytes = writer.finish().unwrap();
+
+        let decoded: Vec<DeviceSummary> =
+            SpoolReader::new(&bytes[..]).unwrap().collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(&decoded, &rows);
+        // Bit-level check on the float fields (PartialEq conflates 0.0/-0.0).
+        for (a, b) in decoded.iter().zip(&rows) {
+            prop_assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+            prop_assert_eq!(a.duration_s.to_bits(), b.duration_s.to_bits());
+        }
+
+        let cut = cut % bytes.len();
+        let truncated: Result<Vec<_>, _> = match SpoolReader::new(&bytes[..cut]) {
+            Err(_) => return Ok(()), // torn header: rejected at open
+            Ok(reader) => reader.collect(),
+        };
+        prop_assert!(truncated.is_err(), "a spool cut at byte {} must not decode", cut);
+    }
+}
