@@ -1,0 +1,111 @@
+//! Per-stage DSP hot-path benchmarks: FFT, DWT, statistics and the full
+//! feature extraction, each in its allocating and allocation-free flavour.
+//!
+//! The fleet scheduler calls `FeatureExtractor::extract_into` once per device
+//! per simulated second, so every stage here is on the per-tick hot path.
+//! Keeping the allocating and scratch-reusing variants side by side makes a
+//! hot-path regression attributable to one stage — if `fleet_sim` throughput
+//! drops, this bench names the stage that moved.
+
+use adasense_dsp::prelude::*;
+use adasense_dsp::stats::per_axis_stats;
+use adasense_sensor::{Sample3, SensorConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A 2-second batch at the configuration's sampling rate (the window the
+/// runtime hands to the extractor every epoch).
+fn batch_for(config: SensorConfig) -> Vec<Sample3> {
+    let rate = config.frequency.hz();
+    let n = config.frequency.samples_in(2.0);
+    (0..n)
+        .map(|k| {
+            let t = k as f64 / rate;
+            Sample3::new(
+                t,
+                0.1 * (3.0 * t).sin(),
+                0.2 * (12.0 * t).cos(),
+                1.0 + 0.3 * (std::f64::consts::TAU * 1.9 * t).sin(),
+            )
+        })
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let signal: Vec<f64> = (0..200).map(|k| (k as f64 * 0.13).sin()).collect();
+    let mut group = c.benchmark_group("dsp_fft_200_samples");
+    group.bench_function("dft_magnitudes_alloc", |b| {
+        b.iter(|| black_box(dft_magnitudes(black_box(&signal), 100)))
+    });
+    let mut plan = FftPlan::new();
+    let mut bins = Vec::new();
+    group.bench_function("fft_plan_magnitudes_into", |b| {
+        b.iter(|| {
+            plan.magnitudes_into(black_box(&signal), 100, &mut bins);
+            black_box(bins[4])
+        })
+    });
+    group.bench_function("fft_plan_forward_real", |b| {
+        b.iter(|| black_box(plan.forward_real(black_box(&signal))[4].magnitude()))
+    });
+    group.finish();
+}
+
+fn bench_dwt(c: &mut Criterion) {
+    let signal: Vec<f64> = (0..256).map(|k| (k as f64 * 0.21).sin()).collect();
+    let levels = 4;
+    let mut group = c.benchmark_group("dsp_dwt_256_samples_4_levels");
+    group.bench_function("haar_decompose_alloc", |b| {
+        b.iter(|| black_box(haar_decompose(black_box(&signal), levels)))
+    });
+    group.bench_function("haar_band_energies_alloc", |b| {
+        b.iter(|| black_box(haar_band_energies(black_box(&signal), levels)))
+    });
+    let mut workspace = HaarWorkspace::new();
+    let mut energies = Vec::new();
+    group.bench_function("haar_workspace_in_place", |b| {
+        b.iter(|| {
+            workspace.decompose(black_box(&signal), levels);
+            workspace.band_energies_into(levels, &mut energies);
+            black_box(energies[0])
+        })
+    });
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let batch = batch_for(SensorConfig::paper_pareto_front()[0]);
+    let mut group = c.benchmark_group("dsp_stats_2s_batch");
+    group.bench_function("per_axis_stats_alloc", |b| {
+        b.iter(|| black_box(per_axis_stats(black_box(&batch))))
+    });
+    group.bench_function("axis_stats_of_sequence", |b| {
+        b.iter(|| {
+            black_box(AxisStats::of_sequence(batch.len(), || black_box(&batch).iter().map(|s| s.z)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_extract(c: &mut Criterion) {
+    let extractor = FeatureExtractor::paper();
+    let mut group = c.benchmark_group("dsp_full_extract_2s_batch");
+    for config in SensorConfig::paper_pareto_front() {
+        let batch = batch_for(config);
+        let rate = config.frequency.hz();
+        group.bench_function(format!("extract_alloc/{}", config.label()), |b| {
+            b.iter(|| black_box(extractor.extract(black_box(&batch), rate)))
+        });
+        let mut out = Vec::new();
+        group.bench_function(format!("extract_into/{}", config.label()), |b| {
+            b.iter(|| {
+                extractor.extract_into(black_box(&batch), rate, &mut out);
+                black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_dwt, bench_stats, bench_full_extract);
+criterion_main!(benches);

@@ -5,7 +5,8 @@
 //!
 //! Run with `cargo run --release -p adasense-bench --bin fleet_shard`
 //! (add `--quick` for the CI smoke cohort; `--devices N`, `--duration S`,
-//! `--shards K` and `--backend <f64|int8|mixed>` reshape the fleet).  Worker
+//! `--shards K` and `--backend <f64|int8|cascade|mixed|mixed-cascade>`
+//! reshape the fleet).  Worker
 //! processes are spawned from the same binary via `--worker`; each runs one
 //! shard and streams its encoded report back over a loopback TCP connection
 //! using the `docs/WIRE_FORMAT.md` report frame.  Exits non-zero on any byte
@@ -27,6 +28,9 @@ struct Shape {
     scale: RunScale,
     fleet: FleetSpec,
     shards: usize,
+    /// The raw `--backend` flag, kept so the coordinator can forward it to
+    /// worker processes verbatim (workers re-parse the same flags).
+    backend_flag: Option<String>,
 }
 
 fn parse_shape() -> Result<Shape, Box<dyn std::error::Error>> {
@@ -38,20 +42,21 @@ fn parse_shape() -> Result<Shape, Box<dyn std::error::Error>> {
     if let Some(duration) = int_arg("--duration")? {
         fleet.duration_s = duration as f64;
     }
-    if let Some(backend) = string_arg("--backend")? {
+    let backend_flag = string_arg("--backend")?;
+    if let Some(backend) = &backend_flag {
         fleet.population.backend = match backend.as_str() {
             "mixed" => BackendSpec::half_int8(),
-            name => BackendSpec::Uniform(
-                BackendKind::from_name(name)
-                    .ok_or_else(|| format!("unknown backend `{name}` (f64, int8 or mixed)"))?,
-            ),
+            "mixed-cascade" => BackendSpec::half_cascade(),
+            name => BackendSpec::Uniform(BackendKind::from_name(name).ok_or_else(|| {
+                format!("unknown backend `{name}` (f64, int8, cascade, mixed or mixed-cascade)")
+            })?),
         };
     }
     let shards = int_arg("--shards")?.unwrap_or(4) as usize;
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
-    Ok(Shape { scale, fleet, shards })
+    Ok(Shape { scale, fleet, shards, backend_flag })
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -93,7 +98,8 @@ fn coordinator() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. The same shards as separate OS worker processes, reports transported
     //    over loopback TCP in the wire format's report frames.
-    let merged = run_shards_as_processes(fleet, shards, shape.scale)?;
+    let merged =
+        run_shards_as_processes(fleet, shards, shape.scale, shape.backend_flag.as_deref())?;
     check("multi-process", shards, &merged, &reference)?;
 
     println!(
@@ -164,6 +170,7 @@ fn run_shards_as_processes(
     fleet: &FleetSpec,
     shards: usize,
     scale: RunScale,
+    backend_flag: Option<&str>,
 ) -> Result<FleetReport, Box<dyn std::error::Error>> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let port = listener.local_addr()?.port();
@@ -187,6 +194,9 @@ fn run_shards_as_processes(
             .arg((fleet.duration_s as u64).to_string())
             .arg("--shards")
             .arg(shards.to_string());
+        if let Some(backend) = backend_flag {
+            cmd.arg("--backend").arg(backend);
+        }
         if scale == RunScale::Quick {
             cmd.arg("--quick");
         }

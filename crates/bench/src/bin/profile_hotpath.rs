@@ -1,0 +1,115 @@
+//! Scratch profiler: where does a device tick actually spend its time?
+//! Times window capture (per sensor config), feature extraction, and
+//! single-row / batched classification separately, then one full
+//! `DeviceRuntime::step` loop for the end-to-end number.
+
+use adasense::prelude::*;
+use adasense::runtime::{SampleSource, ScenarioSource};
+use adasense_bench::{train_system, RunScale};
+use std::time::Instant;
+
+fn time_it<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (spec, system) = train_system(RunScale::Quick)?;
+    let preset = RoutinePreset::OfficeDay;
+    let scenario = preset.script().scenario(120.0, 1.0, 42);
+    let mut source = ScenarioSource::new(&spec, &scenario);
+
+    println!("== per-config capture_window (2 s window) ==");
+    let mut window = Vec::new();
+    for config in SensorConfig::paper_pareto_front() {
+        let us = time_it(2000, || {
+            source.capture_window(config, 10.0, 2.0, &mut window);
+        }) * 1e6;
+        println!(
+            "  {:<10} n={} n_avg={:>3}  {:8.2} us/window",
+            config.label(),
+            window.len(),
+            config.averaging.samples(),
+            us
+        );
+    }
+
+    println!("== feature extraction ==");
+    let extractor = system.extractor();
+    let mut features = Vec::new();
+    for config in SensorConfig::paper_pareto_front() {
+        source.capture_window(config, 10.0, 2.0, &mut window);
+        let us = time_it(5000, || {
+            extractor.extract_into(&window, config.frequency.hz(), &mut features);
+        }) * 1e6;
+        println!("  {:<10} n={}  {:8.2} us/extract", config.label(), window.len(), us);
+    }
+
+    println!("== classification (single row) ==");
+    for kind in BackendKind::ALL {
+        let classifier = system.backend(kind);
+        let us = time_it(20000, || {
+            std::hint::black_box(classifier.predict(std::hint::black_box(&features)));
+        }) * 1e6;
+        println!("  {:<6} {:8.3} us/row", classifier.label(), us);
+    }
+
+    println!("== classification (batch 256) ==");
+    let rows: Vec<Vec<f64>> = (0..256).map(|_| features.clone()).collect();
+    let mut out = Vec::new();
+    for kind in BackendKind::ALL {
+        let classifier = system.backend(kind);
+        let us = time_it(200, || {
+            classifier.predict_batch_into(&rows, &mut out);
+        }) * 1e6;
+        println!("  {:<6} {:8.2} us/batch ({:.3} us/row)", classifier.label(), us, us / 256.0);
+    }
+
+    println!("== full DeviceRuntime::step loop (SPOT, office_day, 120 s) ==");
+    for kind in BackendKind::ALL {
+        let source = ScenarioSource::new(&spec, &scenario);
+        let mut runtime = DeviceRuntime::for_source(
+            &spec,
+            &system,
+            ControllerKind::SpotWithConfidence {
+                stability_threshold: 10,
+                confidence_threshold: 0.85,
+            },
+            source,
+            120.0,
+        )?
+        .with_recording(false)
+        .with_classifier(system.backend(kind));
+        let start = Instant::now();
+        while !runtime.is_complete() {
+            runtime.step();
+        }
+        let us = start.elapsed().as_secs_f64() * 1e6 / runtime.ticks() as f64;
+        println!("  {:<6} {:8.2} us/tick  ({} ticks)", kind.label(), us, runtime.ticks());
+    }
+
+    // Residency: which configs does SPOT actually sit in?
+    let source = ScenarioSource::new(&spec, &scenario);
+    let mut runtime = DeviceRuntime::for_source(
+        &spec,
+        &system,
+        ControllerKind::SpotWithConfidence { stability_threshold: 10, confidence_threshold: 0.85 },
+        source,
+        120.0,
+    )?
+    .with_recording(false);
+    while !runtime.is_complete() {
+        runtime.step();
+    }
+    println!("== SPOT residency over 120 s ==");
+    for (index, s) in runtime.residency_seconds().iter().enumerate() {
+        if *s > 0.0 {
+            let config = SensorConfig::from_index(index).unwrap();
+            println!("  {:<10} {:6.1} s", config.label(), s);
+        }
+    }
+    Ok(())
+}

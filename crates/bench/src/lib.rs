@@ -106,13 +106,16 @@ pub fn peak_rss_bytes() -> Option<u64> {
 }
 
 /// One fleet-throughput measurement, serialized to `BENCH_fleet.json` by
-/// `fleet_sim --bench-json` and tracked per PR by the `perf-track` CI job.
+/// `fleet_sim --bench-json` and enforced per PR by the `perf-track` CI
+/// ratchet (`fleet_sim --bench-baseline` fails on a >20% regression).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetBench {
     /// Cohort size (devices simulated).
     pub devices: u64,
     /// Simulated seconds per device.
     pub duration_s: f64,
+    /// Inference backend the cohort ran on (`f64`, `int8`, `cascade`, …).
+    pub backend: String,
     /// Classified epochs across the whole cohort (one device-tick each).
     pub device_ticks: u64,
     /// Wall-clock seconds of the fleet run (training excluded).
@@ -130,24 +133,78 @@ impl FleetBench {
     }
 
     /// The JSON document written to `BENCH_fleet.json` (hand-rolled: the
-    /// vendored serde is a no-op stand-in, and the schema is five keys).
+    /// vendored serde is a no-op stand-in, and the schema is seven keys).
     pub fn to_json(&self) -> String {
         let rss = match self.peak_rss_bytes {
             Some(bytes) => bytes.to_string(),
             None => "null".to_string(),
         };
         format!(
-            "{{\n  \"devices\": {},\n  \"duration_s\": {:.1},\n  \"device_ticks\": {},\n  \
-             \"wall_s\": {:.3},\n  \"device_ticks_per_sec\": {:.1},\n  \"threads\": {},\n  \
-             \"peak_rss_bytes\": {}\n}}\n",
+            "{{\n  \"devices\": {},\n  \"duration_s\": {:.1},\n  \"backend\": \"{}\",\n  \
+             \"device_ticks\": {},\n  \"wall_s\": {:.3},\n  \"device_ticks_per_sec\": {:.1},\n  \
+             \"threads\": {},\n  \"peak_rss_bytes\": {}\n}}\n",
             self.devices,
             self.duration_s,
+            self.backend,
             self.device_ticks,
             self.wall_s,
             self.device_ticks_per_sec(),
             self.threads,
             rss
         )
+    }
+
+    /// Parses a `BENCH_fleet.json` document produced by [`FleetBench::to_json`].
+    ///
+    /// Hand-rolled for the same reason `to_json` is: the vendored serde is a
+    /// no-op stand-in.  The parser is deliberately forgiving about whitespace
+    /// and key order but strict about the keys themselves, so a ratchet run
+    /// against a malformed or stale baseline fails loudly instead of
+    /// comparing against garbage.  Baselines written before the `backend` key
+    /// existed default it to `f64` (the only backend those baselines ran).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed key.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        fn raw_value(text: &str, key: &str) -> Result<String, String> {
+            let needle = format!("\"{key}\"");
+            let at = text.find(&needle).ok_or_else(|| format!("missing key `{key}`"))?;
+            let rest = &text[at + needle.len()..];
+            let rest = rest
+                .trim_start()
+                .strip_prefix(':')
+                .ok_or_else(|| format!("no `:` after key `{key}`"))?
+                .trim_start();
+            let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+            Ok(rest[..end].trim().to_string())
+        }
+        fn number<T: std::str::FromStr>(text: &str, key: &str) -> Result<T, String> {
+            raw_value(text, key)?.parse().map_err(|_| format!("key `{key}` is not a valid number"))
+        }
+        let backend = match raw_value(text, "backend") {
+            Ok(raw) => raw
+                .strip_prefix('"')
+                .and_then(|r| r.strip_suffix('"'))
+                .ok_or_else(|| "key `backend` is not a string".to_string())?
+                .to_string(),
+            Err(_) => "f64".to_string(),
+        };
+        let rss_raw = raw_value(text, "peak_rss_bytes")?;
+        let peak_rss_bytes = if rss_raw == "null" {
+            None
+        } else {
+            Some(rss_raw.parse().map_err(|_| "key `peak_rss_bytes` is not a valid number")?)
+        };
+        Ok(Self {
+            devices: number(text, "devices")?,
+            duration_s: number(text, "duration_s")?,
+            backend,
+            device_ticks: number(text, "device_ticks")?,
+            wall_s: number(text, "wall_s")?,
+            threads: number(text, "threads")?,
+            peak_rss_bytes,
+        })
     }
 }
 
@@ -174,6 +231,42 @@ pub fn train_system(scale: RunScale) -> Result<(ExperimentSpec, TrainedSystem), 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_bench_json_round_trips() {
+        let bench = FleetBench {
+            devices: 256,
+            duration_s: 120.0,
+            backend: "cascade".to_string(),
+            device_ticks: 33826,
+            wall_s: 4.25,
+            threads: 4,
+            peak_rss_bytes: Some(8_994_816),
+        };
+        let parsed = FleetBench::from_json(&bench.to_json()).unwrap();
+        assert_eq!(parsed, bench);
+        assert!((parsed.device_ticks_per_sec() - 33826.0 / 4.25).abs() < 1e-9);
+
+        let no_rss = FleetBench { peak_rss_bytes: None, ..bench.clone() };
+        assert_eq!(FleetBench::from_json(&no_rss.to_json()).unwrap(), no_rss);
+    }
+
+    #[test]
+    fn fleet_bench_parser_defaults_backend_and_rejects_garbage() {
+        // A pre-`backend` baseline (the PR 6 schema) parses with backend f64.
+        let legacy = "{\n  \"devices\": 256,\n  \"duration_s\": 120.0,\n  \
+                      \"device_ticks\": 33826,\n  \"wall_s\": 21.393,\n  \
+                      \"device_ticks_per_sec\": 1581.2,\n  \"threads\": 4,\n  \
+                      \"peak_rss_bytes\": 8994816\n}\n";
+        let parsed = FleetBench::from_json(legacy).unwrap();
+        assert_eq!(parsed.backend, "f64");
+        assert_eq!(parsed.device_ticks, 33826);
+        assert_eq!(parsed.peak_rss_bytes, Some(8_994_816));
+
+        assert!(FleetBench::from_json("{}").unwrap_err().contains("missing key"));
+        let malformed = legacy.replace("\"devices\": 256", "\"devices\": \"many\"");
+        assert!(FleetBench::from_json(&malformed).unwrap_err().contains("devices"));
+    }
 
     #[test]
     fn scales_map_to_the_expected_specs() {

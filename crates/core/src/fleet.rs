@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use adasense_data::ActivityChangeSetting;
-use adasense_ml::{BackendKind, Prediction};
+use adasense_ml::{BackendKind, CascadeStage, Prediction};
 use adasense_sensor::SensorConfig;
 use serde::{Deserialize, Serialize};
 
@@ -296,6 +296,15 @@ pub struct DeviceSummary {
     pub epochs: usize,
     /// Number of correctly classified epochs.
     pub correct_epochs: usize,
+    /// Epochs a cascade backend answered at its cheap first stage (0 for
+    /// single-stage backends).
+    pub early_exit_epochs: usize,
+    /// Early-exit epochs classified correctly.
+    pub early_exit_correct: usize,
+    /// Epochs a cascade backend escalated to its full second stage.
+    pub escalated_epochs: usize,
+    /// Escalated epochs classified correctly.
+    pub escalated_correct: usize,
     /// Recognition accuracy (0–1).
     pub accuracy: f64,
     /// Average sensor current over the run, in µA.
@@ -524,6 +533,47 @@ impl FleetReport {
         self.stats.faulted_fraction.mean()
     }
 
+    /// Total epochs cascade backends answered at their cheap first stage.
+    pub fn total_early_exit_epochs(&self) -> u64 {
+        self.stats.early_exit_epochs
+    }
+
+    /// Total epochs cascade backends escalated to their full second stage.
+    pub fn total_escalated_epochs(&self) -> u64 {
+        self.stats.escalated_epochs
+    }
+
+    /// Fraction of cascade-classified epochs that exited at the first stage
+    /// (0–1).  [`f64::NAN`] when no device ran a cascade backend.
+    pub fn cascade_exit_rate(&self) -> f64 {
+        let total = self.stats.early_exit_epochs + self.stats.escalated_epochs;
+        if total == 0 {
+            f64::NAN
+        } else {
+            self.stats.early_exit_epochs as f64 / total as f64
+        }
+    }
+
+    /// Accuracy over the epochs the cascade's first stage answered (0–1).
+    /// [`f64::NAN`] when no epoch exited early.
+    pub fn early_exit_accuracy(&self) -> f64 {
+        if self.stats.early_exit_epochs == 0 {
+            f64::NAN
+        } else {
+            self.stats.early_exit_correct as f64 / self.stats.early_exit_epochs as f64
+        }
+    }
+
+    /// Accuracy over the epochs the cascade escalated to its second stage
+    /// (0–1).  [`f64::NAN`] when no epoch escalated.
+    pub fn escalated_accuracy(&self) -> f64 {
+        if self.stats.escalated_epochs == 0 {
+            f64::NAN
+        } else {
+            self.stats.escalated_correct as f64 / self.stats.escalated_epochs as f64
+        }
+    }
+
     /// Groups the population by routine, returning one [`RoutineBreakdown`]
     /// per distinct routine label, sorted by label.
     pub fn routine_breakdown(&self) -> Vec<RoutineBreakdown> {
@@ -606,6 +656,16 @@ impl FleetReport {
                 cell(100.0 * group.mean_accuracy, 6, 2),
                 cell(group.mean_current_ua, 7, 1),
                 group.epochs
+            ));
+        }
+        if self.stats.early_exit_epochs + self.stats.escalated_epochs > 0 {
+            out.push_str(&format!(
+                "cascade: exit rate {}%  stage-1 acc {}%  stage-2 acc {}%  ({} early / {} escalated)\n",
+                cell(100.0 * self.cascade_exit_rate(), 5, 1),
+                cell(100.0 * self.early_exit_accuracy(), 6, 2),
+                cell(100.0 * self.escalated_accuracy(), 6, 2),
+                self.stats.early_exit_epochs,
+                self.stats.escalated_epochs
             ));
         }
         out
@@ -940,19 +1000,26 @@ impl<'a> FleetScheduler<'a> {
         Ok(plans
             .into_iter()
             .zip(runtimes)
-            .map(|(plan, runtime)| DeviceSummary {
-                device_id: plan.device_id,
-                seed: plan.seed,
-                routine: plan.routine,
-                backend: plan.backend.label().to_string(),
-                faulted_epochs: runtime.source().faulted_captures(),
-                epochs: runtime.epochs(),
-                correct_epochs: runtime.correct_epochs(),
-                accuracy: runtime.accuracy(),
-                average_current_ua: runtime.average_current_ua(),
-                total_charge_uc: runtime.total_charge().micro_coulombs(),
-                duration_s: runtime.elapsed_s(),
-                residency_s: runtime.residency_seconds().to_vec(),
+            .map(|(plan, runtime)| {
+                let tally = runtime.cascade_tally();
+                DeviceSummary {
+                    device_id: plan.device_id,
+                    seed: plan.seed,
+                    routine: plan.routine,
+                    backend: plan.backend.label().to_string(),
+                    faulted_epochs: runtime.source().faulted_captures(),
+                    epochs: runtime.epochs(),
+                    correct_epochs: runtime.correct_epochs(),
+                    early_exit_epochs: tally.early_exit_epochs,
+                    early_exit_correct: tally.early_exit_correct,
+                    escalated_epochs: tally.escalated_epochs,
+                    escalated_correct: tally.escalated_correct,
+                    accuracy: runtime.accuracy(),
+                    average_current_ua: runtime.average_current_ua(),
+                    total_charge_uc: runtime.total_charge().micro_coulombs(),
+                    duration_s: runtime.elapsed_s(),
+                    residency_s: runtime.residency_seconds().to_vec(),
+                }
             })
             .collect())
     }
@@ -991,19 +1058,26 @@ impl<'a> FleetScheduler<'a> {
         Ok(metas
             .into_iter()
             .zip(runtimes)
-            .map(|((device_id, seed, routine, backend), runtime)| DeviceSummary {
-                device_id,
-                seed,
-                routine,
-                backend: backend.label().to_string(),
-                faulted_epochs: 0, // fault exposure is a capture-side property
-                epochs: runtime.epochs(),
-                correct_epochs: runtime.correct_epochs(),
-                accuracy: runtime.accuracy(),
-                average_current_ua: runtime.average_current_ua(),
-                total_charge_uc: runtime.total_charge().micro_coulombs(),
-                duration_s: runtime.elapsed_s(),
-                residency_s: runtime.residency_seconds().to_vec(),
+            .map(|((device_id, seed, routine, backend), runtime)| {
+                let tally = runtime.cascade_tally();
+                DeviceSummary {
+                    device_id,
+                    seed,
+                    routine,
+                    backend: backend.label().to_string(),
+                    faulted_epochs: 0, // fault exposure is a capture-side property
+                    epochs: runtime.epochs(),
+                    correct_epochs: runtime.correct_epochs(),
+                    early_exit_epochs: tally.early_exit_epochs,
+                    early_exit_correct: tally.early_exit_correct,
+                    escalated_epochs: tally.escalated_epochs,
+                    escalated_correct: tally.escalated_correct,
+                    accuracy: runtime.accuracy(),
+                    average_current_ua: runtime.average_current_ua(),
+                    total_charge_uc: runtime.total_charge().micro_coulombs(),
+                    duration_s: runtime.elapsed_s(),
+                    residency_s: runtime.residency_seconds().to_vec(),
+                }
             })
             .collect())
     }
@@ -1025,6 +1099,7 @@ impl<'a> FleetScheduler<'a> {
         let mut pools: Vec<BatchPool> =
             BackendKind::ALL.iter().map(|_| BatchPool::default()).collect();
         let mut predictions: Vec<Prediction> = Vec::new();
+        let mut stages: Vec<CascadeStage> = Vec::new();
         loop {
             let mut any_live = false;
             for pool in &mut pools {
@@ -1044,9 +1119,10 @@ impl<'a> FleetScheduler<'a> {
                         } else {
                             // Bank classifiers are per-configuration; classify
                             // this device individually.
-                            let prediction =
-                                runtime.active_classifier().predict(runtime.pending_features());
-                            runtime.complete_tick(prediction);
+                            let (prediction, stage) = runtime
+                                .active_classifier()
+                                .predict_with_stage(runtime.pending_features());
+                            runtime.complete_tick_staged(prediction, stage);
                         }
                     }
                 }
@@ -1058,9 +1134,15 @@ impl<'a> FleetScheduler<'a> {
                 if pool.used == 0 {
                     continue;
                 }
-                self.system.backend(kind).predict_batch_into(pool.rows(), &mut predictions);
-                for (&i, prediction) in pool.members.iter().zip(predictions.drain(..)) {
-                    runtimes[i].complete_tick(prediction);
+                self.system.backend(kind).predict_batch_staged(
+                    pool.rows(),
+                    &mut predictions,
+                    &mut stages,
+                );
+                for ((&i, prediction), stage) in
+                    pool.members.iter().zip(predictions.drain(..)).zip(stages.drain(..))
+                {
+                    runtimes[i].complete_tick_staged(prediction, stage);
                 }
             }
         }
@@ -1522,6 +1604,63 @@ mod tests {
         let text = single.to_table_string();
         assert!(text.contains("per-backend breakdown:"), "missing backend section in:\n{text}");
         assert!(text.contains("int8"), "missing int8 group in:\n{text}");
+    }
+
+    #[test]
+    fn cascade_cohort_fleets_are_bit_identical_across_worker_counts() {
+        let (spec, system) = shared_system();
+        let fleet = FleetSpec {
+            population: PopulationSpec::legacy()
+                .with_backend(crate::scenario::BackendSpec::half_cascade()),
+            lockstep_devices: 4,
+            ..FleetSpec::new(12, 24.0, 21)
+        };
+        let single = FleetScheduler::new(spec, system).with_threads(1).run(&fleet).unwrap();
+        let parallel = FleetScheduler::new(spec, system).with_threads(4).run(&fleet).unwrap();
+        assert_eq!(single, parallel, "cascade cohorts must stay worker-count deterministic");
+        assert_eq!(single.encode(), parallel.encode(), "encodings must match bytewise");
+        let backends: Vec<&str> = single.stats.backends.keys().map(String::as_str).collect();
+        assert_eq!(backends, vec!["cascade", "f64"]);
+        // Every cascade epoch lands in exactly one stage counter.
+        let cascade_epochs = single.stats.backends["cascade"].epochs;
+        assert_eq!(
+            single.total_early_exit_epochs() + single.total_escalated_epochs(),
+            cascade_epochs,
+            "stage counters must partition the cascade group's epochs"
+        );
+        assert!(cascade_epochs > 0);
+        let text = single.to_table_string();
+        assert!(text.contains("cascade: exit rate"), "missing cascade section in:\n{text}");
+    }
+
+    #[test]
+    fn cascade_fleet_devices_match_standalone_cascade_simulations() {
+        let (spec, system) = shared_system();
+        let fleet = FleetSpec {
+            population: PopulationSpec::legacy()
+                .with_backend(crate::scenario::BackendSpec::Uniform(BackendKind::Cascade)),
+            ..FleetSpec::new(3, 20.0, 3)
+        };
+        let run = FleetScheduler::new(spec, system).with_threads(2).run_collect(&fleet).unwrap();
+        for device in &run.summaries {
+            assert_eq!(device.backend, "cascade");
+            assert_eq!(
+                device.early_exit_epochs + device.escalated_epochs,
+                device.epochs,
+                "every cascade epoch exits at exactly one stage"
+            );
+            assert!(device.early_exit_correct <= device.early_exit_epochs);
+            assert!(device.escalated_correct <= device.escalated_epochs);
+            assert_eq!(device.early_exit_correct + device.escalated_correct, device.correct_epochs);
+            let scenario = ScenarioSpec::random(fleet.setting, fleet.duration_s, device.seed);
+            let standalone = Simulator::new(spec, system)
+                .with_controller(fleet.controller)
+                .with_classifier(system.cascade_classifier())
+                .run(scenario)
+                .unwrap();
+            assert_eq!(device.accuracy, standalone.accuracy());
+            assert_eq!(device.average_current_ua, standalone.average_current_ua());
+        }
     }
 
     #[test]

@@ -1156,6 +1156,10 @@ mod tests {
             faulted_epochs: 0,
             epochs: 10,
             correct_epochs: 9,
+            early_exit_epochs: 0,
+            early_exit_correct: 0,
+            escalated_epochs: 0,
+            escalated_correct: 0,
             accuracy: 0.9,
             average_current_ua: 41.5,
             total_charge_uc: 830.0,

@@ -17,8 +17,8 @@
 //! [`SensorConfig::index`] instead of a map keyed by label strings.
 
 use adasense_data::{Activity, ActivityTrace};
-use adasense_dsp::{FeatureScratch, IntensityEstimator};
-use adasense_ml::{Classifier, Prediction};
+use adasense_dsp::IntensityEstimator;
+use adasense_ml::{CascadeStage, Classifier, Prediction};
 use adasense_sensor::{Accelerometer, Charge, EnergyModel, NoiseModel, Sample3, SensorConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -281,13 +281,48 @@ pub struct DeviceRuntime<'a, S: SampleSource> {
     pending: Option<PendingTick>,
     window: Vec<Sample3>,
     features: Vec<f64>,
-    scratch: FeatureScratch,
     // Accumulators.
     records: Vec<EpochRecord>,
     epochs: usize,
     correct: usize,
+    cascade: CascadeTally,
     total_charge: Charge,
     residency_s: [f64; SensorConfig::COUNT],
+}
+
+/// Per-stage accounting of an early-exit cascade backend: how many epochs
+/// exited at the cheap first stage versus escalated to the full model, and how
+/// many of each were classified correctly.  All four counters stay zero for
+/// single-stage backends (every epoch reports [`CascadeStage::Single`]), so
+/// the tally doubles as a "did this device run a cascade" marker.  Plain
+/// counter addition makes the tally mergeable across devices and shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CascadeTally {
+    /// Epochs the first stage answered (margin at or above the threshold).
+    pub early_exit_epochs: usize,
+    /// Early-exit epochs classified correctly.
+    pub early_exit_correct: usize,
+    /// Epochs escalated to the full second stage.
+    pub escalated_epochs: usize,
+    /// Escalated epochs classified correctly.
+    pub escalated_correct: usize,
+}
+
+impl CascadeTally {
+    /// Folds one classified epoch into the tally.
+    fn observe(&mut self, stage: CascadeStage, correct: bool) {
+        match stage {
+            CascadeStage::Single => {}
+            CascadeStage::EarlyExit => {
+                self.early_exit_epochs += 1;
+                self.early_exit_correct += usize::from(correct);
+            }
+            CascadeStage::Escalated => {
+                self.escalated_epochs += 1;
+                self.escalated_correct += usize::from(correct);
+            }
+        }
+    }
 }
 
 impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
@@ -321,10 +356,10 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
             pending: None,
             window: Vec::new(),
             features: Vec::new(),
-            scratch: FeatureScratch::new(),
             records: Vec::new(),
             epochs: 0,
             correct: 0,
+            cascade: CascadeTally::default(),
             total_charge: Charge::ZERO,
             residency_s: [0.0; SensorConfig::COUNT],
         }
@@ -406,6 +441,12 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
         self.correct
     }
 
+    /// Per-stage exit and accuracy counters of this device's cascade epochs
+    /// (all zero when the backend has no cascade structure).
+    pub fn cascade_tally(&self) -> CascadeTally {
+        self.cascade
+    }
+
     /// Total sensor charge consumed so far.
     pub fn total_charge(&self) -> Charge {
         self.total_charge
@@ -463,7 +504,6 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
         self.system.extractor().extract_into(
             &self.window,
             config.frequency.hz(),
-            &mut self.scratch,
             &mut self.features,
         );
         self.pending = Some(PendingTick { config, t_end, charge });
@@ -508,6 +548,23 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
     /// Panics if no classification is pending, or if the source cannot provide
     /// ground truth for the driven instant.
     pub fn complete_tick(&mut self, prediction: Prediction) -> TickResult {
+        self.complete_tick_staged(prediction, CascadeStage::Single)
+    }
+
+    /// [`complete_tick`](DeviceRuntime::complete_tick) with the cascade stage
+    /// that produced `prediction`, so per-stage exit-rate and accuracy
+    /// counters ([`cascade_tally`](DeviceRuntime::cascade_tally)) stay exact.
+    /// The stage never influences the closed loop — only the accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no classification is pending, or if the source cannot provide
+    /// ground truth for the driven instant.
+    pub fn complete_tick_staged(
+        &mut self,
+        prediction: Prediction,
+        stage: CascadeStage,
+    ) -> TickResult {
         let PendingTick { config, t_end, charge } =
             self.pending.take().expect("begin_tick must return TickPhase::Classify first");
         let predicted = Activity::from_index(prediction.class).unwrap_or(Activity::Sit);
@@ -529,6 +586,7 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
         if correct {
             self.correct += 1;
         }
+        self.cascade.observe(stage, correct);
         if self.record_epochs {
             self.records.push(record);
         }
@@ -549,8 +607,9 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
             TickPhase::Exhausted => None,
             TickPhase::Idle(result) => Some(result),
             TickPhase::Classify => {
-                let prediction = self.active_classifier().predict(&self.features);
-                Some(self.complete_tick(prediction))
+                let (prediction, stage) =
+                    self.active_classifier().predict_with_stage(&self.features);
+                Some(self.complete_tick_staged(prediction, stage))
             }
         }
     }

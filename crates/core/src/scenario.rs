@@ -378,12 +378,25 @@ pub enum BackendSpec {
         /// Fraction of the cohort on the int8 backend, in `[0, 1]`.
         int8_fraction: f64,
     },
+    /// Each device is assigned the early-exit cascade with probability
+    /// `cascade_fraction` (and f64 otherwise), deterministically from its
+    /// seed — the heterogeneous cohort for comparing the cascade against the
+    /// full-precision path within one fleet.
+    MixedCascade {
+        /// Fraction of the cohort on the cascade backend, in `[0, 1]`.
+        cascade_fraction: f64,
+    },
 }
 
 impl BackendSpec {
     /// A half-and-half f64/int8 cohort.
     pub fn half_int8() -> Self {
         BackendSpec::Mixed { int8_fraction: 0.5 }
+    }
+
+    /// A half-and-half f64/cascade cohort.
+    pub fn half_cascade() -> Self {
+        BackendSpec::MixedCascade { cascade_fraction: 0.5 }
     }
 
     /// Checks the spec for consistency.
@@ -393,12 +406,17 @@ impl BackendSpec {
     /// Returns [`AdaSenseError::InvalidSpec`] if the int8 fraction is outside
     /// `[0, 1]` or not finite.
     pub fn validate(&self) -> Result<(), AdaSenseError> {
-        if let BackendSpec::Mixed { int8_fraction } = self {
-            if !int8_fraction.is_finite() || !(0.0..=1.0).contains(int8_fraction) {
-                return Err(AdaSenseError::invalid_spec(format!(
-                    "int8_fraction {int8_fraction} must lie in [0, 1]"
-                )));
+        let (name, fraction) = match self {
+            BackendSpec::Uniform(_) => return Ok(()),
+            BackendSpec::Mixed { int8_fraction } => ("int8_fraction", *int8_fraction),
+            BackendSpec::MixedCascade { cascade_fraction } => {
+                ("cascade_fraction", *cascade_fraction)
             }
+        };
+        if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+            return Err(AdaSenseError::invalid_spec(format!(
+                "{name} {fraction} must lie in [0, 1]"
+            )));
         }
         Ok(())
     }
@@ -413,6 +431,16 @@ impl BackendSpec {
                 let mut rng = StdRng::seed_from_u64(device_seed(seed, BACKEND_SALT));
                 if rng.random_range(0.0..1.0) < *int8_fraction {
                     BackendKind::Int8
+                } else {
+                    BackendKind::F64
+                }
+            }
+            BackendSpec::MixedCascade { cascade_fraction } => {
+                // Same salted stream as `Mixed`: a device sitting at the same
+                // fraction quantile gets the non-f64 backend either way.
+                let mut rng = StdRng::seed_from_u64(device_seed(seed, BACKEND_SALT));
+                if rng.random_range(0.0..1.0) < *cascade_fraction {
+                    BackendKind::Cascade
                 } else {
                     BackendKind::F64
                 }
@@ -959,6 +987,17 @@ mod tests {
         assert_eq!(BackendSpec::Uniform(BackendKind::Int8).assign(1), BackendKind::Int8);
         assert_eq!(BackendSpec::Mixed { int8_fraction: 0.0 }.assign(9), BackendKind::F64);
         assert_eq!(BackendSpec::Mixed { int8_fraction: 1.0 }.assign(9), BackendKind::Int8);
+        assert_eq!(BackendSpec::MixedCascade { cascade_fraction: 0.0 }.assign(9), BackendKind::F64);
+        assert_eq!(
+            BackendSpec::MixedCascade { cascade_fraction: 1.0 }.assign(9),
+            BackendKind::Cascade
+        );
+        // Same salted draw as `Mixed`: equal fractions pick the same devices.
+        for seed in 0..32u64 {
+            let int8 = BackendSpec::Mixed { int8_fraction: 0.5 }.assign(seed);
+            let cascade = BackendSpec::MixedCascade { cascade_fraction: 0.5 }.assign(seed);
+            assert_eq!(int8 == BackendKind::Int8, cascade == BackendKind::Cascade);
+        }
     }
 
     #[test]
@@ -967,6 +1006,8 @@ mod tests {
         assert!(BackendSpec::Mixed { int8_fraction: 1.1 }.validate().is_err());
         assert!(BackendSpec::Mixed { int8_fraction: f64::NAN }.validate().is_err());
         assert!(BackendSpec::half_int8().validate().is_ok());
+        assert!(BackendSpec::MixedCascade { cascade_fraction: 2.0 }.validate().is_err());
+        assert!(BackendSpec::half_cascade().validate().is_ok());
         let population =
             PopulationSpec::legacy().with_backend(BackendSpec::Mixed { int8_fraction: 2.0 });
         assert!(population.validate().is_err());

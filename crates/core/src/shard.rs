@@ -639,7 +639,8 @@ impl GroupStat {
 /// Magic bytes opening an encoded fleet-report aggregate.
 pub const REPORT_MAGIC: [u8; 4] = *b"ADSR";
 /// Version of the report encoding this build writes and accepts.
-pub const REPORT_VERSION: u16 = 1;
+/// Version 2 added the cascade early-exit/escalation counters.
+pub const REPORT_VERSION: u16 = 2;
 
 /// The complete mergeable state of a fleet report: everything
 /// [`FleetReport`](crate::fleet::FleetReport) can answer, in memory bounded
@@ -660,6 +661,15 @@ pub struct FleetStats {
     pub correct_epochs: u64,
     /// Total fault-exposed classified epochs.
     pub faulted_epochs: u64,
+    /// Total epochs cascade backends answered at their cheap first stage
+    /// (0 when no device ran a cascade).
+    pub early_exit_epochs: u64,
+    /// Early-exit epochs classified correctly.
+    pub early_exit_correct: u64,
+    /// Total epochs cascade backends escalated to their full second stage.
+    pub escalated_epochs: u64,
+    /// Escalated epochs classified correctly.
+    pub escalated_correct: u64,
     /// Exact total simulated duration, seconds.
     pub duration_s: ExactSum,
     /// Exact total sensor charge, µC.
@@ -694,6 +704,10 @@ impl FleetStats {
         self.epochs += device.epochs as u64;
         self.correct_epochs += device.correct_epochs as u64;
         self.faulted_epochs += device.faulted_epochs as u64;
+        self.early_exit_epochs += device.early_exit_epochs as u64;
+        self.early_exit_correct += device.early_exit_correct as u64;
+        self.escalated_epochs += device.escalated_epochs as u64;
+        self.escalated_correct += device.escalated_correct as u64;
         self.duration_s.add(device.duration_s);
         self.charge_uc.add(device.total_charge_uc);
         self.accuracy.observe(device.accuracy);
@@ -713,6 +727,10 @@ impl FleetStats {
         self.epochs += other.epochs;
         self.correct_epochs += other.correct_epochs;
         self.faulted_epochs += other.faulted_epochs;
+        self.early_exit_epochs += other.early_exit_epochs;
+        self.early_exit_correct += other.early_exit_correct;
+        self.escalated_epochs += other.escalated_epochs;
+        self.escalated_correct += other.escalated_correct;
         self.duration_s.merge(&other.duration_s);
         self.charge_uc.merge(&other.charge_uc);
         self.accuracy.merge(&other.accuracy);
@@ -737,6 +755,10 @@ impl FleetStats {
         out.extend_from_slice(&self.epochs.to_le_bytes());
         out.extend_from_slice(&self.correct_epochs.to_le_bytes());
         out.extend_from_slice(&self.faulted_epochs.to_le_bytes());
+        out.extend_from_slice(&self.early_exit_epochs.to_le_bytes());
+        out.extend_from_slice(&self.early_exit_correct.to_le_bytes());
+        out.extend_from_slice(&self.escalated_epochs.to_le_bytes());
+        out.extend_from_slice(&self.escalated_correct.to_le_bytes());
         self.duration_s.encode_into(out);
         self.charge_uc.encode_into(out);
         self.accuracy.encode_into(out);
@@ -757,6 +779,10 @@ impl FleetStats {
         let epochs = cursor.u64()?;
         let correct_epochs = cursor.u64()?;
         let faulted_epochs = cursor.u64()?;
+        let early_exit_epochs = cursor.u64()?;
+        let early_exit_correct = cursor.u64()?;
+        let escalated_epochs = cursor.u64()?;
+        let escalated_correct = cursor.u64()?;
         let duration_s = ExactSum::decode_from(cursor)?;
         let charge_uc = ExactSum::decode_from(cursor)?;
         let accuracy = MetricStat::decode_from(cursor)?;
@@ -780,6 +806,10 @@ impl FleetStats {
             epochs,
             correct_epochs,
             faulted_epochs,
+            early_exit_epochs,
+            early_exit_correct,
+            escalated_epochs,
+            escalated_correct,
             duration_s,
             charge_uc,
             accuracy,
@@ -920,7 +950,8 @@ impl SummarySink for Vec<DeviceSummary> {
 /// Magic bytes opening a device-summary spool.
 pub const SPOOL_MAGIC: [u8; 4] = *b"ADSP";
 /// Version of the spool encoding this build writes and accepts.
-pub const SPOOL_VERSION: u16 = 1;
+/// Version 2 added the per-row cascade early-exit/escalation counters.
+pub const SPOOL_VERSION: u16 = 2;
 
 /// Frame-kind tag of one spooled row.
 const SPOOL_KIND_ROW: u8 = 0x01;
@@ -1009,6 +1040,10 @@ impl<W: Write + Send> SummarySink for SpoolWriter<W> {
         self.buf.extend_from_slice(&(row.faulted_epochs as u64).to_le_bytes());
         self.buf.extend_from_slice(&(row.epochs as u64).to_le_bytes());
         self.buf.extend_from_slice(&(row.correct_epochs as u64).to_le_bytes());
+        self.buf.extend_from_slice(&(row.early_exit_epochs as u64).to_le_bytes());
+        self.buf.extend_from_slice(&(row.early_exit_correct as u64).to_le_bytes());
+        self.buf.extend_from_slice(&(row.escalated_epochs as u64).to_le_bytes());
+        self.buf.extend_from_slice(&(row.escalated_correct as u64).to_le_bytes());
         self.buf.extend_from_slice(&row.accuracy.to_le_bytes());
         self.buf.extend_from_slice(&row.average_current_ua.to_le_bytes());
         self.buf.extend_from_slice(&row.total_charge_uc.to_le_bytes());
@@ -1133,6 +1168,10 @@ fn decode_summary(cursor: &mut ByteCursor<'_>) -> Result<DeviceSummary, AdaSense
     let faulted_epochs = cursor.u64()? as usize;
     let epochs = cursor.u64()? as usize;
     let correct_epochs = cursor.u64()? as usize;
+    let early_exit_epochs = cursor.u64()? as usize;
+    let early_exit_correct = cursor.u64()? as usize;
+    let escalated_epochs = cursor.u64()? as usize;
+    let escalated_correct = cursor.u64()? as usize;
     let accuracy = cursor.f64()?;
     let average_current_ua = cursor.f64()?;
     let total_charge_uc = cursor.f64()?;
@@ -1156,6 +1195,10 @@ fn decode_summary(cursor: &mut ByteCursor<'_>) -> Result<DeviceSummary, AdaSense
         faulted_epochs,
         epochs,
         correct_epochs,
+        early_exit_epochs,
+        early_exit_correct,
+        escalated_epochs,
+        escalated_correct,
         accuracy,
         average_current_ua,
         total_charge_uc,
@@ -1429,6 +1472,10 @@ mod tests {
             faulted_epochs: 1,
             epochs: 20,
             correct_epochs: 17,
+            early_exit_epochs: 12,
+            early_exit_correct: 11,
+            escalated_epochs: 8,
+            escalated_correct: 6,
             accuracy: 0.85,
             average_current_ua: 55.5 + device_id as f64,
             total_charge_uc: 1234.5,

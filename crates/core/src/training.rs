@@ -10,15 +10,21 @@
 use std::collections::BTreeMap;
 
 use adasense_data::{Activity, DatasetSpec, WindowDataset};
-use adasense_dsp::FeatureExtractor;
+use adasense_dsp::{FeatureExtractor, TIME_DOMAIN_DIM};
 use adasense_ml::{
-    accuracy, BackendKind, Classifier, Mlp, MlpConfig, QuantizedMlp, Trainer, TrainerConfig,
+    accuracy, calibrate_margin_threshold, BackendKind, CascadeClassifier, CascadeOperatingPoint,
+    Classifier, Mlp, MlpConfig, QuantizedMlp, Trainer, TrainerConfig,
 };
 use adasense_sensor::{AveragingWindow, SamplingFrequency, SensorConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::error::AdaSenseError;
 use crate::pipeline::HarPipeline;
+
+/// Maximum calibration-set accuracy the cascade may give up relative to the
+/// full classifier when its margin threshold is calibrated (0.5 points —
+/// half of the one-point budget the `backend_sweep` gate enforces end to end).
+const CASCADE_ACCURACY_BUDGET: f64 = 0.005;
 
 /// Everything needed to build, train and evaluate the HAR system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -184,6 +190,8 @@ pub struct TrainedSystem {
     extractor: FeatureExtractor,
     unified: Mlp,
     quantized: QuantizedMlp,
+    cascade: CascadeClassifier,
+    cascade_operating_point: CascadeOperatingPoint,
     unified_test_accuracy: f64,
     per_config_accuracy: Vec<(SensorConfig, f64)>,
     bank: BTreeMap<String, PerConfigModel>,
@@ -238,11 +246,37 @@ impl TrainedSystem {
         // cohorts can run the fixed-point backend without retraining.
         let quantized = QuantizedMlp::from_mlp(&unified);
 
+        // Early-exit cascade: a tiny int8 network over the time-domain feature
+        // prefix, gated by a margin threshold calibrated on the training rows
+        // so the cascade gives up at most `CASCADE_ACCURACY_BUDGET` of the
+        // full classifier's accuracy.
+        let stage1_rows: Vec<Vec<f64>> =
+            train_x.iter().map(|row| row[..TIME_DOMAIN_DIM].to_vec()).collect();
+        let stage1_architecture =
+            MlpConfig::new(TIME_DOMAIN_DIM, vec![8], spec.architecture.output_dim);
+        let stage1_outcome =
+            trainer.train(&stage1_architecture, &stage1_rows, &train_y, spec.seed.wrapping_add(9));
+        let stage1 = QuantizedMlp::from_mlp(&stage1_outcome.model);
+        let cascade_operating_point = calibrate_margin_threshold(
+            &stage1,
+            &quantized,
+            &train_x,
+            &train_y,
+            CASCADE_ACCURACY_BUDGET,
+        );
+        let cascade = CascadeClassifier::new(
+            stage1,
+            quantized.clone(),
+            cascade_operating_point.margin_threshold,
+        );
+
         Ok(Self {
             spec: spec.clone(),
             extractor,
             unified,
             quantized,
+            cascade,
+            cascade_operating_point,
             unified_test_accuracy,
             per_config_accuracy,
             bank,
@@ -269,6 +303,18 @@ impl TrainedSystem {
         &self.quantized
     }
 
+    /// The calibrated early-exit cascade (tiny int8 time-domain first stage,
+    /// full int8 second stage).
+    pub fn cascade_classifier(&self) -> &CascadeClassifier {
+        &self.cascade
+    }
+
+    /// The calibration-set operating point of the cascade: the chosen margin
+    /// threshold and the exit rate / accuracy measured while calibrating it.
+    pub fn cascade_operating_point(&self) -> CascadeOperatingPoint {
+        self.cascade_operating_point
+    }
+
     /// The unified inference backend of the given kind, behind the object-safe
     /// [`Classifier`] trait — the seam the runtime and fleet layers plug
     /// device cohorts into.
@@ -276,6 +322,7 @@ impl TrainedSystem {
         match kind {
             BackendKind::F64 => &self.unified,
             BackendKind::Int8 => &self.quantized,
+            BackendKind::Cascade => &self.cascade,
         }
     }
 

@@ -42,27 +42,39 @@ fn any_summary() -> impl Strategy<Value = DeviceSummary> {
     (
         (0u64..1_000_000, 0u64..u64::MAX),
         prop::sample::select(vec!["office_day", "active_day", "dwell-medium"]),
-        prop::sample::select(vec!["f64", "int8"]),
-        0usize..100,
+        prop::sample::select(vec!["f64", "int8", "cascade"]),
+        (0usize..100, 0usize..100),
         prop::collection::vec(any_row_value(), 4),
         prop::collection::vec(0.0f64..3600.0, SensorConfig::COUNT),
     )
-        .prop_map(|((device_id, seed), routine, backend, epochs, values, residency_s)| {
-            DeviceSummary {
-                device_id,
-                seed,
-                routine: routine.to_string(),
-                backend: backend.to_string(),
-                faulted_epochs: epochs / 3,
-                epochs,
-                correct_epochs: epochs / 2,
-                accuracy: values[0],
-                average_current_ua: values[1],
-                total_charge_uc: values[2],
-                duration_s: values[3],
-                residency_s,
-            }
-        })
+        .prop_map(
+            |((device_id, seed), routine, backend, (epochs, exits), values, residency_s)| {
+                // Cascade rows split their epochs between the two stages (the
+                // split fraction varies per row); single-stage rows keep the
+                // stage counters at zero.
+                let early_exit_epochs = if backend == "cascade" { epochs * exits / 100 } else { 0 };
+                let escalated_epochs =
+                    if backend == "cascade" { epochs - early_exit_epochs } else { 0 };
+                DeviceSummary {
+                    device_id,
+                    seed,
+                    routine: routine.to_string(),
+                    backend: backend.to_string(),
+                    faulted_epochs: epochs / 3,
+                    epochs,
+                    correct_epochs: epochs / 2,
+                    early_exit_epochs,
+                    early_exit_correct: early_exit_epochs.saturating_sub(1),
+                    escalated_epochs,
+                    escalated_correct: escalated_epochs / 2,
+                    accuracy: values[0],
+                    average_current_ua: values[1],
+                    total_charge_uc: values[2],
+                    duration_s: values[3],
+                    residency_s,
+                }
+            },
+        )
 }
 
 fn sum_of(values: &[f64]) -> ExactSum {

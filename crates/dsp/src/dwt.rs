@@ -30,23 +30,113 @@ pub fn haar_level(signal: &[f64]) -> (Vec<f64>, Vec<f64>) {
     (approximation, detail)
 }
 
+/// Reusable working memory for in-place multi-level Haar decomposition.
+///
+/// [`haar_decompose`] allocates fresh vectors for the approximation and every
+/// detail level on each call; a streaming loop that decomposes one window per
+/// tick should hold a workspace and call [`HaarWorkspace::decompose`] instead —
+/// after the buffers have grown to the largest window size the decomposition
+/// performs no heap allocation.  Each level halves the approximation in place
+/// (the approximation of level `k` is written over the front of the level-`k−1`
+/// approximation) and appends the detail coefficients to one packed buffer.
+#[derive(Debug, Clone, Default)]
+pub struct HaarWorkspace {
+    /// The current approximation; after `decompose` the first
+    /// `approximation_len` values are the final (coarsest) approximation.
+    approx: Vec<f64>,
+    approximation_len: usize,
+    /// Detail coefficients of every level, finest level first, packed
+    /// back-to-back.
+    details: Vec<f64>,
+    /// Exclusive end offsets into `details`, one per level, finest first.
+    level_ends: Vec<usize>,
+}
+
+impl HaarWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decomposes `signal` over at most `levels` levels, stopping early once the
+    /// approximation has a single sample.  Numerically identical to
+    /// [`haar_decompose`]; the results stay valid until the next call.
+    pub fn decompose(&mut self, signal: &[f64], levels: usize) {
+        self.approx.clear();
+        self.approx.extend_from_slice(signal);
+        self.details.clear();
+        self.level_ends.clear();
+        let mut len = self.approx.len();
+        for _ in 0..levels {
+            if len < 2 {
+                break;
+            }
+            let pairs = len / 2;
+            let odd = len % 2 == 1;
+            let scale = std::f64::consts::FRAC_1_SQRT_2;
+            let carried = if odd { self.approx[len - 1] } else { 0.0 };
+            for k in 0..pairs {
+                let a = self.approx[2 * k];
+                let b = self.approx[2 * k + 1];
+                // k ≤ 2k, so the write never clobbers an unread pair.
+                self.approx[k] = (a + b) * scale;
+                self.details.push((a - b) * scale);
+            }
+            len = pairs;
+            if odd {
+                self.approx[len] = carried;
+                len += 1;
+            }
+            self.level_ends.push(self.details.len());
+        }
+        self.approximation_len = len;
+    }
+
+    /// The final approximation of the last [`decompose`](Self::decompose) call.
+    pub fn approximation(&self) -> &[f64] {
+        &self.approx[..self.approximation_len]
+    }
+
+    /// Number of levels actually decomposed.
+    pub fn levels(&self) -> usize {
+        self.level_ends.len()
+    }
+
+    /// Detail coefficients of one level, `0` being the **coarsest** (matching
+    /// the ordering of [`haar_decompose`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level ≥ self.levels()`.
+    pub fn detail(&self, level: usize) -> &[f64] {
+        let fine_index = self.levels() - 1 - level;
+        let start = if fine_index == 0 { 0 } else { self.level_ends[fine_index - 1] };
+        &self.details[start..self.level_ends[fine_index]]
+    }
+
+    /// Writes the per-level detail energies into `out` (cleared first), from
+    /// the coarsest to the finest level, padding missing levels with zero —
+    /// the allocation-free equivalent of [`haar_band_energies`].
+    pub fn band_energies_into(&self, levels: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(levels.saturating_sub(self.levels()), 0.0);
+        for level in 0..self.levels().min(levels) {
+            out.push(band_energy(self.detail(level)));
+        }
+    }
+}
+
 /// Multi-level Haar decomposition: returns the final approximation followed by the
 /// detail vectors from the coarsest to the finest level.
 ///
-/// Decomposition stops early once the approximation has a single sample.
+/// Decomposition stops early once the approximation has a single sample.  For
+/// per-tick use prefer [`HaarWorkspace::decompose`], which reuses its buffers
+/// instead of allocating per level.
 pub fn haar_decompose(signal: &[f64], levels: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
-    let mut approximation = signal.to_vec();
-    let mut details = Vec::with_capacity(levels);
-    for _ in 0..levels {
-        if approximation.len() < 2 {
-            break;
-        }
-        let (next, detail) = haar_level(&approximation);
-        details.push(detail);
-        approximation = next;
-    }
-    details.reverse();
-    (approximation, details)
+    let mut workspace = HaarWorkspace::new();
+    workspace.decompose(signal, levels);
+    let details = (0..workspace.levels()).map(|level| workspace.detail(level).to_vec()).collect();
+    (workspace.approximation().to_vec(), details)
 }
 
 /// Energy (sum of squares) of a coefficient vector — the usual wavelet feature.
@@ -58,11 +148,10 @@ pub fn band_energy(coefficients: &[f64]) -> f64 {
 /// level — a compact wavelet feature vector of length `levels` (missing levels are
 /// reported as zero energy).
 pub fn haar_band_energies(signal: &[f64], levels: usize) -> Vec<f64> {
-    let (_, details) = haar_decompose(signal, levels);
-    let mut energies: Vec<f64> = details.iter().map(|d| band_energy(d)).collect();
-    while energies.len() < levels {
-        energies.insert(0, 0.0);
-    }
+    let mut workspace = HaarWorkspace::new();
+    workspace.decompose(signal, levels);
+    let mut energies = Vec::with_capacity(levels);
+    workspace.band_energies_into(levels, &mut energies);
     energies
 }
 
@@ -135,5 +224,47 @@ mod tests {
     fn empty_signal_is_all_zero() {
         let energies = haar_band_energies(&[], 3);
         assert_eq!(energies, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn workspace_matches_level_by_level_decomposition() {
+        let signal: Vec<f64> = (0..37).map(|k| ((k * 17 % 11) as f64 - 5.0) * 0.3).collect();
+        // Reference: repeated haar_level calls (the pre-workspace algorithm).
+        let mut reference_approx = signal.clone();
+        let mut reference_details = Vec::new();
+        for _ in 0..4 {
+            if reference_approx.len() < 2 {
+                break;
+            }
+            let (next, detail) = haar_level(&reference_approx);
+            reference_details.push(detail);
+            reference_approx = next;
+        }
+        reference_details.reverse();
+
+        let mut workspace = HaarWorkspace::new();
+        workspace.decompose(&signal, 4);
+        assert_eq!(workspace.approximation(), reference_approx.as_slice());
+        assert_eq!(workspace.levels(), reference_details.len());
+        for (level, expected) in reference_details.iter().enumerate() {
+            assert_eq!(workspace.detail(level), expected.as_slice(), "level {level}");
+        }
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_window_sizes() {
+        let mut workspace = HaarWorkspace::new();
+        workspace.decompose(&[1.0; 64], 3);
+        assert_eq!(workspace.approximation().len(), 8);
+        workspace.decompose(&[2.0, 4.0], 3);
+        assert_eq!(workspace.levels(), 1);
+        assert_eq!(workspace.approximation().len(), 1);
+        assert!(
+            (workspace.approximation()[0] - 6.0 * std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12
+        );
+        let mut energies = Vec::new();
+        workspace.band_energies_into(3, &mut energies);
+        assert_eq!(energies.len(), 3);
+        assert_eq!(&energies[..2], &[0.0, 0.0]);
     }
 }

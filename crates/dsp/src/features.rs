@@ -16,11 +16,14 @@
 use adasense_sensor::Sample3;
 use serde::{Deserialize, Serialize};
 
-use crate::fft::goertzel_magnitude;
-
 /// Dimension of the unified feature vector (3 means + 3 standard deviations +
 /// 3 axes × 3 Fourier magnitudes).
 pub const FEATURE_DIM: usize = 15;
+
+/// Number of leading *time-domain* features (the 3 means and 3 standard
+/// deviations).  The early-exit cascade's first stage consumes exactly this
+/// prefix of the unified vector — no spectral content.
+pub const TIME_DOMAIN_DIM: usize = 6;
 
 /// A fixed-size feature vector extracted from one batch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -93,40 +96,6 @@ impl From<FeatureVector> for Vec<f64> {
     }
 }
 
-/// Reusable working memory for [`FeatureExtractor::extract_into`].
-///
-/// Holds the per-axis sample buffers the extractor needs, so the hottest loop of
-/// the simulator — one feature extraction per device per second — performs no heap
-/// allocation once the buffers have grown to the largest window size.
-#[derive(Debug, Clone, Default)]
-pub struct FeatureScratch {
-    x: Vec<f64>,
-    y: Vec<f64>,
-    z: Vec<f64>,
-}
-
-impl FeatureScratch {
-    /// Creates empty scratch space (buffers grow on first use).
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Splits `samples` into the per-axis buffers, reusing their allocations.
-    fn split(&mut self, samples: &[Sample3]) {
-        self.x.clear();
-        self.y.clear();
-        self.z.clear();
-        self.x.reserve(samples.len());
-        self.y.reserve(samples.len());
-        self.z.reserve(samples.len());
-        for s in samples {
-            self.x.push(s.x);
-            self.y.push(s.y);
-            self.z.push(s.z);
-        }
-    }
-}
-
 /// Extracts the unified feature vector from accelerometer batches.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FeatureExtractor {
@@ -145,50 +114,81 @@ impl FeatureExtractor {
     /// Returns an all-zero vector when `samples` is empty.
     pub fn extract(&self, samples: &[Sample3], sample_rate_hz: f64) -> FeatureVector {
         let mut values = Vec::with_capacity(FEATURE_DIM);
-        self.extract_into(samples, sample_rate_hz, &mut FeatureScratch::new(), &mut values);
+        self.extract_into(samples, sample_rate_hz, &mut values);
         FeatureVector::new(values)
     }
 
-    /// Extracts features into `out`, reusing `scratch` for the per-axis buffers.
+    /// Extracts features into `out`, which is cleared first and always holds
+    /// [`FEATURE_DIM`] values on return (all zeros when `samples` is empty).
+    /// Numerically identical to [`FeatureExtractor::extract`]; this flavour
+    /// exists so a per-second streaming loop allocates nothing.
     ///
-    /// `out` is cleared first and always holds [`FEATURE_DIM`] values on return
-    /// (all zeros when `samples` is empty).  Numerically identical to
-    /// [`FeatureExtractor::extract`]; this flavour exists so a per-second
-    /// streaming loop allocates nothing.
-    pub fn extract_into(
-        &self,
-        samples: &[Sample3],
-        sample_rate_hz: f64,
-        scratch: &mut FeatureScratch,
-        out: &mut Vec<f64>,
-    ) {
+    /// The axes are read through strided views of the interleaved sample
+    /// buffer — no per-axis copies — and the nine Goertzel recurrences (3 axes
+    /// × 3 probe frequencies) run fused in a single pass over the window.
+    /// Each recurrence performs the same arithmetic in the same order as
+    /// [`goertzel_magnitude`](crate::fft::goertzel_magnitude) on a contiguous
+    /// axis, so the fusion is
+    /// bit-identical to the unfused evaluation.
+    pub fn extract_into(&self, samples: &[Sample3], sample_rate_hz: f64, out: &mut Vec<f64>) {
         out.clear();
         if samples.is_empty() {
             out.resize(FEATURE_DIM, 0.0);
             return;
         }
-        scratch.split(samples);
-        let FeatureScratch { x, y, z } = &*scratch;
         let n = samples.len() as f64;
         let duration_s = n / sample_rate_hz;
 
         out.reserve(FEATURE_DIM);
-        // Means.
-        for axis in [x, y, z] {
-            out.push(axis.iter().sum::<f64>() / n);
+        // Means: one fused pass accumulating the three axis sums.
+        let mut sums = [0.0f64; 3];
+        for s in samples {
+            sums[0] += s.x;
+            sums[1] += s.y;
+            sums[2] += s.z;
         }
-        // Standard deviations.
-        for (axis, mean) in [x, y, z].iter().zip([out[0], out[1], out[2]]) {
-            let var = axis.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-            out.push(var.sqrt());
+        for sum in sums {
+            out.push(sum / n);
+        }
+        // Standard deviations: one fused mean-centered pass.
+        let means = [out[0], out[1], out[2]];
+        let mut var_sums = [0.0f64; 3];
+        for s in samples {
+            var_sums[0] += (s.x - means[0]).powi(2);
+            var_sums[1] += (s.y - means[1]).powi(2);
+            var_sums[2] += (s.z - means[2]).powi(2);
+        }
+        for var_sum in var_sums {
+            out.push((var_sum / n).sqrt());
         }
         // Low-frequency Fourier magnitudes, amplitude-normalized (×2/n) so that a
         // sinusoid of amplitude A at exactly one of the probe frequencies yields
-        // a feature value of ~A independent of the batch length.
-        for axis in [x, y, z] {
-            for &f in &self.fourier_frequencies_hz {
-                let bin = f * duration_s;
-                let magnitude = goertzel_magnitude(axis, bin);
+        // a feature value of ~A independent of the batch length.  All nine
+        // Goertzel recurrences advance together in one pass over the window.
+        let mut coeffs = [0.0f64; 3];
+        let mut omegas = [0.0f64; 3];
+        for (slot, &f) in self.fourier_frequencies_hz.iter().enumerate() {
+            let omega = std::f64::consts::TAU * (f * duration_s) / n;
+            omegas[slot] = omega;
+            coeffs[slot] = 2.0 * omega.cos();
+        }
+        // state[axis][frequency] = (s_prev, s_prev2).
+        let mut state = [[(0.0f64, 0.0f64); 3]; 3];
+        for s in samples {
+            let axes = [s.x, s.y, s.z];
+            for (axis_state, v) in state.iter_mut().zip(axes) {
+                for (slot, (s_prev, s_prev2)) in axis_state.iter_mut().enumerate() {
+                    let next = v + coeffs[slot] * *s_prev - *s_prev2;
+                    *s_prev2 = *s_prev;
+                    *s_prev = next;
+                }
+            }
+        }
+        for axis_state in state {
+            for (slot, (s_prev, s_prev2)) in axis_state.into_iter().enumerate() {
+                let re = s_prev - s_prev2 * omegas[slot].cos();
+                let im = s_prev2 * omegas[slot].sin();
+                let magnitude = (re * re + im * im).sqrt();
                 out.push(2.0 * magnitude / n);
             }
         }
@@ -273,14 +273,13 @@ mod tests {
     #[test]
     fn extract_into_reuses_buffers_and_matches_extract() {
         let extractor = FeatureExtractor::paper();
-        let mut scratch = FeatureScratch::new();
         let mut out = vec![42.0; 3];
         for rate in [100.0, 12.5] {
             let samples = batch(rate, 2.0, |t| [0.2 * t.sin(), 0.1, 1.0 + 0.3 * (7.0 * t).cos()]);
-            extractor.extract_into(&samples, rate, &mut scratch, &mut out);
+            extractor.extract_into(&samples, rate, &mut out);
             assert_eq!(out.as_slice(), extractor.extract(&samples, rate).as_slice());
         }
-        extractor.extract_into(&[], 50.0, &mut scratch, &mut out);
+        extractor.extract_into(&[], 50.0, &mut out);
         assert_eq!(out, vec![0.0; FEATURE_DIM]);
     }
 

@@ -128,7 +128,17 @@ pub fn dft_magnitudes(signal: &[f64], bins: usize) -> Vec<f64> {
 ///
 /// Returns 0 for an empty signal.
 pub fn goertzel_magnitude(signal: &[f64], bin: f64) -> f64 {
-    let n = signal.len();
+    goertzel_magnitude_of(signal.len(), bin, signal.iter().copied())
+}
+
+/// [`goertzel_magnitude`] over any scalar sequence of known length `n`.
+///
+/// Lets callers run the recurrence over strided views (for example one axis of
+/// an interleaved 3-axis sample buffer) without first copying the axis into a
+/// contiguous scratch vector.  Bit-identical to [`goertzel_magnitude`] on the
+/// equivalent contiguous slice.  The iterator is trusted to yield `n` items;
+/// fewer simply end the recurrence early.
+pub fn goertzel_magnitude_of(n: usize, bin: f64, values: impl Iterator<Item = f64>) -> f64 {
     if n == 0 {
         return 0.0;
     }
@@ -136,7 +146,7 @@ pub fn goertzel_magnitude(signal: &[f64], bin: f64) -> f64 {
     let coeff = 2.0 * omega.cos();
     let mut s_prev = 0.0f64;
     let mut s_prev2 = 0.0f64;
-    for &v in signal {
+    for v in values {
         let s = v + coeff * s_prev - s_prev2;
         s_prev2 = s_prev;
         s_prev = s;
@@ -144,6 +154,59 @@ pub fn goertzel_magnitude(signal: &[f64], bin: f64) -> f64 {
     let re = s_prev - s_prev2 * omega.cos();
     let im = s_prev2 * omega.sin();
     (re * re + im * im).sqrt()
+}
+
+/// A reusable execution plan for repeated real-input FFTs.
+///
+/// Owns the complex working buffer, so a streaming loop that transforms one
+/// window per tick performs no heap allocation once the buffer has grown to the
+/// largest (padded) window size.  The input is zero-padded to the next power of
+/// two and transformed in place with [`fft_radix2`].
+///
+/// ```
+/// use adasense_dsp::FftPlan;
+/// let mut plan = FftPlan::new();
+/// let signal: Vec<f64> = (0..50).map(|k| (k as f64 * 0.4).sin()).collect();
+/// let spectrum = plan.forward_real(&signal);
+/// assert_eq!(spectrum.len(), 64);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FftPlan {
+    scratch: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Creates an empty plan (the working buffer grows on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Transforms `signal` (zero-padded to the next power of two) and returns
+    /// the spectrum, valid until the next call.  An empty signal yields an
+    /// empty spectrum.
+    pub fn forward_real(&mut self, signal: &[f64]) -> &[Complex] {
+        self.scratch.clear();
+        if signal.is_empty() {
+            return &self.scratch;
+        }
+        let padded = signal.len().next_power_of_two();
+        self.scratch.reserve(padded);
+        self.scratch.extend(signal.iter().map(|&v| Complex::new(v, 0.0)));
+        self.scratch.resize(padded, Complex::default());
+        fft_radix2(&mut self.scratch);
+        &self.scratch
+    }
+
+    /// Transforms `signal` and writes the magnitudes of the first `bins`
+    /// spectrum bins into `out` (cleared first, zero-padded if the spectrum is
+    /// shorter than `bins`).
+    pub fn magnitudes_into(&mut self, signal: &[f64], bins: usize, out: &mut Vec<f64>) {
+        let spectrum = self.forward_real(signal);
+        out.clear();
+        out.reserve(bins);
+        out.extend(spectrum.iter().take(bins).map(|c| c.magnitude()));
+        out.resize(bins, 0.0);
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +294,47 @@ mod tests {
         let signal = vec![1.0, 2.0, 3.0, 4.0];
         assert!((dft_magnitudes(&signal, 1)[0] - 10.0).abs() < 1e-12);
         assert!((goertzel_magnitude(&signal, 0.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_matches_manual_padded_fft() {
+        let signal = tone(50, 3.0, 1.0);
+        let mut plan = FftPlan::new();
+        let planned: Vec<Complex> = plan.forward_real(&signal).to_vec();
+        let mut manual: Vec<Complex> = signal.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        manual.resize(64, Complex::default());
+        fft_radix2(&mut manual);
+        assert_eq!(planned, manual);
+        // Reusing the plan on a different length must still agree.
+        let short = tone(16, 2.0, 0.5);
+        let again: Vec<Complex> = plan.forward_real(&short).to_vec();
+        let mut manual_short: Vec<Complex> = short.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        fft_radix2(&mut manual_short);
+        assert_eq!(again, manual_short);
+    }
+
+    #[test]
+    fn plan_magnitudes_pad_missing_bins() {
+        let mut plan = FftPlan::new();
+        let mut out = vec![9.0; 2];
+        plan.magnitudes_into(&[1.0, 2.0, 3.0, 4.0], 6, &mut out);
+        assert_eq!(out.len(), 6);
+        assert!((out[0] - 10.0).abs() < 1e-12, "DC bin is the sum");
+        assert_eq!(&out[4..], &[0.0, 0.0], "bins past the spectrum are zero");
+        plan.magnitudes_into(&[], 3, &mut out);
+        assert_eq!(out, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn goertzel_of_strided_view_matches_contiguous() {
+        let interleaved: Vec<[f64; 3]> =
+            (0..40).map(|k| [(k as f64 * 0.3).sin(), (k as f64 * 0.7).cos(), k as f64]).collect();
+        for axis in 0..3 {
+            let contiguous: Vec<f64> = interleaved.iter().map(|v| v[axis]).collect();
+            let strided =
+                goertzel_magnitude_of(interleaved.len(), 2.5, interleaved.iter().map(|v| v[axis]));
+            assert_eq!(strided.to_bits(), goertzel_magnitude(&contiguous, 2.5).to_bits());
+        }
     }
 
     #[test]

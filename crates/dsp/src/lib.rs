@@ -50,9 +50,11 @@ pub mod resample;
 pub mod stats;
 pub mod window;
 
-pub use dwt::{haar_band_energies, haar_decompose, haar_level};
-pub use features::{FeatureExtractor, FeatureScratch, FeatureVector, FEATURE_DIM};
-pub use fft::{dft_magnitudes, fft_radix2, goertzel_magnitude, Complex};
+pub use dwt::{haar_band_energies, haar_decompose, haar_level, HaarWorkspace};
+pub use features::{FeatureExtractor, FeatureVector, FEATURE_DIM, TIME_DOMAIN_DIM};
+pub use fft::{
+    dft_magnitudes, fft_radix2, goertzel_magnitude, goertzel_magnitude_of, Complex, FftPlan,
+};
 pub use intensity::{mean_absolute_derivative, IntensityEstimator};
 pub use resample::resample_linear;
 pub use stats::AxisStats;
@@ -60,9 +62,11 @@ pub use window::BatchBuffer;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::dwt::{haar_band_energies, haar_decompose, haar_level};
-    pub use crate::features::{FeatureExtractor, FeatureScratch, FeatureVector, FEATURE_DIM};
-    pub use crate::fft::{dft_magnitudes, fft_radix2, goertzel_magnitude, Complex};
+    pub use crate::dwt::{haar_band_energies, haar_decompose, haar_level, HaarWorkspace};
+    pub use crate::features::{FeatureExtractor, FeatureVector, FEATURE_DIM, TIME_DOMAIN_DIM};
+    pub use crate::fft::{
+        dft_magnitudes, fft_radix2, goertzel_magnitude, goertzel_magnitude_of, Complex, FftPlan,
+    };
     pub use crate::intensity::{mean_absolute_derivative, IntensityEstimator};
     pub use crate::resample::resample_linear;
     pub use crate::stats::AxisStats;

@@ -34,16 +34,36 @@ impl AxisStats {
     /// assert!((s.std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
     /// ```
     pub fn of(values: &[f64]) -> Self {
-        if values.is_empty() {
+        Self::of_sequence(values.len(), || values.iter().copied())
+    }
+
+    /// Computes statistics over any re-iterable scalar sequence of length `n` —
+    /// for example one axis of an interleaved 3-axis sample buffer — without
+    /// copying it into a contiguous slice first.  Bit-identical to
+    /// [`AxisStats::of`] on the equivalent contiguous slice.
+    ///
+    /// The sequence is fused into two passes (sum/RMS/min/max, then the
+    /// mean-centered variance); each accumulator still adds values in sequence
+    /// order, so the results match the naive one-pass-per-statistic evaluation
+    /// exactly.
+    pub fn of_sequence<I: Iterator<Item = f64>>(n: usize, values: impl Fn() -> I) -> Self {
+        if n == 0 {
             return Self::default();
         }
-        let n = values.len() as f64;
-        let mean = values.iter().sum::<f64>() / n;
-        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-        let rms = (values.iter().map(|v| v * v).sum::<f64>() / n).sqrt();
-        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        Self { mean, std: var.sqrt(), rms, min, max }
+        let count = n as f64;
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in values() {
+            sum += v;
+            sum_sq += v * v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let mean = sum / count;
+        let var = values().map(|v| (v - mean).powi(2)).sum::<f64>() / count;
+        Self { mean, std: var.sqrt(), rms: (sum_sq / count).sqrt(), min, max }
     }
 
     /// Peak-to-peak range (`max - min`).
@@ -66,9 +86,15 @@ pub fn split_axes(samples: &[Sample3]) -> [Vec<f64>; 3] {
 }
 
 /// Per-axis statistics of a batch of 3-axis samples, in `[x, y, z]` order.
+///
+/// Reads the axes through strided views of `samples` — no per-axis copies.
 pub fn per_axis_stats(samples: &[Sample3]) -> [AxisStats; 3] {
-    let [x, y, z] = split_axes(samples);
-    [AxisStats::of(&x), AxisStats::of(&y), AxisStats::of(&z)]
+    let n = samples.len();
+    [
+        AxisStats::of_sequence(n, || samples.iter().map(|s| s.x)),
+        AxisStats::of_sequence(n, || samples.iter().map(|s| s.y)),
+        AxisStats::of_sequence(n, || samples.iter().map(|s| s.z)),
+    ]
 }
 
 #[cfg(test)]

@@ -1,0 +1,433 @@
+//! The confidence-gated early-exit inference cascade.
+//!
+//! CASNN-style early exit for HAR: most windows are easy (a clear posture or a
+//! steady gait), so a tiny first-stage network over the **time-domain**
+//! features alone classifies them, and only windows where the first stage is
+//! uncertain escalate to the full-feature classifier.  The gate is the
+//! first-stage *margin* — the gap between the top-2 softmax probabilities — so
+//! escalation is a pure function of the feature row and the fleet's 1-vs-N
+//! worker bit-identity contract carries through unchanged.
+//!
+//! The margin threshold is not a magic number: it is **calibrated** offline by
+//! [`calibrate_margin_threshold`], which scans every achievable operating point
+//! on a labelled calibration set and picks the highest exit rate whose cascade
+//! accuracy stays within a caller-chosen budget of the full classifier's.
+
+use crate::classifier::{CascadeStage, Classifier};
+use crate::network::Prediction;
+use crate::quantized::QuantizedMlp;
+
+use std::cell::RefCell;
+
+/// The margin (top-1 minus top-2 softmax probability) of a prediction — the
+/// cascade's confidence gate.  A one-class output has margin equal to its only
+/// probability.
+pub fn prediction_margin(prediction: &Prediction) -> f64 {
+    let mut top = f64::NEG_INFINITY;
+    let mut second = f64::NEG_INFINITY;
+    for &p in &prediction.probabilities {
+        if p > top {
+            second = top;
+            top = p;
+        } else if p > second {
+            second = p;
+        }
+    }
+    if second == f64::NEG_INFINITY {
+        top
+    } else {
+        top - second
+    }
+}
+
+/// One operating point of a calibrated cascade.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadeOperatingPoint {
+    /// The margin threshold (exit when the stage-1 margin is ≥ this).
+    pub margin_threshold: f64,
+    /// Fraction of calibration rows that exit at stage 1.
+    pub exit_rate: f64,
+    /// Cascade accuracy on the calibration set.
+    pub cascade_accuracy: f64,
+    /// Full (stage-2-only) accuracy on the calibration set.
+    pub full_accuracy: f64,
+}
+
+/// Calibrates the cascade's margin threshold on a labelled set.
+///
+/// For every achievable threshold (each distinct stage-1 margin in the set)
+/// the cascade accuracy is `stage-1 correctness` on exiting rows plus
+/// `stage-2 correctness` on escalated rows.  The chosen operating point is the
+/// one with the **highest exit rate** whose cascade accuracy is at least
+/// `full accuracy − accuracy_budget`; if no threshold qualifies the gate is
+/// [`f64::INFINITY`] (every row escalates, accuracy exactly the full model's).
+///
+/// Deterministic: ties between thresholds resolve toward the larger exit rate
+/// first and the smaller threshold second.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty, if `rows` and `labels` differ in length, or if a
+/// row is shorter than either stage's input dimension.
+pub fn calibrate_margin_threshold(
+    stage1: &QuantizedMlp,
+    stage2: &QuantizedMlp,
+    rows: &[Vec<f64>],
+    labels: &[usize],
+    accuracy_budget: f64,
+) -> CascadeOperatingPoint {
+    assert!(!rows.is_empty(), "calibration set must not be empty");
+    assert_eq!(rows.len(), labels.len(), "one label per calibration row required");
+    let stage1_dim = stage1.input_dim();
+    let n = rows.len();
+
+    // Per-row: stage-1 margin and the correctness of each stage.
+    let mut points: Vec<(f64, bool, bool)> = Vec::with_capacity(n);
+    let mut full_correct = 0usize;
+    for (row, &label) in rows.iter().zip(labels) {
+        let first = stage1.predict(&row[..stage1_dim]);
+        let second = stage2.predict(row);
+        let margin = prediction_margin(&first);
+        let s1_ok = first.class == label;
+        let s2_ok = second.class == label;
+        full_correct += usize::from(s2_ok);
+        points.push((margin, s1_ok, s2_ok));
+    }
+    let full_accuracy = full_correct as f64 / n as f64;
+
+    // Sort by margin descending: a threshold at points[k].margin exits rows
+    // 0..=k.  Prefix sums give every operating point in O(n log n).
+    points.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut best = CascadeOperatingPoint {
+        margin_threshold: f64::INFINITY,
+        exit_rate: 0.0,
+        cascade_accuracy: full_accuracy,
+        full_accuracy,
+    };
+    let mut exited_s1_correct = 0usize;
+    let mut exited_s2_correct = 0usize;
+    for (k, &(margin, s1_ok, s2_ok)) in points.iter().enumerate() {
+        exited_s1_correct += usize::from(s1_ok);
+        exited_s2_correct += usize::from(s2_ok);
+        // Rows with a margin equal to the candidate threshold all exit; only
+        // the last index of a tie group is a valid operating point.
+        if points.get(k + 1).is_some_and(|next| next.0 == margin) {
+            continue;
+        }
+        let cascade_correct = exited_s1_correct + (full_correct - exited_s2_correct);
+        let cascade_accuracy = cascade_correct as f64 / n as f64;
+        if cascade_accuracy + 1e-12 >= full_accuracy - accuracy_budget {
+            let exit_rate = (k + 1) as f64 / n as f64;
+            if exit_rate > best.exit_rate {
+                best = CascadeOperatingPoint {
+                    margin_threshold: margin,
+                    exit_rate,
+                    cascade_accuracy,
+                    full_accuracy,
+                };
+            }
+        }
+    }
+    best
+}
+
+/// The two-stage early-exit classifier.
+///
+/// Stage 1 is a tiny int8 network over the leading *time-domain* features of a
+/// row (means and standard deviations — no spectral content); stage 2 is the
+/// full int8 classifier over the whole row.  A row exits at stage 1 when the
+/// stage-1 margin is at least the calibrated threshold, so the common-case
+/// device tick runs integer-only inference over a fraction of the weights.
+///
+/// Escalation is a pure, deterministic function of the row, and both stages
+/// honour the batch ≡ single bit-identity contract of [`Classifier`], so the
+/// cascade honours it too: the batched path computes the same margins, makes
+/// the same exit decisions, and produces bit-identical predictions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeClassifier {
+    stage1: QuantizedMlp,
+    stage2: QuantizedMlp,
+    margin_threshold: f64,
+}
+
+std::thread_local! {
+    /// Reusable batch scratch (stage-1 truncated rows, escalated rows and the
+    /// per-stage prediction buffers), so batched cascade inference performs no
+    /// steady-state allocation beyond what the stage backends already reuse.
+    static SCRATCH: RefCell<CascadeScratch> = RefCell::new(CascadeScratch::default());
+}
+
+#[derive(Debug, Default)]
+struct CascadeScratch {
+    stage1_rows: Vec<Vec<f64>>,
+    stage1_out: Vec<Prediction>,
+    escalated_rows: Vec<Vec<f64>>,
+    escalated_indices: Vec<usize>,
+    escalated_out: Vec<Prediction>,
+}
+
+impl CascadeClassifier {
+    /// Builds a cascade from its two stages and a calibrated margin threshold
+    /// (see [`calibrate_margin_threshold`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if stage 1 needs more inputs than stage 2, if the stages disagree
+    /// on the number of classes, or if the threshold is NaN.
+    pub fn new(stage1: QuantizedMlp, stage2: QuantizedMlp, margin_threshold: f64) -> Self {
+        assert!(
+            stage1.input_dim() <= stage2.input_dim(),
+            "stage 1 must consume a prefix of the stage-2 feature row ({} > {})",
+            stage1.input_dim(),
+            stage2.input_dim()
+        );
+        assert_eq!(
+            stage1.output_dim(),
+            stage2.output_dim(),
+            "cascade stages must predict the same classes"
+        );
+        assert!(!margin_threshold.is_nan(), "margin threshold must not be NaN");
+        Self { stage1, stage2, margin_threshold }
+    }
+
+    /// The tiny first-stage network.
+    pub fn stage1(&self) -> &QuantizedMlp {
+        &self.stage1
+    }
+
+    /// The full second-stage network.
+    pub fn stage2(&self) -> &QuantizedMlp {
+        &self.stage2
+    }
+
+    /// The calibrated margin threshold (exit when the stage-1 margin ≥ this).
+    pub fn margin_threshold(&self) -> f64 {
+        self.margin_threshold
+    }
+
+    /// Classifies one row, reporting which stage produced the prediction.
+    pub fn predict_staged(&self, features: &[f64]) -> (Prediction, CascadeStage) {
+        assert_eq!(features.len(), self.input_dim(), "feature row has the wrong length");
+        let first = self.stage1.predict(&features[..self.stage1.input_dim()]);
+        if prediction_margin(&first) >= self.margin_threshold {
+            (first, CascadeStage::EarlyExit)
+        } else {
+            (self.stage2.predict(features), CascadeStage::Escalated)
+        }
+    }
+}
+
+impl Classifier for CascadeClassifier {
+    fn input_dim(&self) -> usize {
+        self.stage2.input_dim()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.stage2.output_dim()
+    }
+
+    fn label(&self) -> &str {
+        "cascade"
+    }
+
+    fn predict(&self, features: &[f64]) -> Prediction {
+        self.predict_staged(features).0
+    }
+
+    fn predict_batch_into(&self, rows: &[Vec<f64>], out: &mut Vec<Prediction>) {
+        let mut stages = Vec::new();
+        self.predict_batch_staged(rows, out, &mut stages);
+    }
+
+    fn predict_with_stage(&self, features: &[f64]) -> (Prediction, CascadeStage) {
+        self.predict_staged(features)
+    }
+
+    fn predict_batch_staged(
+        &self,
+        rows: &[Vec<f64>],
+        out: &mut Vec<Prediction>,
+        stages: &mut Vec<CascadeStage>,
+    ) {
+        let stage1_dim = self.stage1.input_dim();
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            // Stage 1 over every row's time-domain prefix, batched.
+            scratch.stage1_rows.resize_with(rows.len(), Vec::new);
+            for (row, truncated) in rows.iter().zip(&mut scratch.stage1_rows) {
+                assert_eq!(row.len(), self.stage2.input_dim(), "feature row has the wrong length");
+                truncated.clear();
+                truncated.extend_from_slice(&row[..stage1_dim]);
+            }
+            self.stage1
+                .predict_batch_into(&scratch.stage1_rows[..rows.len()], &mut scratch.stage1_out);
+
+            // Gather the uncertain rows and escalate them in one batch.
+            scratch.escalated_indices.clear();
+            scratch.escalated_rows.resize_with(rows.len(), Vec::new);
+            stages.clear();
+            stages.reserve(rows.len());
+            for (index, (row, first)) in rows.iter().zip(&scratch.stage1_out).enumerate() {
+                if prediction_margin(first) >= self.margin_threshold {
+                    stages.push(CascadeStage::EarlyExit);
+                } else {
+                    stages.push(CascadeStage::Escalated);
+                    let slot = scratch.escalated_indices.len();
+                    scratch.escalated_rows[slot].clear();
+                    scratch.escalated_rows[slot].extend_from_slice(row);
+                    scratch.escalated_indices.push(index);
+                }
+            }
+            let escalated = scratch.escalated_indices.len();
+            self.stage2.predict_batch_into(
+                &scratch.escalated_rows[..escalated],
+                &mut scratch.escalated_out,
+            );
+
+            // Scatter: early exits keep their stage-1 prediction.  Escalated
+            // predictions are *moved* out of the scratch (their probability
+            // vectors are heap allocations; a clone here would put one
+            // allocation per escalated row back on the hot path).
+            out.clear();
+            out.append(&mut scratch.stage1_out);
+            for (&index, resolved) in
+                scratch.escalated_indices.iter().zip(scratch.escalated_out.drain(..))
+            {
+                out[index] = resolved;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::MlpConfig;
+    use crate::trainer::{Trainer, TrainerConfig};
+
+    fn toy_training_set() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Two well-separated clusters in the leading features plus a noisy
+        // tail only the full row resolves.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for k in 0..60 {
+            let wiggle = (k as f64 * 0.37).sin() * 0.05;
+            let class = k % 2;
+            let base = if class == 0 { -1.0 } else { 1.0 };
+            let mut row = vec![base + wiggle; 4];
+            row.extend_from_slice(&[wiggle, -wiggle, base * 0.5, wiggle * 2.0]);
+            x.push(row);
+            y.push(class);
+        }
+        (x, y)
+    }
+
+    fn trained_pair() -> (QuantizedMlp, QuantizedMlp) {
+        let (x, y) = toy_training_set();
+        let trainer = Trainer::new(TrainerConfig { epochs: 40, ..TrainerConfig::default() });
+        let truncated: Vec<Vec<f64>> = x.iter().map(|row| row[..4].to_vec()).collect();
+        let stage1 = trainer.train(&MlpConfig::new(4, vec![4], 2), &truncated, &y, 11).model;
+        let stage2 = trainer.train(&MlpConfig::new(8, vec![8], 2), &x, &y, 12).model;
+        (QuantizedMlp::from_mlp(&stage1), QuantizedMlp::from_mlp(&stage2))
+    }
+
+    #[test]
+    fn margin_is_the_top2_probability_gap() {
+        let p = Prediction { class: 0, confidence: 0.7, probabilities: vec![0.7, 0.2, 0.1] };
+        assert!((prediction_margin(&p) - 0.5).abs() < 1e-12);
+        let single = Prediction { class: 0, confidence: 1.0, probabilities: vec![1.0] };
+        assert!((prediction_margin(&single) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_threshold_always_exits_and_infinite_always_escalates() {
+        let (stage1, stage2) = trained_pair();
+        let (x, _) = toy_training_set();
+        let always_exit = CascadeClassifier::new(stage1.clone(), stage2.clone(), 0.0);
+        let never_exit = CascadeClassifier::new(stage1.clone(), stage2.clone(), f64::INFINITY);
+        for row in x.iter().take(8) {
+            let (p1, s1) = always_exit.predict_staged(row);
+            assert_eq!(s1, CascadeStage::EarlyExit);
+            assert_eq!(p1, stage1.predict(&row[..4]));
+            let (p2, s2) = never_exit.predict_staged(row);
+            assert_eq!(s2, CascadeStage::Escalated);
+            assert_eq!(p2, stage2.predict(row));
+        }
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_single_rows() {
+        let (stage1, stage2) = trained_pair();
+        let cascade = CascadeClassifier::new(stage1, stage2, 0.35);
+        let (x, _) = toy_training_set();
+        let mut out = Vec::new();
+        let mut stages = Vec::new();
+        cascade.predict_batch_staged(&x, &mut out, &mut stages);
+        assert_eq!(out.len(), x.len());
+        let mut exits = 0usize;
+        for ((row, prediction), stage) in x.iter().zip(&out).zip(&stages) {
+            let (single, single_stage) = cascade.predict_staged(row);
+            assert_eq!(prediction, &single, "batched row must be bit-identical");
+            assert_eq!(*stage, single_stage);
+            exits += usize::from(*stage == CascadeStage::EarlyExit);
+        }
+        assert!(exits > 0, "threshold 0.35 should let some rows exit early");
+        // The plain Classifier batch entry point agrees too.
+        let mut plain = Vec::new();
+        Classifier::predict_batch_into(&cascade, &x, &mut plain);
+        assert_eq!(plain, out);
+    }
+
+    #[test]
+    fn calibration_maximizes_exit_rate_within_budget() {
+        let (stage1, stage2) = trained_pair();
+        let (x, y) = toy_training_set();
+        let point = calibrate_margin_threshold(&stage1, &stage2, &x, &y, 0.01);
+        assert!(point.exit_rate > 0.5, "easy clusters should mostly exit: {point:?}");
+        assert!(
+            point.cascade_accuracy + 1e-12 >= point.full_accuracy - 0.01,
+            "calibrated point must honour the budget: {point:?}"
+        );
+        // A zero budget still yields a valid (possibly never-exit) gate.
+        let strict = calibrate_margin_threshold(&stage1, &stage2, &x, &y, 0.0);
+        assert!(strict.cascade_accuracy + 1e-12 >= strict.full_accuracy);
+    }
+
+    #[test]
+    fn escalating_rows_match_the_full_classifier_exactly() {
+        let (stage1, stage2) = trained_pair();
+        let cascade = CascadeClassifier::new(stage1, stage2.clone(), 0.6);
+        let (x, _) = toy_training_set();
+        for row in &x {
+            let (prediction, stage) = cascade.predict_staged(row);
+            if stage == CascadeStage::Escalated {
+                assert_eq!(prediction, stage2.predict(row));
+            }
+        }
+    }
+
+    #[test]
+    fn stage_codes_are_stable() {
+        assert_eq!(CascadeStage::Single.code(), 0);
+        assert_eq!(CascadeStage::EarlyExit.code(), 1);
+        assert_eq!(CascadeStage::Escalated.code(), 2);
+        assert_eq!(CascadeStage::default(), CascadeStage::Single);
+    }
+
+    #[test]
+    #[should_panic(expected = "same classes")]
+    fn mismatched_stages_are_rejected() {
+        let (x, y) = toy_training_set();
+        let trainer = Trainer::new(TrainerConfig { epochs: 2, ..TrainerConfig::default() });
+        let a = trainer
+            .train(
+                &MlpConfig::new(4, vec![4], 2),
+                &x.iter().map(|r| r[..4].to_vec()).collect::<Vec<_>>(),
+                &y,
+                1,
+            )
+            .model;
+        let b = trainer.train(&MlpConfig::new(8, vec![4], 3), &x, &y, 2).model;
+        let _ = CascadeClassifier::new(QuantizedMlp::from_mlp(&a), QuantizedMlp::from_mlp(&b), 0.5);
+    }
+}

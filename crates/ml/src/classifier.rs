@@ -16,6 +16,36 @@ use serde::{Deserialize, Serialize};
 
 use crate::network::{Mlp, Prediction};
 
+/// Which stage of an early-exit cascade produced a prediction.
+///
+/// Single-stage backends report [`CascadeStage::Single`] from the staged
+/// entry points; the [`CascadeClassifier`](crate::cascade::CascadeClassifier)
+/// overrides them with [`EarlyExit`](CascadeStage::EarlyExit) /
+/// [`Escalated`](CascadeStage::Escalated), which the fleet layer folds into
+/// mergeable per-stage exit-rate and accuracy counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CascadeStage {
+    /// The backend has no cascade structure (or the row never entered one).
+    #[default]
+    Single,
+    /// The first (cheap) stage was confident enough to exit early.
+    EarlyExit,
+    /// The first stage was uncertain and the row escalated to the full model.
+    Escalated,
+}
+
+impl CascadeStage {
+    /// Stable wire encoding of the stage (0 = single, 1 = early exit,
+    /// 2 = escalated).
+    pub fn code(self) -> u8 {
+        match self {
+            CascadeStage::Single => 0,
+            CascadeStage::EarlyExit => 1,
+            CascadeStage::Escalated => 2,
+        }
+    }
+}
+
 /// An activity-recognition inference backend.
 ///
 /// The trait is object-safe: every method takes `&self` and plain slices, so
@@ -71,6 +101,31 @@ pub trait Classifier {
     ///
     /// Panics if any row's length differs from `self.input_dim()`.
     fn predict_batch_into(&self, rows: &[Vec<f64>], out: &mut Vec<Prediction>);
+
+    /// Classifies a single feature vector, also reporting which cascade stage
+    /// produced the prediction.
+    ///
+    /// Single-stage backends keep this default ([`CascadeStage::Single`] and a
+    /// plain [`predict`](Classifier::predict)); early-exit cascades override it.
+    fn predict_with_stage(&self, features: &[f64]) -> (Prediction, CascadeStage) {
+        (self.predict(features), CascadeStage::Single)
+    }
+
+    /// Batched flavour of [`predict_with_stage`](Classifier::predict_with_stage).
+    ///
+    /// `out` and `stages` are cleared first and filled row for row; the same
+    /// bit-identity contract as [`predict_batch_into`](Classifier::predict_batch_into)
+    /// applies, extended to the reported stages.
+    fn predict_batch_staged(
+        &self,
+        rows: &[Vec<f64>],
+        out: &mut Vec<Prediction>,
+        stages: &mut Vec<CascadeStage>,
+    ) {
+        self.predict_batch_into(rows, out);
+        stages.clear();
+        stages.resize(rows.len(), CascadeStage::Single);
+    }
 }
 
 impl Classifier for Mlp {
@@ -105,17 +160,23 @@ pub enum BackendKind {
     /// The post-training-quantized int8 copy of the trained [`Mlp`]
     /// ([`QuantizedMlp`](crate::quantized::QuantizedMlp)).
     Int8,
+    /// The confidence-gated early-exit cascade
+    /// ([`CascadeClassifier`](crate::cascade::CascadeClassifier)): a tiny int8
+    /// time-domain first stage that escalates to the full int8 network only
+    /// when its margin is below the calibrated threshold.
+    Cascade,
 }
 
 impl BackendKind {
     /// All built-in backends, default first.
-    pub const ALL: [BackendKind; 2] = [BackendKind::F64, BackendKind::Int8];
+    pub const ALL: [BackendKind; 3] = [BackendKind::F64, BackendKind::Int8, BackendKind::Cascade];
 
     /// The name used by reports and the CLI.
     pub fn label(self) -> &'static str {
         match self {
             BackendKind::F64 => "f64",
             BackendKind::Int8 => "int8",
+            BackendKind::Cascade => "cascade",
         }
     }
 

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cascade;
 pub mod classifier;
 pub mod loss;
 pub mod matrix;
@@ -56,7 +57,10 @@ pub mod optimizer;
 pub mod quantized;
 pub mod trainer;
 
-pub use classifier::{BackendKind, Classifier};
+pub use cascade::{
+    calibrate_margin_threshold, prediction_margin, CascadeClassifier, CascadeOperatingPoint,
+};
+pub use classifier::{BackendKind, CascadeStage, Classifier};
 pub use matrix::Matrix;
 pub use memory::MemoryFootprint;
 pub use metrics::{accuracy, ConfusionMatrix};
@@ -68,7 +72,10 @@ pub use trainer::{Trainer, TrainerConfig, TrainingOutcome};
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::classifier::{BackendKind, Classifier};
+    pub use crate::cascade::{
+        calibrate_margin_threshold, prediction_margin, CascadeClassifier, CascadeOperatingPoint,
+    };
+    pub use crate::classifier::{BackendKind, CascadeStage, Classifier};
     pub use crate::loss::{cross_entropy, softmax};
     pub use crate::matrix::Matrix;
     pub use crate::memory::MemoryFootprint;

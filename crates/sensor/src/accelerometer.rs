@@ -130,6 +130,19 @@ impl Accelerometer {
     /// `out` is cleared first; its allocation is reused, which keeps the per-tick
     /// sensing loop of a streaming runtime allocation-free once the buffer has
     /// grown to the largest window size.
+    ///
+    /// When the output period is an integer multiple of the internal sampling
+    /// period (true for every BMI160 configuration: 1600 Hz internal clock,
+    /// power-of-two output rates), the averaging windows of consecutive output
+    /// samples overlap on a shared internal time grid.  This method evaluates
+    /// each grid point **once** and reuses it across the overlapping windows —
+    /// for the F100/A128 configuration that is 3,328 analog evaluations per
+    /// 2-second window instead of 25,600, which is where most of a simulated
+    /// device tick used to go.  Internal instants are laid out as
+    /// `start + m × internal_period` for integer `m`, so the analog signal is
+    /// probed at the same physical times as the per-sample path up to
+    /// floating-point association; the noise and quantization stages (and the
+    /// RNG draw order) are identical.
     pub fn capture_into<S, R>(
         &self,
         source: &S,
@@ -145,10 +158,61 @@ impl Accelerometer {
         let count = self.config.frequency.samples_in(duration);
         out.reserve(count);
         let period = self.config.frequency.period_s();
-        for k in 0..count {
-            let t = start + k as f64 * period;
-            out.push(self.read_at(source, t, rng));
+        let internal_period = 1.0 / self.energy.internal_rate_hz;
+        let stride_f = period * self.energy.internal_rate_hz;
+        let stride = stride_f.round();
+        let n_avg = self.config.averaging.samples() as usize;
+        let overlapping =
+            stride >= 1.0 && (stride_f - stride).abs() < 1e-9 && (stride as usize) < n_avg;
+        if !overlapping {
+            // Either the output rate is not grid-aligned with the internal
+            // clock (custom energy model), or consecutive averaging windows
+            // don't overlap (stride ≥ n_avg) so every internal instant is used
+            // exactly once anyway: average each output sample independently.
+            for k in 0..count {
+                let t = start + k as f64 * period;
+                out.push(self.read_at(source, t, rng));
+            }
+            return;
         }
+        let stride = stride as usize;
+        let mode = self.energy.operation_mode(self.config);
+        let inv = 1.0 / self.config.averaging.samples() as f64;
+
+        GRID.with(|cell| {
+            let grid = &mut *cell.borrow_mut();
+            // Internal grid instant `m` is `start + m × internal_period`;
+            // output sample `k` (at `start + k × period`) averages the `n_avg`
+            // instants `m = k×stride − (n_avg−1) ..= k×stride`, oldest first —
+            // the same window and summation order as [`Accelerometer::read_at`].
+            let grid_len = count.saturating_sub(1) * stride + n_avg;
+            grid.clear();
+            grid.reserve(grid_len);
+            for g in 0..grid_len {
+                let m = g as i64 - (n_avg as i64 - 1);
+                let t = start + m as f64 * internal_period;
+                grid.push(source.sample(t));
+            }
+            for k in 0..count {
+                let t = start + k as f64 * period;
+                let mut acc = [0.0f64; 3];
+                for v in &grid[k * stride..k * stride + n_avg] {
+                    acc[0] += v[0];
+                    acc[1] += v[1];
+                    acc[2] += v[2];
+                }
+                let mut axes = [acc[0] * inv, acc[1] * inv, acc[2] * inv];
+                for axis in &mut axes {
+                    *axis += self.noise.sample(self.config, mode, rng);
+                }
+                if self.quantize {
+                    for axis in &mut axes {
+                        *axis = quantize(*axis);
+                    }
+                }
+                out.push(Sample3::new(t, axes[0], axes[1], axes[2]));
+            }
+        });
     }
 
     /// Produces the single output sample the sensor would report at time `t`.
@@ -188,6 +252,12 @@ impl Accelerometer {
 
         Sample3::new(t, axes[0], axes[1], axes[2])
     }
+}
+
+std::thread_local! {
+    /// Reusable per-thread internal-grid buffer for [`Accelerometer::capture_into`],
+    /// so the windowed capture stays allocation-free in steady state.
+    static GRID: std::cell::RefCell<Vec<[f64; 3]>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
 fn quantize(value: f64) -> f64 {
