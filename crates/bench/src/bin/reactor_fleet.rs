@@ -1,0 +1,129 @@
+//! `reactor_fleet`: drives a whole fleet from live sockets through one
+//! ingestion reactor and gates the result on byte-identity.
+//!
+//! The other half of the `telemetry_serve` soak test.  This binary:
+//!
+//! 1. Trains the HAR system and runs the scenario-driven fleet — the
+//!    deterministic reference `FleetReport`.
+//! 2. Subscribes every device of the fleet to a `telemetry_serve` address
+//!    through a single `IngestReactor` (one thread, one `poll(2)` set for
+//!    the entire cohort).
+//! 3. Runs the same fleet again, scheduler-side, fed *only* by the reactor's
+//!    per-device channels.
+//! 4. Fails unless the live report is byte-identical to the reference
+//!    (`FleetReport::encode`) and every feed completed cleanly.
+//!
+//! When the server was started with `--kill-at`, every connection is torn
+//! mid-stream once and the reactor must reconnect with a RESUME frame — the
+//! byte-identity gate then also proves the kill-and-resume path loses and
+//! duplicates nothing.
+//!
+//! Flags: `--quick`, `--devices N` (default 64), `--duration S` (default 20),
+//! `--routine NAME` (default office_day), `--seed N` (default 42) — all of
+//! which must match the serving process — plus `--connect ADDR` or
+//! `--connect-file PATH` (poll for the address file `telemetry_serve
+//! --addr-file` writes, up to 60 s) and `--expect-resumes` (fail unless at
+//! least one reconnect actually happened, used by CI's chaos leg).
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("reactor_fleet needs poll(2) and is only built on Unix platforms");
+    std::process::exit(2);
+}
+
+#[cfg(unix)]
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    use std::time::{Duration, Instant};
+
+    use adasense::prelude::*;
+    use adasense_bench::{int_arg, string_arg, train_system, RunScale};
+
+    let scale = RunScale::from_args();
+    let devices = int_arg("--devices")?.unwrap_or(64);
+    let duration_s = int_arg("--duration")?.unwrap_or(20) as f64;
+    let routine = string_arg("--routine")?.unwrap_or_else(|| "office_day".to_string());
+    let seed = int_arg("--seed")?.unwrap_or(42);
+    let expect_resumes = std::env::args().any(|a| a == "--expect-resumes");
+    let preset =
+        RoutinePreset::from_name(&routine).ok_or_else(|| format!("unknown routine `{routine}`"))?;
+
+    let addr = match string_arg("--connect")? {
+        Some(addr) => addr,
+        None => {
+            let path = string_arg("--connect-file")?
+                .ok_or("pass --connect ADDR or --connect-file PATH")?;
+            let deadline = Instant::now() + Duration::from_secs(60);
+            loop {
+                match std::fs::read_to_string(&path) {
+                    Ok(text) if !text.trim().is_empty() => break text.trim().to_string(),
+                    _ if Instant::now() >= deadline => {
+                        return Err(
+                            format!("no server address appeared at {path} within 60 s").into()
+                        )
+                    }
+                    _ => std::thread::sleep(Duration::from_millis(50)),
+                }
+            }
+        }
+    };
+
+    let (spec, system) = train_system(scale)?;
+    let mut fleet = FleetSpec::new(devices, duration_s, seed);
+    fleet.population = PopulationSpec::single(preset, FaultLevel::None);
+
+    eprintln!("[reactor_fleet] reference run: {devices} devices × {duration_s} s…");
+    let scheduler = FleetScheduler::new(&spec, &system);
+    let reference = scheduler.run(&fleet)?;
+
+    // One reactor, one socket per device, all multiplexed on a single thread.
+    let mut reactor = IngestReactor::new()
+        .with_policy(ReconnectPolicy { attempts: 20, delay: Duration::from_millis(25) });
+    let mut feeds = Vec::with_capacity(devices as usize);
+    for device_id in 0..devices {
+        let plan = fleet.device_plan(device_id);
+        let source = reactor.subscribe(&addr, device_id);
+        feeds.push(
+            ExternalDevice::new(plan.device_id, source)
+                .with_metadata(plan.seed, plan.routine.clone())
+                .with_backend(plan.backend),
+        );
+    }
+    eprintln!("[reactor_fleet] connecting {} live feeds to {addr}…", reactor.feed_count());
+    let reactor = std::thread::spawn(move || reactor.run());
+
+    let feed_only = FleetSpec { devices: 0, ..fleet.clone() };
+    let live = scheduler.builder().spec(&feed_only).feeds(feeds).run()?;
+    let stats = reactor.join().expect("reactor thread")?;
+
+    println!(
+        "reactor: {} feeds, {} completed, {} failed, {} batches, {} reconnects, \
+         peak {} concurrent connections",
+        stats.feeds,
+        stats.completed,
+        stats.failed,
+        stats.batches,
+        stats.reconnects,
+        stats.peak_open
+    );
+    for (device_id, error) in &stats.errors {
+        eprintln!("[reactor_fleet] device {device_id} failed: {error}");
+    }
+    if stats.failed > 0 {
+        return Err(format!("{} feeds failed", stats.failed).into());
+    }
+    if expect_resumes && stats.reconnects == 0 {
+        return Err("--expect-resumes: server never tore a connection, resume path untested".into());
+    }
+
+    println!("{}", live.report.to_table_string());
+    if live.report.encode() != reference.encode() {
+        eprintln!("reference report:\n{}", reference.to_table_string());
+        return Err("live reactor-fed report differs from the scenario-driven reference".into());
+    }
+    println!(
+        "determinism: reactor-fed fleet report is byte-identical to the scenario run \
+         ({devices} devices, {} reconnects)",
+        stats.reconnects
+    );
+    Ok(())
+}

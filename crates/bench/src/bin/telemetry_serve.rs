@@ -1,0 +1,88 @@
+//! `telemetry_serve`: exposes a simulated fleet as live telemetry sockets.
+//!
+//! Trains the HAR system, records one wire-format trace per fleet device,
+//! then serves the whole cohort from ONE listening TCP socket on one
+//! poll-driven thread (`adasense::ingest::serve::TelemetryServe`).  Each
+//! connection asks for a device with a RESUME frame and receives that
+//! device's stream; `--kill-at BYTES` additionally tears every device's
+//! first stream at a byte offset to force clients through the RESUME
+//! reconnect path.
+//!
+//! Pair it with `reactor_fleet` in another process for a production-like
+//! soak test (the CI `serve-smoke` job runs exactly that at ≥512 concurrent
+//! connections):
+//!
+//! ```text
+//! telemetry_serve --quick --devices 512 --addr-file /tmp/serve.addr &
+//! reactor_fleet   --quick --devices 512 --connect-file /tmp/serve.addr
+//! ```
+//!
+//! Flags: `--quick` (reduced training set), `--devices N` (default 64),
+//! `--duration S` (default 20), `--routine NAME` (default office_day),
+//! `--seed N` (default 42), `--port P` (default 0 = ephemeral),
+//! `--addr-file PATH` (write the bound address atomically for scripting),
+//! `--kill-at BYTES` (chaos: tear first streams), `--streams N` (serve
+//! exactly N completed streams then exit; default `devices`).
+//! The fleet-shaping flags must match the consuming `reactor_fleet` run, or
+//! its byte-identity gate will (correctly) fail.
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("telemetry_serve needs poll(2) and is only built on Unix platforms");
+    std::process::exit(2);
+}
+
+#[cfg(unix)]
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    use adasense::prelude::*;
+    use adasense_bench::{int_arg, record_fleet_traces, string_arg, train_system, RunScale};
+
+    let scale = RunScale::from_args();
+    let devices = int_arg("--devices")?.unwrap_or(64);
+    let duration_s = int_arg("--duration")?.unwrap_or(20) as f64;
+    let routine = string_arg("--routine")?.unwrap_or_else(|| "office_day".to_string());
+    let seed = int_arg("--seed")?.unwrap_or(42);
+    let port = int_arg("--port")?.unwrap_or(0);
+    let addr_file = string_arg("--addr-file")?;
+    let kill_at = int_arg("--kill-at")?;
+    let preset =
+        RoutinePreset::from_name(&routine).ok_or_else(|| format!("unknown routine `{routine}`"))?;
+    // Each device's trace completes exactly once even under `--kill-at`: the
+    // torn first stream counts as killed, only the resumed one as completed.
+    let expected = int_arg("--streams")?.unwrap_or(devices);
+
+    let (spec, system) = train_system(scale)?;
+    let mut fleet = FleetSpec::new(devices, duration_s, seed);
+    fleet.population = PopulationSpec::single(preset, FaultLevel::None);
+
+    eprintln!("[telemetry_serve] recording {devices} device traces…");
+    let traces = record_fleet_traces(&spec, &system, &fleet)?;
+    let batches: usize = traces.iter().map(|(_, t)| t.len()).sum();
+
+    let mut serve = TelemetryServe::bind(&format!("127.0.0.1:{port}"), traces)?;
+    if let Some(bytes) = kill_at {
+        serve = serve.with_kill_at(bytes as usize);
+    }
+    let addr = serve.local_addr();
+    println!("listening on {addr} ({devices} devices, {batches} batches)");
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    if let Some(path) = addr_file {
+        // Write-then-rename so a polling client never reads a torn address.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, format!("{addr}\n"))?;
+        std::fs::rename(&tmp, &path)?;
+    }
+
+    serve.serve_streams(expected, 200)?;
+    let stats = serve.stats();
+    println!(
+        "served {} streams ({} resumed, {} killed, {} rejected), peak {} concurrent connections",
+        stats.streams_completed,
+        stats.resume_requests,
+        stats.killed_streams,
+        stats.rejected_requests,
+        stats.peak_open
+    );
+    Ok(())
+}

@@ -208,6 +208,38 @@ impl FleetBench {
     }
 }
 
+/// Records every device of `fleet` as a wire-format telemetry trace by
+/// replaying its scenario through a standalone runtime under a
+/// `TraceRecorder` — the serving side of the live-ingestion soak tests
+/// (`telemetry_serve` pre-renders these, `reactor_fleet` consumes them live).
+///
+/// # Errors
+///
+/// Propagates runtime construction errors.
+pub fn record_fleet_traces(
+    spec: &ExperimentSpec,
+    system: &TrainedSystem,
+    fleet: &FleetSpec,
+) -> Result<Vec<(u64, TelemetryTrace)>, AdaSenseError> {
+    let scheduler = FleetScheduler::new(spec, system);
+    let mut traces = Vec::with_capacity(fleet.devices as usize);
+    for device_id in 0..fleet.devices {
+        let plan = fleet.device_plan(device_id);
+        let recorder = adasense::ingest::TraceRecorder::new(scheduler.device_source(fleet, &plan));
+        let mut runtime = DeviceRuntime::for_source(
+            spec,
+            system,
+            fleet.controller,
+            recorder,
+            plan.scenario.duration_s(),
+        )?
+        .with_classifier(system.backend(plan.backend));
+        runtime.run_to_completion();
+        traces.push((device_id, runtime.source().trace().clone()));
+    }
+    Ok(traces)
+}
+
 /// Trains the HAR system for the selected scale, printing a short progress note.
 ///
 /// # Errors

@@ -759,12 +759,16 @@ impl<'a> FleetScheduler<'a> {
     /// and chunk boundaries depend only on the spec and every report
     /// statistic is independent of the chunk completion order.
     ///
+    /// Deprecated in favor of the builder: this is a thin wrapper kept for
+    /// compatibility, equivalent to
+    /// [`builder()`](FleetScheduler::builder)`.spec(fleet).run()?.report`.
+    ///
     /// # Errors
     ///
     /// Returns [`AdaSenseError::InvalidSpec`] for degenerate specs and
     /// propagates per-device simulation errors.
     pub fn run(&self, fleet: &FleetSpec) -> Result<FleetReport, AdaSenseError> {
-        self.run_shard(fleet, ShardRange::whole(fleet.devices), &mut DiscardSink)
+        Ok(self.builder().spec(fleet).run()?.report)
     }
 
     /// Runs the devices of one [`ShardRange`] of `fleet`, streaming every
@@ -781,6 +785,10 @@ impl<'a> FleetScheduler<'a> {
     /// [`run`](FleetScheduler::run) report (canonically in ascending shard
     /// order; see [`FleetSpec::shards`]).
     ///
+    /// Deprecated in favor of the builder: this is a thin wrapper kept for
+    /// compatibility, equivalent to [`builder()`](FleetScheduler::builder)
+    /// `.spec(fleet).shard(range).sink(sink).run()?.report`.
+    ///
     /// # Errors
     ///
     /// Returns [`AdaSenseError::InvalidSpec`] for degenerate specs or a range
@@ -791,59 +799,7 @@ impl<'a> FleetScheduler<'a> {
         range: ShardRange,
         sink: &mut dyn SummarySink,
     ) -> Result<FleetReport, AdaSenseError> {
-        fleet.validate()?;
-        if range.start > range.end || range.end > fleet.devices {
-            return Err(AdaSenseError::invalid_spec(format!(
-                "shard range {range} does not fit a fleet of {} devices",
-                fleet.devices
-            )));
-        }
-        let chunk = fleet.lockstep_devices as u64;
-        let chunks: Vec<std::ops::Range<u64>> = (0..range.len().div_ceil(chunk))
-            .map(|c| (range.start + c * chunk)..(range.start + (c + 1) * chunk).min(range.end))
-            .collect();
-        let next = AtomicUsize::new(0);
-        let failed = std::sync::atomic::AtomicBool::new(false);
-        let error: Mutex<Option<AdaSenseError>> = Mutex::new(None);
-        // The aggregate and the sink share one lock: rows are observed and
-        // spooled under it in chunk-completion order.  The report is a
-        // function of the row *multiset*, so that order never shows.
-        let shared = Mutex::new((FleetStats::new(), sink));
-        std::thread::scope(|scope| {
-            for _ in 0..self.worker_threads().clamp(1, chunks.len().max(1)) {
-                scope.spawn(|| loop {
-                    if failed.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= chunks.len() {
-                        break;
-                    }
-                    let outcome = self.run_chunk(fleet, chunks[i].clone()).and_then(|rows| {
-                        let mut guard =
-                            shared.lock().expect("no worker panicked holding the aggregate");
-                        let (stats, sink) = &mut *guard;
-                        for row in &rows {
-                            stats.observe(row);
-                            sink.push(row)?;
-                        }
-                        Ok(())
-                    });
-                    if let Err(e) = outcome {
-                        failed.store(true, Ordering::Relaxed);
-                        error
-                            .lock()
-                            .expect("no worker panicked holding the error slot")
-                            .get_or_insert(e);
-                    }
-                });
-            }
-        });
-        if let Some(e) = error.into_inner().expect("no worker panicked holding the error slot") {
-            return Err(e);
-        }
-        let (stats, _) = shared.into_inner().expect("no worker panicked holding the aggregate");
-        Ok(FleetReport { controller: fleet.controller.label(), stats })
+        Ok(self.builder().spec(fleet).shard(range).sink(sink).run()?.report)
     }
 
     /// Runs `fleet` like [`run`](FleetScheduler::run) but keeps every
@@ -852,13 +808,17 @@ impl<'a> FleetScheduler<'a> {
     /// [`run`](FleetScheduler::run) or
     /// [`run_shard`](FleetScheduler::run_shard) for large fleets.
     ///
+    /// Deprecated in favor of the builder: this is a thin wrapper kept for
+    /// compatibility, equivalent to
+    /// [`builder()`](FleetScheduler::builder)`.spec(fleet).collect().run()`.
+    ///
     /// # Errors
     ///
     /// Returns [`AdaSenseError::InvalidSpec`] for degenerate specs and
     /// propagates per-device simulation errors.
     pub fn run_collect(&self, fleet: &FleetSpec) -> Result<FleetRun, AdaSenseError> {
         fleet.validate()?;
-        self.run_with_feeds(fleet, Vec::new())
+        self.builder().spec(fleet).collect().run()
     }
 
     /// Runs `fleet` with a cohort of externally fed devices alongside the
@@ -873,6 +833,10 @@ impl<'a> FleetScheduler<'a> {
     /// bit-identical to the run that produced its trace when the feed replays
     /// a recording (the `telemetry_replay` binary gates exactly that in CI).
     ///
+    /// Deprecated in favor of the builder: this is a thin wrapper kept for
+    /// compatibility, equivalent to [`builder()`](FleetScheduler::builder)
+    /// `.spec(fleet).feeds(feeds).collect().run()`.
+    ///
     /// # Errors
     ///
     /// Returns [`AdaSenseError::InvalidSpec`] for degenerate specs (including
@@ -882,58 +846,16 @@ impl<'a> FleetScheduler<'a> {
         fleet: &FleetSpec,
         feeds: Vec<ExternalDevice>,
     ) -> Result<FleetRun, AdaSenseError> {
-        if fleet.devices > 0 {
-            fleet.validate()?;
-        } else {
-            if feeds.is_empty() {
-                return Err(AdaSenseError::invalid_spec(
-                    "a fleet needs at least one device (scenario-driven or external)",
-                ));
-            }
-            if fleet.lockstep_devices == 0 {
-                return Err(AdaSenseError::invalid_spec("lockstep_devices must be non-zero"));
-            }
-            fleet.population.validate()?;
-        }
-        let chunk = fleet.lockstep_devices as u64;
-        let chunks: Vec<std::ops::Range<u64>> = (0..fleet.devices.div_ceil(chunk))
-            .map(|c| (c * chunk)..((c + 1) * chunk).min(fleet.devices))
-            .collect();
-        // Feed sources are stateful and owned, so each feed chunk sits in a
-        // take-once slot its job claims exactly once.
-        let mut feed_chunks: Vec<Mutex<Option<Vec<ExternalDevice>>>> = Vec::new();
-        let mut feeds = feeds.into_iter();
-        loop {
-            let group: Vec<ExternalDevice> = feeds.by_ref().take(fleet.lockstep_devices).collect();
-            if group.is_empty() {
-                break;
-            }
-            feed_chunks.push(Mutex::new(Some(group)));
-        }
-        let scenario_jobs = chunks.len();
-        let summaries = run_jobs(self.worker_threads(), scenario_jobs + feed_chunks.len(), |i| {
-            if i < scenario_jobs {
-                self.run_chunk(fleet, chunks[i].clone())
-            } else {
-                let group = feed_chunks[i - scenario_jobs]
-                    .lock()
-                    .expect("no worker panicked holding a feed slot")
-                    .take()
-                    .expect("each feed chunk is claimed exactly once");
-                self.run_feed_chunk(fleet.controller, group)
-            }
-        })?;
-        let summaries: Vec<DeviceSummary> = summaries.into_iter().flatten().collect();
-        let mut report = FleetReport::new(fleet.controller.label());
-        for row in &summaries {
-            report.observe(row);
-        }
-        Ok(FleetRun { report, summaries })
+        self.builder().spec(fleet).feeds(feeds).collect().run()
     }
 
     /// Runs an explicit list of `(scenario, controller)` simulations over the
     /// worker pool, returning their reports in job order.  This is the runner
     /// behind the experiment sweeps (Figs. 6 & 7).
+    ///
+    /// Deprecated in favor of the builder: this is a thin wrapper kept for
+    /// compatibility, equivalent to
+    /// [`builder()`](FleetScheduler::builder)`.sweep(jobs)`.
     ///
     /// # Errors
     ///
@@ -942,12 +864,26 @@ impl<'a> FleetScheduler<'a> {
         &self,
         jobs: &[(ScenarioSpec, ControllerKind)],
     ) -> Result<Vec<SimulationReport>, AdaSenseError> {
-        run_jobs(self.worker_threads(), jobs.len(), |i| {
-            let (scenario, controller) = &jobs[i];
-            Simulator::new(self.spec, self.system)
-                .with_controller(*controller)
-                .run(scenario.clone())
-        })
+        self.builder().sweep(jobs)
+    }
+
+    /// Opens a [`FleetRunBuilder`]: the single entry point behind every way of
+    /// driving a fleet.  Pick a [`spec`](FleetRunBuilder::spec), optionally
+    /// add [`feeds`](FleetRunBuilder::feeds), a
+    /// [`shard`](FleetRunBuilder::shard) range, a streaming
+    /// [`sink`](FleetRunBuilder::sink) or in-RAM row
+    /// [`collect`](FleetRunBuilder::collect)ion, then call
+    /// [`run`](FleetRunBuilder::run) (or [`sweep`](FleetRunBuilder::sweep)
+    /// for explicit scenario lists).
+    pub fn builder<'s>(&self) -> FleetRunBuilder<'a, 's> {
+        FleetRunBuilder {
+            scheduler: *self,
+            fleet: None,
+            feeds: Vec::new(),
+            range: None,
+            sink: None,
+            collect: false,
+        }
     }
 
     /// The exact sample source a fleet device runs over: the plan's realized
@@ -1146,6 +1082,218 @@ impl<'a> FleetScheduler<'a> {
                 }
             }
         }
+    }
+}
+
+/// One configurable fleet run: the unified front door behind
+/// [`FleetScheduler::run`], [`run_shard`](FleetScheduler::run_shard),
+/// [`run_collect`](FleetScheduler::run_collect),
+/// [`run_with_feeds`](FleetScheduler::run_with_feeds) and
+/// [`run_scenarios`](FleetScheduler::run_scenarios), which all survive as
+/// thin wrappers over it.  Built by [`FleetScheduler::builder`].
+///
+/// Every option composes with every other, which the legacy entry points
+/// never allowed: a sharded run can keep its rows, a feed cohort can stream
+/// to a spool, a reactor-fed live fleet can run report-only in bounded
+/// memory.  The report is bit-identical across any combination of worker
+/// count, sharding and row handling because it is a function of the row
+/// multiset only.
+///
+/// ```
+/// # use adasense::prelude::*;
+/// # let exp = ExperimentSpec::quick();
+/// # let system = TrainedSystem::train(&exp).unwrap();
+/// let fleet = FleetSpec::new(12, 6.0, 42);
+/// let scheduler = FleetScheduler::new(&exp, &system);
+/// // The builder subsumes `run`, `run_collect`, `run_shard`, ...
+/// let report = scheduler.builder().spec(&fleet).run().unwrap().report;
+/// let rows = scheduler.builder().spec(&fleet).collect().run().unwrap();
+/// assert_eq!(rows.report, report);
+/// assert_eq!(rows.summaries.len(), 12);
+/// ```
+pub struct FleetRunBuilder<'a, 's> {
+    scheduler: FleetScheduler<'a>,
+    fleet: Option<&'s FleetSpec>,
+    feeds: Vec<ExternalDevice>,
+    range: Option<ShardRange>,
+    sink: Option<&'s mut dyn SummarySink>,
+    collect: bool,
+}
+
+impl std::fmt::Debug for FleetRunBuilder<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetRunBuilder")
+            .field("scheduler", &self.scheduler)
+            .field("fleet", &self.fleet)
+            .field("feeds", &self.feeds.len())
+            .field("range", &self.range)
+            .field("sink", &self.sink.is_some())
+            .field("collect", &self.collect)
+            .finish()
+    }
+}
+
+impl<'a, 's> FleetRunBuilder<'a, 's> {
+    /// Sets the fleet spec: the scenario-driven cohort, the controller, the
+    /// lockstep chunking and the population model.  Required by
+    /// [`run`](FleetRunBuilder::run); a feed-only run passes a spec with
+    /// `devices: 0`.
+    pub fn spec(mut self, fleet: &'s FleetSpec) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Appends a cohort of externally fed devices ([`ExternalDevice`]): live
+    /// telemetry feeds that join the same worker pool and lockstep batching
+    /// as the scenario cohort.  May be called repeatedly; feeds accumulate.
+    pub fn feeds(mut self, feeds: Vec<ExternalDevice>) -> Self {
+        self.feeds.extend(feeds);
+        self
+    }
+
+    /// Appends one externally fed device.
+    pub fn feed(mut self, feed: ExternalDevice) -> Self {
+        self.feeds.push(feed);
+        self
+    }
+
+    /// Restricts the scenario cohort to one [`ShardRange`] of the fleet
+    /// (defaults to the whole fleet).  Feeds are never sharded: every feed
+    /// given to the builder runs regardless of the range.
+    pub fn shard(mut self, range: ShardRange) -> Self {
+        self.range = Some(range);
+        self
+    }
+
+    /// Streams every completed [`DeviceSummary`] row to `sink` (e.g. a
+    /// [`SpoolWriter`](crate::shard::SpoolWriter)).  Rows arrive grouped by
+    /// lockstep chunk but in chunk-*completion* order; consumers needing an
+    /// order must sort by `device_id`.  Without a sink, rows that are not
+    /// [`collect`](FleetRunBuilder::collect)ed are dropped after folding
+    /// into the report, keeping memory bounded.
+    pub fn sink(mut self, sink: &'s mut dyn SummarySink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Keeps every [`DeviceSummary`] row in RAM: the returned
+    /// [`FleetRun::summaries`] lists the scenario cohort first (in device-id
+    /// order), then the feed cohort in the order given.  Memory grows with
+    /// the cohort; leave off for large fleets.
+    pub fn collect(mut self) -> Self {
+        self.collect = true;
+        self
+    }
+
+    /// Runs the configured fleet: scenario chunks and feed chunks share one
+    /// worker pool, every completed row folds into the mergeable report (and
+    /// reaches the sink, if any), and the report is bit-identical for any
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::InvalidSpec`] if no spec was given, for
+    /// degenerate specs (including no devices in either cohort), or for a
+    /// shard range outside the fleet; propagates per-device and sink errors.
+    pub fn run(self) -> Result<FleetRun, AdaSenseError> {
+        let Self { scheduler, fleet, feeds, range, sink, collect } = self;
+        let Some(fleet) = fleet else {
+            return Err(AdaSenseError::invalid_spec(
+                "FleetRunBuilder::run needs a fleet spec (FleetRunBuilder::spec)",
+            ));
+        };
+        if fleet.devices > 0 {
+            fleet.validate()?;
+        } else {
+            if feeds.is_empty() {
+                return Err(AdaSenseError::invalid_spec(
+                    "a fleet needs at least one device (scenario-driven or external)",
+                ));
+            }
+            if fleet.lockstep_devices == 0 {
+                return Err(AdaSenseError::invalid_spec("lockstep_devices must be non-zero"));
+            }
+            fleet.population.validate()?;
+        }
+        let range = range.unwrap_or_else(|| ShardRange::whole(fleet.devices));
+        if range.start > range.end || range.end > fleet.devices {
+            return Err(AdaSenseError::invalid_spec(format!(
+                "shard range {range} does not fit a fleet of {} devices",
+                fleet.devices
+            )));
+        }
+        let chunk = fleet.lockstep_devices as u64;
+        let chunks: Vec<std::ops::Range<u64>> = (0..range.len().div_ceil(chunk))
+            .map(|c| (range.start + c * chunk)..(range.start + (c + 1) * chunk).min(range.end))
+            .collect();
+        // Feed sources are stateful and owned, so each feed chunk sits in a
+        // take-once slot its job claims exactly once.
+        let mut feed_chunks: Vec<Mutex<Option<Vec<ExternalDevice>>>> = Vec::new();
+        let mut feeds = feeds.into_iter();
+        loop {
+            let group: Vec<ExternalDevice> = feeds.by_ref().take(fleet.lockstep_devices).collect();
+            if group.is_empty() {
+                break;
+            }
+            feed_chunks.push(Mutex::new(Some(group)));
+        }
+        let scenario_jobs = chunks.len();
+        let mut discard = DiscardSink;
+        let sink: &mut dyn SummarySink = sink.unwrap_or(&mut discard);
+        // The aggregate and the sink share one lock: rows are observed and
+        // spooled under it in chunk-completion order.  The report is a
+        // function of the row *multiset*, so that order never shows; the
+        // collected rows are reassembled in job order below, so theirs does
+        // not either.
+        let shared = Mutex::new((FleetStats::new(), sink));
+        let kept = run_jobs(scheduler.worker_threads(), scenario_jobs + feed_chunks.len(), |i| {
+            let rows = if i < scenario_jobs {
+                scheduler.run_chunk(fleet, chunks[i].clone())
+            } else {
+                let group = feed_chunks[i - scenario_jobs]
+                    .lock()
+                    .expect("no worker panicked holding a feed slot")
+                    .take()
+                    .expect("each feed chunk is claimed exactly once");
+                scheduler.run_feed_chunk(fleet.controller, group)
+            }?;
+            {
+                let mut guard = shared.lock().expect("no worker panicked holding the aggregate");
+                let (stats, sink) = &mut *guard;
+                for row in &rows {
+                    stats.observe(row);
+                    sink.push(row)?;
+                }
+            }
+            Ok(if collect { rows } else { Vec::new() })
+        })?;
+        let summaries: Vec<DeviceSummary> = kept.into_iter().flatten().collect();
+        let (stats, _) = shared.into_inner().expect("no worker panicked holding the aggregate");
+        Ok(FleetRun {
+            report: FleetReport { controller: fleet.controller.label(), stats },
+            summaries,
+        })
+    }
+
+    /// Runs an explicit list of `(scenario, controller)` simulations over the
+    /// worker pool, returning their reports in job order.  Only the
+    /// scheduler's worker count applies here; the fleet-shaped options
+    /// (`spec`/`feeds`/`shard`/`sink`/`collect`) do not.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulation error encountered.
+    pub fn sweep(
+        self,
+        jobs: &[(ScenarioSpec, ControllerKind)],
+    ) -> Result<Vec<SimulationReport>, AdaSenseError> {
+        let scheduler = self.scheduler;
+        run_jobs(scheduler.worker_threads(), jobs.len(), |i| {
+            let (scenario, controller) = &jobs[i];
+            Simulator::new(scheduler.spec, scheduler.system)
+                .with_controller(*controller)
+                .run(scenario.clone())
+        })
     }
 }
 
@@ -1754,5 +1902,82 @@ mod tests {
         for config in SensorConfig::paper_pareto_front() {
             assert!(text.contains(&config.label()), "missing {config} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn builder_without_a_spec_is_rejected() {
+        let (spec, system) = shared_system();
+        let err = FleetScheduler::new(spec, system).builder().run().unwrap_err();
+        assert!(err.to_string().contains("fleet spec"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn builder_matches_every_legacy_entry_point() {
+        let (spec, system) = shared_system();
+        let fleet = FleetSpec::new(5, 20.0, 11);
+        let scheduler = FleetScheduler::new(spec, system).with_threads(2);
+
+        let legacy_report = scheduler.run(&fleet).unwrap();
+        let via_builder = scheduler.builder().spec(&fleet).run().unwrap();
+        assert_eq!(via_builder.report, legacy_report);
+        assert!(via_builder.summaries.is_empty(), "no collect() means no rows kept");
+
+        let legacy_rows = scheduler.run_collect(&fleet).unwrap();
+        let collected = scheduler.builder().spec(&fleet).collect().run().unwrap();
+        assert_eq!(collected, legacy_rows);
+    }
+
+    #[test]
+    fn builder_composes_shard_sink_and_collect() {
+        let (spec, system) = shared_system();
+        let fleet = FleetSpec::new(6, 20.0, 7);
+        let scheduler = FleetScheduler::new(spec, system).with_threads(2);
+        let whole = scheduler.run_collect(&fleet).unwrap();
+
+        // Sharded + collected + spooled in one run: the legacy API never
+        // allowed this combination.
+        let range = ShardRange { start: 2, end: 5 };
+        let mut spool = Vec::new();
+        let shard = {
+            let mut sink = crate::shard::SpoolWriter::new(&mut spool).unwrap();
+            let run = scheduler
+                .builder()
+                .spec(&fleet)
+                .shard(range)
+                .sink(&mut sink)
+                .collect()
+                .run()
+                .unwrap();
+            sink.finish().unwrap();
+            run
+        };
+        assert_eq!(shard.summaries.len(), 3);
+        let expected: Vec<DeviceSummary> = whole
+            .summaries
+            .iter()
+            .filter(|row| (range.start..range.end).contains(&row.device_id))
+            .cloned()
+            .collect();
+        assert_eq!(shard.summaries, expected, "collected rows are the shard's, in id order");
+        let spooled: Vec<DeviceSummary> =
+            crate::shard::SpoolReader::new(&spool[..]).unwrap().collect::<Result<_, _>>().unwrap();
+        assert_eq!(spooled.len(), 3, "the sink saw the same rows");
+        assert_eq!(shard.report, scheduler.run_shard(&fleet, range, &mut DiscardSink).unwrap());
+    }
+
+    #[test]
+    fn builder_sweep_matches_run_scenarios() {
+        let (spec, system) = shared_system();
+        let scheduler = FleetScheduler::new(spec, system).with_threads(2);
+        let jobs = vec![
+            (ScenarioSpec::sit_then_walk(20.0, 20.0), ControllerKind::StaticHigh),
+            (
+                ScenarioSpec::sit_then_walk(15.0, 25.0),
+                ControllerKind::Spot { stability_threshold: 2 },
+            ),
+        ];
+        let legacy = scheduler.run_scenarios(&jobs).unwrap();
+        let via_builder = scheduler.builder().sweep(&jobs).unwrap();
+        assert_eq!(via_builder, legacy);
     }
 }

@@ -25,6 +25,14 @@
 //!   source delivers (windows *and* the ground-truth labels the runtime will
 //!   score against) so any simulated run — including fault-injected ones —
 //!   can be exported and replayed bit-identically.
+//! * **[`reactor`]** *(Unix)* — the event-driven ingestion reactor: one
+//!   thread readiness-polls thousands of nonblocking sockets, decodes frames
+//!   incrementally with [`StreamParser`], hands complete batches to
+//!   channel-fed fleet devices, and rides out torn connections with the
+//!   RESUME handshake.
+//! * **[`serve`]** *(Unix)* — the matching server: one thread serves a whole
+//!   simulated fleet's recorded traces as live per-device socket streams
+//!   (the `telemetry_serve` binary), with server-side frame resume.
 //!
 //! The acceptance bar for this layer is **determinism**: replaying a recorded
 //! trace through a socket must reproduce the originating run's
@@ -41,14 +49,26 @@ use adasense_data::{Activity, EPOCH_LABEL_OFFSET_S};
 use adasense_sensor::{Sample3, SensorConfig, TelemetryBatch};
 
 use crate::error::AdaSenseError;
-use crate::runtime::SampleSource;
+use crate::runtime::{SampleSource, SourceStatus};
+
+#[cfg(unix)]
+pub mod reactor;
+#[cfg(unix)]
+pub mod serve;
 
 /// Magic bytes opening every telemetry stream.
 pub const WIRE_MAGIC: [u8; 4] = *b"ADSN";
 
-/// Wire-format version this build writes and accepts (see
-/// `docs/WIRE_FORMAT.md` for the versioning rules).
-pub const WIRE_VERSION: u16 = 1;
+/// Wire-format version this build writes (see `docs/WIRE_FORMAT.md` for the
+/// versioning rules).  v2 added the RESUME frame kind; v1 streams — which by
+/// construction contain no RESUME frame — decode identically, so readers
+/// accept both.
+pub const WIRE_VERSION: u16 = 2;
+
+/// Wire-format versions readers accept.  Every frame a v1 stream can carry
+/// means the same thing in v2, so accepting both costs nothing; anything else
+/// is rejected (no minor-version negotiation).
+const ACCEPTED_VERSIONS: [u16; 2] = [1, WIRE_VERSION];
 
 /// Frame-kind tag of a sample batch.
 const KIND_BATCH: u8 = 0x01;
@@ -57,6 +77,12 @@ const KIND_END: u8 = 0x02;
 /// Frame-kind tag of a shard's encoded fleet report (the shard→coordinator
 /// transport of the `fleet_shard` binary).
 const KIND_REPORT: u8 = 0x03;
+/// Frame-kind tag of a resume request (client→server on reconnect; v2).
+const KIND_RESUME: u8 = 0x04;
+
+/// Exact payload length of a RESUME frame: kind byte + `device_id` + the
+/// index of the next batch the client wants.
+const RESUME_PAYLOAD_LEN: usize = 1 + 8 + 8;
 
 /// Fixed part of a batch payload: kind, config, label, reserved byte, two
 /// `f64` times and the `u32` sample count.
@@ -209,6 +235,20 @@ impl FrameEncoder {
         self.buf.extend_from_slice(report);
         &self.buf
     }
+
+    /// Encodes one resume-request frame: on reconnect after a torn
+    /// connection, the client tells the server which device stream it was
+    /// consuming and the index of the next batch it has *not* yet received,
+    /// so the server can replay from exactly there (see `docs/WIRE_FORMAT.md`
+    /// § RESUME).
+    pub fn resume(&mut self, device_id: u64, next_batch: u64) -> &[u8] {
+        self.buf.clear();
+        self.buf.extend_from_slice(&(RESUME_PAYLOAD_LEN as u32).to_le_bytes());
+        self.buf.push(KIND_RESUME);
+        self.buf.extend_from_slice(&device_id.to_le_bytes());
+        self.buf.extend_from_slice(&next_batch.to_le_bytes());
+        &self.buf
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -230,6 +270,14 @@ pub enum FrameKind {
     Report {
         /// The sending shard's index in the coordinator's shard plan.
         shard: u32,
+    },
+    /// A resume request (client→server after a reconnect): replay the named
+    /// device's stream starting at batch index `next_batch`.
+    Resume {
+        /// The device whose stream the client was consuming.
+        device_id: u64,
+        /// Index of the first batch the client has not yet received.
+        next_batch: u64,
     },
 }
 
@@ -261,23 +309,7 @@ impl FrameDecoder {
     pub fn read_header<R: Read + ?Sized>(&mut self, reader: &mut R) -> Result<(), AdaSenseError> {
         let mut head = [0u8; 8];
         read_exact(reader, &mut head, "stream header")?;
-        if head[0..4] != WIRE_MAGIC {
-            return Err(AdaSenseError::ingest(format!(
-                "bad magic {:02x?} (expected `ADSN`)",
-                &head[0..4]
-            )));
-        }
-        let version = u16::from_le_bytes([head[4], head[5]]);
-        if version != WIRE_VERSION {
-            return Err(AdaSenseError::ingest(format!(
-                "unsupported wire-format version {version} (this build speaks {WIRE_VERSION})"
-            )));
-        }
-        let flags = u16::from_le_bytes([head[6], head[7]]);
-        if flags != 0 {
-            return Err(AdaSenseError::ingest(format!("unsupported header flags {flags:#06x}")));
-        }
-        Ok(())
+        validate_stream_header(&head)
     }
 
     /// Reads the next frame.  Batch frames are decoded into `batch` in place
@@ -306,39 +338,11 @@ impl FrameDecoder {
         self.holds_report = false;
         self.payload.resize(len, 0);
         read_exact(reader, &mut self.payload, "frame payload")?;
-        match self.payload[0] {
-            KIND_BATCH => {
-                if len > MAX_FRAME_LEN {
-                    return Err(AdaSenseError::ingest(format!(
-                        "batch frame length {len} exceeds the {MAX_FRAME_LEN} B cap"
-                    )));
-                }
-                self.decode_batch(batch)?;
-                Ok(FrameKind::Batch)
-            }
-            KIND_END => {
-                if self.payload.len() != 9 {
-                    return Err(AdaSenseError::ingest(format!(
-                        "end-of-stream frame has length {len}, expected 9"
-                    )));
-                }
-                let mut count = [0u8; 8];
-                count.copy_from_slice(&self.payload[1..9]);
-                Ok(FrameKind::End { batches: u64::from_le_bytes(count) })
-            }
-            KIND_REPORT => {
-                if self.payload.len() < 5 {
-                    return Err(AdaSenseError::ingest(format!(
-                        "report frame has length {len}, expected at least 5"
-                    )));
-                }
-                let shard =
-                    u32::from_le_bytes(self.payload[1..5].try_into().expect("4-byte slice"));
-                self.holds_report = true;
-                Ok(FrameKind::Report { shard })
-            }
-            kind => Err(AdaSenseError::ingest(format!("unknown frame kind {kind:#04x}"))),
+        let kind = decode_frame_payload(&self.payload, batch)?;
+        if matches!(kind, FrameKind::Report { .. }) {
+            self.holds_report = true;
         }
+        Ok(kind)
     }
 
     /// The encoded report bytes of the most recently decoded
@@ -353,52 +357,125 @@ impl FrameDecoder {
             &[]
         }
     }
+}
 
-    /// Decodes the batch payload in `self.payload` into `batch`.
-    fn decode_batch(&self, batch: &mut TelemetryBatch) -> Result<(), AdaSenseError> {
-        let payload = &self.payload;
-        if payload.len() < BATCH_HEAD_LEN {
-            return Err(AdaSenseError::ingest(format!(
-                "batch frame has length {}, expected at least {BATCH_HEAD_LEN}",
-                payload.len()
-            )));
-        }
-        let config = SensorConfig::from_index(payload[1] as usize).ok_or_else(|| {
-            AdaSenseError::ingest(format!("invalid sensor-configuration tag {}", payload[1]))
-        })?;
-        let label = payload[2];
-        if label as usize >= Activity::COUNT {
-            return Err(AdaSenseError::ingest(format!(
-                "invalid class label {label} (must be < {})",
-                Activity::COUNT
-            )));
-        }
-        let t_end = f64::from_le_bytes(payload[4..12].try_into().expect("8-byte slice"));
-        let window_s = f64::from_le_bytes(payload[12..20].try_into().expect("8-byte slice"));
-        if !t_end.is_finite() || !window_s.is_finite() || window_s <= 0.0 {
-            return Err(AdaSenseError::ingest(format!(
-                "batch times are not sane (t_end {t_end}, window {window_s})"
-            )));
-        }
-        let count = u32::from_le_bytes(payload[20..24].try_into().expect("4-byte slice")) as usize;
-        if payload.len() != BATCH_HEAD_LEN + count * SAMPLE_LEN {
-            return Err(AdaSenseError::ingest(format!(
-                "batch frame length {} does not match its sample count {count}",
-                payload.len()
-            )));
-        }
-        batch.reset(config, t_end, window_s, label);
-        batch.samples.reserve(count);
-        for chunk in payload[BATCH_HEAD_LEN..].chunks_exact(SAMPLE_LEN) {
-            batch.samples.push(Sample3::new(
-                f64::from_le_bytes(chunk[0..8].try_into().expect("8-byte slice")),
-                f64::from_le_bytes(chunk[8..16].try_into().expect("8-byte slice")),
-                f64::from_le_bytes(chunk[16..24].try_into().expect("8-byte slice")),
-                f64::from_le_bytes(chunk[24..32].try_into().expect("8-byte slice")),
-            ));
-        }
-        Ok(())
+/// Validates the 8-byte stream header (magic, version, flags) — the shared
+/// core of [`FrameDecoder::read_header`] and [`StreamParser`].
+fn validate_stream_header(head: &[u8; 8]) -> Result<(), AdaSenseError> {
+    if head[0..4] != WIRE_MAGIC {
+        return Err(AdaSenseError::ingest(format!(
+            "bad magic {:02x?} (expected `ADSN`)",
+            &head[0..4]
+        )));
     }
+    let version = u16::from_le_bytes([head[4], head[5]]);
+    if !ACCEPTED_VERSIONS.contains(&version) {
+        return Err(AdaSenseError::ingest(format!(
+            "unsupported wire-format version {version} (this build speaks {ACCEPTED_VERSIONS:?})"
+        )));
+    }
+    let flags = u16::from_le_bytes([head[6], head[7]]);
+    if flags != 0 {
+        return Err(AdaSenseError::ingest(format!("unsupported header flags {flags:#06x}")));
+    }
+    Ok(())
+}
+
+/// Classifies and decodes one complete frame payload — the shared core of
+/// [`FrameDecoder::read_frame`] and [`StreamParser::next_frame`].  Batch
+/// frames are decoded into `batch`; report payload bytes stay with the
+/// caller's buffer.
+fn decode_frame_payload(
+    payload: &[u8],
+    batch: &mut TelemetryBatch,
+) -> Result<FrameKind, AdaSenseError> {
+    let len = payload.len();
+    match payload[0] {
+        KIND_BATCH => {
+            if len > MAX_FRAME_LEN {
+                return Err(AdaSenseError::ingest(format!(
+                    "batch frame length {len} exceeds the {MAX_FRAME_LEN} B cap"
+                )));
+            }
+            decode_batch_payload(payload, batch)?;
+            Ok(FrameKind::Batch)
+        }
+        KIND_END => {
+            if len != 9 {
+                return Err(AdaSenseError::ingest(format!(
+                    "end-of-stream frame has length {len}, expected 9"
+                )));
+            }
+            let mut count = [0u8; 8];
+            count.copy_from_slice(&payload[1..9]);
+            Ok(FrameKind::End { batches: u64::from_le_bytes(count) })
+        }
+        KIND_REPORT => {
+            if len < 5 {
+                return Err(AdaSenseError::ingest(format!(
+                    "report frame has length {len}, expected at least 5"
+                )));
+            }
+            let shard = u32::from_le_bytes(payload[1..5].try_into().expect("4-byte slice"));
+            Ok(FrameKind::Report { shard })
+        }
+        KIND_RESUME => {
+            if len != RESUME_PAYLOAD_LEN {
+                return Err(AdaSenseError::ingest(format!(
+                    "resume frame has length {len}, expected {RESUME_PAYLOAD_LEN}"
+                )));
+            }
+            let device_id = u64::from_le_bytes(payload[1..9].try_into().expect("8-byte slice"));
+            let next_batch = u64::from_le_bytes(payload[9..17].try_into().expect("8-byte slice"));
+            Ok(FrameKind::Resume { device_id, next_batch })
+        }
+        kind => Err(AdaSenseError::ingest(format!("unknown frame kind {kind:#04x}"))),
+    }
+}
+
+/// Decodes a complete batch payload (kind byte included) into `batch`.
+fn decode_batch_payload(payload: &[u8], batch: &mut TelemetryBatch) -> Result<(), AdaSenseError> {
+    if payload.len() < BATCH_HEAD_LEN {
+        return Err(AdaSenseError::ingest(format!(
+            "batch frame has length {}, expected at least {BATCH_HEAD_LEN}",
+            payload.len()
+        )));
+    }
+    let config = SensorConfig::from_index(payload[1] as usize).ok_or_else(|| {
+        AdaSenseError::ingest(format!("invalid sensor-configuration tag {}", payload[1]))
+    })?;
+    let label = payload[2];
+    if label as usize >= Activity::COUNT {
+        return Err(AdaSenseError::ingest(format!(
+            "invalid class label {label} (must be < {})",
+            Activity::COUNT
+        )));
+    }
+    let t_end = f64::from_le_bytes(payload[4..12].try_into().expect("8-byte slice"));
+    let window_s = f64::from_le_bytes(payload[12..20].try_into().expect("8-byte slice"));
+    if !t_end.is_finite() || !window_s.is_finite() || window_s <= 0.0 {
+        return Err(AdaSenseError::ingest(format!(
+            "batch times are not sane (t_end {t_end}, window {window_s})"
+        )));
+    }
+    let count = u32::from_le_bytes(payload[20..24].try_into().expect("4-byte slice")) as usize;
+    if payload.len() != BATCH_HEAD_LEN + count * SAMPLE_LEN {
+        return Err(AdaSenseError::ingest(format!(
+            "batch frame length {} does not match its sample count {count}",
+            payload.len()
+        )));
+    }
+    batch.reset(config, t_end, window_s, label);
+    batch.samples.reserve(count);
+    for chunk in payload[BATCH_HEAD_LEN..].chunks_exact(SAMPLE_LEN) {
+        batch.samples.push(Sample3::new(
+            f64::from_le_bytes(chunk[0..8].try_into().expect("8-byte slice")),
+            f64::from_le_bytes(chunk[8..16].try_into().expect("8-byte slice")),
+            f64::from_le_bytes(chunk[16..24].try_into().expect("8-byte slice")),
+            f64::from_le_bytes(chunk[24..32].try_into().expect("8-byte slice")),
+        ));
+    }
+    Ok(())
 }
 
 /// Reads exactly `buf.len()` bytes, mapping I/O errors (including EOF) to
@@ -411,6 +488,149 @@ fn read_exact<R: Read + ?Sized>(
     reader
         .read_exact(buf)
         .map_err(|e| AdaSenseError::ingest(format!("stream ended inside {what}: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Incremental (push) parsing
+// ---------------------------------------------------------------------------
+
+/// Incremental push-parser for wire-format streams: feed it whatever bytes a
+/// nonblocking read produced, then drain complete frames.
+///
+/// This is the reactor-side counterpart of [`FrameDecoder`], which *pulls*
+/// from a blocking [`Read`].  A readiness-polled connection delivers
+/// arbitrary byte fragments — half a length prefix, three frames at once —
+/// so the parser accumulates them and only decodes once a complete header or
+/// frame is buffered.  It never blocks and it never panics on bad input:
+/// corrupt bytes are an [`AdaSenseError`], so a reactor multiplexing
+/// thousands of feeds can disconnect one bad client instead of taking down
+/// the process.
+///
+/// # Examples
+///
+/// ```
+/// use adasense::ingest::{FrameEncoder, FrameKind, StreamParser};
+/// use adasense_sensor::TelemetryBatch;
+///
+/// let mut encoder = FrameEncoder::new();
+/// let mut stream = Vec::new();
+/// stream.extend_from_slice(encoder.header());
+/// stream.extend_from_slice(encoder.end(0));
+///
+/// let mut parser = StreamParser::telemetry();
+/// let mut batch = TelemetryBatch::placeholder();
+/// // Feed one byte at a time: no fragmentation can confuse the parser.
+/// let mut frames = Vec::new();
+/// for byte in stream {
+///     parser.feed(&[byte]);
+///     while let Some(kind) = parser.next_frame(&mut batch).unwrap() {
+///         frames.push(kind);
+///     }
+/// }
+/// assert_eq!(frames, vec![FrameKind::End { batches: 0 }]);
+/// ```
+#[derive(Debug)]
+pub struct StreamParser {
+    buf: Vec<u8>,
+    start: usize,
+    header_seen: bool,
+    /// Frame-length cap enforced as soon as the length prefix is buffered,
+    /// *before* waiting for (or buffering) the payload.
+    cap: usize,
+}
+
+impl StreamParser {
+    /// A parser accepting any frame the wire format allows, including report
+    /// frames up to [`MAX_REPORT_FRAME_LEN`].
+    pub fn new() -> Self {
+        Self { buf: Vec::new(), start: 0, header_seen: false, cap: MAX_REPORT_FRAME_LEN }
+    }
+
+    /// A parser for device telemetry feeds: frames above [`MAX_FRAME_LEN`]
+    /// are rejected as soon as their length prefix arrives, so a corrupt or
+    /// hostile peer cannot make the reactor buffer megabytes before the
+    /// per-kind caps would catch it.
+    pub fn telemetry() -> Self {
+        Self { cap: MAX_FRAME_LEN, ..Self::new() }
+    }
+
+    /// Appends freshly read bytes to the parse buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `start` is consumed.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether the 8-byte stream header has been parsed and validated.
+    pub fn header_seen(&self) -> bool {
+        self.header_seen
+    }
+
+    /// Tries to parse the next complete frame out of the buffered bytes.
+    /// Batch frames are decoded into `batch` in place.  Returns `Ok(None)`
+    /// when the buffer holds only a partial header or frame — feed more bytes
+    /// and try again.
+    ///
+    /// Report frames are classified (so a consumer can reject them with
+    /// context) but their payload bytes are not retained; they belong on the
+    /// blocking shard→coordinator path, which uses [`FrameDecoder`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Ingest`] on a bad stream header, a length
+    /// prefix of 0 or above this parser's cap, an unknown frame kind, or any
+    /// of the per-kind validation failures [`FrameDecoder::read_frame`]
+    /// rejects.  The parser is poisoned in no special way — but a stream that
+    /// erred once has lost framing, so callers should disconnect.
+    pub fn next_frame(
+        &mut self,
+        batch: &mut TelemetryBatch,
+    ) -> Result<Option<FrameKind>, AdaSenseError> {
+        if !self.header_seen {
+            if self.buffered() < 8 {
+                return Ok(None);
+            }
+            let head: [u8; 8] =
+                self.buf[self.start..self.start + 8].try_into().expect("8-byte slice");
+            validate_stream_header(&head)?;
+            self.start += 8;
+            self.header_seen = true;
+        }
+        if self.buffered() < 4 {
+            return Ok(None);
+        }
+        let len_bytes: [u8; 4] =
+            self.buf[self.start..self.start + 4].try_into().expect("4-byte slice");
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len == 0 || len > self.cap {
+            return Err(AdaSenseError::ingest(format!(
+                "frame length {len} is outside 1..={}",
+                self.cap
+            )));
+        }
+        if self.buffered() < 4 + len {
+            return Ok(None);
+        }
+        let payload = &self.buf[self.start + 4..self.start + 4 + len];
+        let kind = decode_frame_payload(payload, batch)?;
+        self.start += 4 + len;
+        Ok(Some(kind))
+    }
+}
+
+impl Default for StreamParser {
+    /// Equivalent to [`StreamParser::new`].
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -484,6 +704,12 @@ impl TelemetryTrace {
                 FrameKind::Report { shard } => {
                     return Err(AdaSenseError::ingest(format!(
                         "telemetry trace contains a fleet-report frame (shard {shard})"
+                    )));
+                }
+                FrameKind::Resume { device_id, .. } => {
+                    return Err(AdaSenseError::ingest(format!(
+                        "telemetry trace contains a resume frame (device {device_id}); resume \
+                         requests belong on live client→server links only"
                     )));
                 }
                 FrameKind::End { batches } => {
@@ -585,12 +811,8 @@ impl<S: SampleSource> SampleSource for TraceRecorder<S> {
         self.inner.ground_truth(t_s)
     }
 
-    fn is_exhausted(&mut self) -> bool {
-        self.inner.is_exhausted()
-    }
-
-    fn never_exhausts(&self) -> bool {
-        self.inner.never_exhausts()
+    fn status(&mut self) -> SourceStatus {
+        self.inner.status()
     }
 }
 
@@ -663,7 +885,7 @@ fn check_batch(who: &str, batch: &TelemetryBatch, config: SensorConfig, t_end: f
 ///
 /// ```
 /// use adasense::ingest::telemetry_channel;
-/// use adasense::runtime::SampleSource;
+/// use adasense::runtime::{SampleSource, SourceStatus};
 /// use adasense_data::Activity;
 /// use adasense_sensor::{Sample3, SensorConfig, TelemetryBatch};
 ///
@@ -674,11 +896,11 @@ fn check_batch(who: &str, batch: &TelemetryBatch, config: SensorConfig, t_end: f
 /// drop(tx); // end of stream
 ///
 /// let mut window = Vec::new();
-/// assert!(!source.is_exhausted());
+/// assert_eq!(source.status(), SourceStatus::Ready);
 /// source.capture_window(config, 2.0, 2.0, &mut window);
 /// assert_eq!(window.len(), 1);
 /// assert_eq!(source.ground_truth(2.0 - 1e-6), Some(Activity::Sit));
-/// assert!(source.is_exhausted());
+/// assert_eq!(source.status(), SourceStatus::Exhausted);
 /// ```
 pub fn telemetry_channel(capacity: usize) -> (TelemetrySender, ChannelSource) {
     assert!(capacity > 0, "a telemetry ring needs capacity for at least one batch");
@@ -712,6 +934,31 @@ impl TelemetrySender {
         Ok(())
     }
 
+    /// Sends one batch without blocking.  Returns `Ok(None)` when the batch
+    /// was queued, or `Ok(Some(batch))` handing the batch back when the ring
+    /// is full — the caller decides how to apply backpressure (the ingest
+    /// reactor parks the connection instead of stalling its event loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Ingest`] if the consumer went away.
+    pub fn try_send(
+        &mut self,
+        batch: TelemetryBatch,
+    ) -> Result<Option<TelemetryBatch>, AdaSenseError> {
+        use std::sync::mpsc::TrySendError;
+        match self.tx.try_send(batch) {
+            Ok(()) => {
+                self.sent += 1;
+                Ok(None)
+            }
+            Err(TrySendError::Full(batch)) => Ok(Some(batch)),
+            Err(TrySendError::Disconnected(_)) => {
+                Err(AdaSenseError::ingest("the telemetry consumer disconnected"))
+            }
+        }
+    }
+
     /// Sends every batch of `trace` in order.
     ///
     /// # Errors
@@ -734,8 +981,7 @@ impl TelemetrySender {
 /// transport for channel-fed fleet cohorts and tests.
 ///
 /// Exhaustion is signalled by dropping the [`TelemetrySender`]; the source
-/// reports [`is_exhausted`](SampleSource::is_exhausted) once the ring is
-/// drained after that.
+/// reports [`SourceStatus::Exhausted`] once the ring is drained after that.
 #[derive(Debug)]
 pub struct ChannelSource {
     rx: Receiver<TelemetryBatch>,
@@ -768,7 +1014,7 @@ impl SampleSource for ChannelSource {
     /// # Panics
     ///
     /// Panics if the stream has ended (the runtime checks
-    /// [`is_exhausted`](SampleSource::is_exhausted) first, so this is a
+    /// [`status`](SampleSource::status) first, so this is a
     /// driver bug) or if the delivered batch does not match the requested
     /// `(config, t_end, window_s)` — an out-of-step stream must fail loudly
     /// rather than corrupt the closed loop.
@@ -783,7 +1029,7 @@ impl SampleSource for ChannelSource {
         let mut batch = self
             .pending
             .take()
-            .expect("capture_window called past end-of-stream (check is_exhausted first)");
+            .expect("capture_window called past end-of-stream (check status first)");
         check_batch("ChannelSource", &batch, config, t_end, window_s);
         self.last.remember(&batch);
         out.clear();
@@ -795,9 +1041,13 @@ impl SampleSource for ChannelSource {
         self.last.label_at(t_s)
     }
 
-    fn is_exhausted(&mut self) -> bool {
+    fn status(&mut self) -> SourceStatus {
         self.poll();
-        self.done && self.pending.is_none()
+        if self.done && self.pending.is_none() {
+            SourceStatus::Exhausted
+        } else {
+            SourceStatus::Ready
+        }
     }
 }
 
@@ -942,6 +1192,14 @@ impl SocketSource {
                     self.peer
                 )
             }
+            Ok(FrameKind::Resume { device_id, .. }) => {
+                // Resume requests flow client→server; a server echoing one
+                // back is speaking the wrong direction of the protocol.
+                panic!(
+                    "{}: unexpected resume frame for device {device_id} on a telemetry feed",
+                    self.peer
+                )
+            }
             Ok(FrameKind::End { batches }) => {
                 assert!(
                     batches == self.delivered,
@@ -985,7 +1243,7 @@ impl SampleSource for SocketSource {
         self.poll();
         assert!(
             self.pending,
-            "{}: capture_window called past end-of-stream (check is_exhausted first)",
+            "{}: capture_window called past end-of-stream (check status first)",
             self.peer
         );
         check_batch("SocketSource", &self.batch, config, t_end, window_s);
@@ -1002,9 +1260,13 @@ impl SampleSource for SocketSource {
         self.last.label_at(t_s)
     }
 
-    fn is_exhausted(&mut self) -> bool {
+    fn status(&mut self) -> SourceStatus {
         self.poll();
-        self.done
+        if self.done {
+            SourceStatus::Exhausted
+        } else {
+            SourceStatus::Ready
+        }
     }
 }
 
@@ -1222,6 +1484,121 @@ mod tests {
     }
 
     #[test]
+    fn resume_frames_round_trip_and_are_rejected_off_live_links() {
+        let mut encoder = FrameEncoder::new();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(encoder.header());
+        stream.extend_from_slice(encoder.resume(77, 1234));
+
+        let mut decoder = FrameDecoder::new();
+        let mut reader = &stream[..];
+        decoder.read_header(&mut reader).unwrap();
+        let mut scratch = TelemetryBatch::placeholder();
+        assert_eq!(
+            decoder.read_frame(&mut reader, &mut scratch).unwrap(),
+            FrameKind::Resume { device_id: 77, next_batch: 1234 }
+        );
+
+        // A resume frame inside a telemetry trace is corrupt.
+        let mut trace_stream = Vec::new();
+        trace_stream.extend_from_slice(encoder.header());
+        trace_stream.extend_from_slice(encoder.resume(77, 0));
+        trace_stream.extend_from_slice(encoder.end(0));
+        assert!(TelemetryTrace::decode(&trace_stream).is_err());
+
+        // A resume frame with the wrong payload length is corrupt.
+        let mut short = Vec::new();
+        short.extend_from_slice(encoder.header());
+        short.extend_from_slice(&9u32.to_le_bytes());
+        short.push(0x04); // KIND_RESUME
+        short.extend_from_slice(&77u64.to_le_bytes());
+        let mut reader = &short[..];
+        decoder.read_header(&mut reader).unwrap();
+        assert!(decoder.read_frame(&mut reader, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn v1_streams_still_decode() {
+        let trace = TelemetryTrace { batches: vec![sample_batch(2.0)] };
+        let mut encoded = trace.encode();
+        encoded[4..6].copy_from_slice(&1u16.to_le_bytes());
+        assert_eq!(TelemetryTrace::decode(&encoded).unwrap(), trace);
+    }
+
+    #[test]
+    fn stream_parser_handles_arbitrary_fragmentation() {
+        let trace = TelemetryTrace { batches: (2..12).map(|t| sample_batch(t as f64)).collect() };
+        let encoded = trace.encode();
+
+        // Feed the stream in every (chunk-size) fragmentation from 1 byte to
+        // whole-stream; the parse must be identical each time.
+        for chunk in [1, 3, 7, 64, encoded.len()] {
+            let mut parser = StreamParser::telemetry();
+            let mut batch = TelemetryBatch::placeholder();
+            let mut got = TelemetryTrace::new();
+            let mut ended = false;
+            for piece in encoded.chunks(chunk) {
+                parser.feed(piece);
+                while let Some(kind) = parser.next_frame(&mut batch).expect("well-formed stream") {
+                    match kind {
+                        FrameKind::Batch => got.batches.push(batch.clone()),
+                        FrameKind::End { batches } => {
+                            assert_eq!(batches, got.batches.len() as u64);
+                            ended = true;
+                        }
+                        other => panic!("unexpected frame {other:?}"),
+                    }
+                }
+            }
+            assert!(ended, "chunk size {chunk} never produced the end-of-stream marker");
+            assert_eq!(got, trace, "chunk size {chunk} diverged");
+            assert_eq!(parser.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn stream_parser_rejects_corrupt_bytes_with_errors_not_panics() {
+        let mut batch = TelemetryBatch::placeholder();
+
+        // Bad magic fails as soon as 8 bytes are buffered.
+        let mut parser = StreamParser::telemetry();
+        parser.feed(b"NOPE\x01\x00\x00\x00");
+        assert!(parser.next_frame(&mut batch).is_err());
+
+        // A zero length prefix is rejected.
+        let mut parser = StreamParser::telemetry();
+        let mut encoder = FrameEncoder::new();
+        let mut stream = encoder.header().to_vec();
+        stream.extend_from_slice(&0u32.to_le_bytes());
+        parser.feed(&stream);
+        assert!(parser.next_frame(&mut batch).is_err());
+
+        // The telemetry cap rejects an oversized prefix *before* its payload
+        // arrives (a generic parser would wait for 64 MiB first).
+        let mut parser = StreamParser::telemetry();
+        let mut stream = encoder.header().to_vec();
+        stream.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        parser.feed(&stream);
+        assert!(parser.next_frame(&mut batch).is_err());
+
+        // An unknown kind is rejected once the frame is complete.
+        let mut parser = StreamParser::telemetry();
+        let mut stream = encoder.header().to_vec();
+        stream.extend_from_slice(&1u32.to_le_bytes());
+        stream.push(0x7f);
+        parser.feed(&stream);
+        assert!(parser.next_frame(&mut batch).is_err());
+
+        // Incomplete input is never an error, just "not yet".
+        let trace = TelemetryTrace { batches: vec![sample_batch(2.0)] };
+        let encoded = trace.encode();
+        let mut parser = StreamParser::telemetry();
+        parser.feed(&encoded[..encoded.len() - 1]);
+        assert!(matches!(parser.next_frame(&mut batch), Ok(Some(FrameKind::Batch))));
+        assert!(matches!(parser.next_frame(&mut batch), Ok(None)));
+    }
+
+    #[test]
     fn recorded_scenario_replays_bit_identically_through_a_channel() {
         let (spec, system) = shared_system();
         let scenario = ScenarioSpec::sit_then_walk(10.0, 10.0);
@@ -1313,7 +1690,7 @@ mod tests {
         let mut out = Vec::new();
         source.capture_window(trace.batches[0].config, 2.0, 2.0, &mut out);
         assert_eq!(out, trace.batches[0].samples);
-        assert!(source.is_exhausted());
+        assert_eq!(source.status(), SourceStatus::Exhausted);
         server.join().expect("server thread");
     }
 
@@ -1348,11 +1725,11 @@ mod tests {
             SocketSource::unix(&path_str, ReconnectPolicy::once()).expect("connect unix");
         let mut out = Vec::new();
         for batch in &trace.batches {
-            assert!(!source.is_exhausted());
+            assert_eq!(source.status(), SourceStatus::Ready);
             source.capture_window(batch.config, batch.t_end, batch.window_s, &mut out);
             assert_eq!(out, batch.samples);
         }
-        assert!(source.is_exhausted());
+        assert_eq!(source.status(), SourceStatus::Exhausted);
         assert_eq!(source.delivered(), 2);
         server.join().expect("server thread");
         let _ = std::fs::remove_file(&path);
@@ -1362,7 +1739,7 @@ mod tests {
     fn channel_capture_past_end_of_stream_panics() {
         let (tx, mut source) = telemetry_channel(1);
         drop(tx);
-        assert!(source.is_exhausted());
+        assert_eq!(source.status(), SourceStatus::Exhausted);
         let mut out = Vec::new();
         let config = SensorConfig::paper_pareto_front()[0];
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

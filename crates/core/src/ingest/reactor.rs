@@ -1,0 +1,669 @@
+//! The event-driven ingestion reactor: one thread readiness-polls thousands
+//! of nonblocking sockets, decodes wire-format frames incrementally, and
+//! hands complete [`TelemetryBatch`]es to channel-fed fleet devices.
+//!
+//! # Data flow
+//!
+//! ```text
+//!  telemetry_serve / device gateways            one reactor thread
+//!  ┌──────────┐  TCP   ┌───────────────────────────────────────────┐
+//!  │ stream 0 │───────▶│ poll(2) ─ readable fds ─▶ StreamParser ──┐│
+//!  │ stream 1 │───────▶│   ▲                                      ││
+//!  │   ...    │        │   └─ park fd while its ring is full      ││
+//!  │ stream N │───────▶│                  TelemetrySender.try_send◀┘│
+//!  └──────────┘        └──────────────┬────────────────────────────┘
+//!                                     │ bounded telemetry_channel rings
+//!                            ┌────────▼─────────┐
+//!                            │ FleetScheduler   │  ChannelSource feeds
+//!                            │ (lockstep ticks) │  via FleetRunBuilder
+//!                            └──────────────────┘
+//! ```
+//!
+//! Each subscription ([`IngestReactor::subscribe`]) dials one stream and
+//! returns the [`ChannelSource`] end of a bounded
+//! [`telemetry_channel`](crate::ingest::telemetry_channel()); the scheduler
+//! consumes it like any other [`ExternalDevice`](crate::fleet::ExternalDevice)
+//! feed.  Backpressure never blocks the event loop: when a device's ring is
+//! full the decoded batch waits in a small overflow queue and the connection
+//! is *parked* (dropped from the poll set) until the runtime drains it.
+//!
+//! # Failure handling
+//!
+//! * **Torn connection** (EOF or I/O error before the END frame): the
+//!   reactor redials per its [`ReconnectPolicy`] and sends a RESUME frame
+//!   naming the next batch index it has not yet received; the server replays
+//!   the remainder.  Because every delivered batch is counted exactly once,
+//!   a resumed fleet run is bit-identical to an uninterrupted one.
+//! * **Corrupt frame** (bad header, bad length prefix, unknown kind, torn
+//!   payload): the stream has lost framing, so the feed fails with an
+//!   [`AdaSenseError`] recorded in [`ReactorStats::errors`]; its channel
+//!   closes (the device simply ends early) and every other feed is
+//!   untouched.  One bad client cannot take down the fleet.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
+use std::time::Instant;
+
+use polling::{poll_fds, PollFd, POLLIN};
+
+use adasense_sensor::TelemetryBatch;
+
+use super::{
+    telemetry_channel, ChannelSource, FrameEncoder, FrameKind, ReconnectPolicy, StreamParser,
+    TelemetrySender,
+};
+use crate::error::AdaSenseError;
+
+/// Per-read scratch size: large enough to drain several frames per
+/// readiness event, small enough to keep per-connection memory trivial.
+const READ_BLOCK: usize = 8192;
+
+/// Decoded-but-undelivered batches a feed may hold before its connection is
+/// parked.  This is the reactor-side overflow on top of the channel ring.
+const PARK_THRESHOLD: usize = 32;
+
+/// Counters and outcomes for one [`IngestReactor::run`], returned when every
+/// feed has completed or failed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Feeds subscribed.
+    pub feeds: u64,
+    /// Feeds whose stream completed (END frame, every batch delivered).
+    pub completed: u64,
+    /// Feeds that failed (corrupt stream, redials exhausted, or consumer
+    /// gone before end-of-stream).
+    pub failed: u64,
+    /// Batches handed to device channels across all feeds.
+    pub batches: u64,
+    /// Successful reconnects after a torn connection.
+    pub reconnects: u64,
+    /// Feeds dropped because their stream lost framing (corrupt bytes).
+    pub corrupt_streams: u64,
+    /// Highest number of simultaneously connected feeds observed.
+    pub peak_open: u64,
+    /// Per-feed failures: `(device_id, error)`.
+    pub errors: Vec<(u64, AdaSenseError)>,
+}
+
+/// Lifecycle of one subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FeedState {
+    /// Needs a (re)connect.
+    Dialing,
+    /// Connected and reading frames.
+    Streaming,
+    /// END seen; delivering the overflow queue, then closing the channel.
+    Draining,
+    /// All batches delivered and the channel closed.
+    Completed,
+    /// Gave up; error recorded.
+    Failed,
+}
+
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    parser: StreamParser,
+    /// Batches received on *this* connection (END validates against it).
+    received_this_stream: u64,
+}
+
+struct Feed {
+    device_id: u64,
+    addr: String,
+    sender: Option<TelemetrySender>,
+    conn: Option<Conn>,
+    state: FeedState,
+    /// Total batches received across all of this feed's connections — the
+    /// RESUME index sent on reconnect.
+    received_total: u64,
+    /// Decoded batches waiting for room in the channel ring.
+    overflow: VecDeque<TelemetryBatch>,
+    /// Redials left for the current disconnect burst.
+    redials_left: u32,
+    /// When the last dial was attempted, pacing redials by the policy delay.
+    last_dial: Option<Instant>,
+    /// Whether any connection has ever been established (a later dial is a
+    /// reconnect).
+    ever_connected: bool,
+    reconnects: u64,
+}
+
+impl std::fmt::Debug for Feed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Feed")
+            .field("device_id", &self.device_id)
+            .field("addr", &self.addr)
+            .field("state", &self.state)
+            .field("received_total", &self.received_total)
+            .field("overflow", &self.overflow.len())
+            .finish()
+    }
+}
+
+/// The event-driven ingestion reactor.  Subscribe feeds, hand their
+/// [`ChannelSource`]s to the fleet scheduler, then [`run`](Self::run) the
+/// reactor on its own thread; it returns a [`ReactorStats`] once every feed
+/// has either completed or failed.  See the [module docs](self).
+///
+/// One reactor thread comfortably sustains thousands of concurrent feeds:
+/// per feed it keeps one nonblocking socket, one incremental parser and a
+/// bounded overflow queue — no per-connection threads, no unbounded buffers.
+#[derive(Debug)]
+pub struct IngestReactor {
+    feeds: Vec<Feed>,
+    policy: ReconnectPolicy,
+    capacity: usize,
+    stats: ReactorStats,
+}
+
+impl IngestReactor {
+    /// A reactor with the default [`ReconnectPolicy`] and a per-feed channel
+    /// ring of 8 batches.
+    pub fn new() -> Self {
+        Self {
+            feeds: Vec::new(),
+            policy: ReconnectPolicy::default(),
+            capacity: 8,
+            stats: ReactorStats::default(),
+        }
+    }
+
+    /// Replaces the reconnect policy (applies per disconnect: each torn
+    /// connection gets `attempts` redials, `delay` apart).
+    pub fn with_policy(mut self, policy: ReconnectPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the per-feed channel ring capacity, in batches, for subsequent
+    /// [`subscribe`](Self::subscribe) calls.
+    pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Registers one feed: device `device_id` served at `addr`
+    /// (`host:port`), starting from batch `0`.  Returns the
+    /// [`ChannelSource`] the device runtime consumes.  The connection is
+    /// dialed when [`run`](Self::run) starts.
+    pub fn subscribe(&mut self, addr: &str, device_id: u64) -> ChannelSource {
+        let (sender, source) = telemetry_channel(self.capacity);
+        self.feeds.push(Feed {
+            device_id,
+            addr: addr.to_string(),
+            sender: Some(sender),
+            conn: None,
+            state: FeedState::Dialing,
+            received_total: 0,
+            overflow: VecDeque::new(),
+            redials_left: self.policy.attempts,
+            last_dial: None,
+            ever_connected: false,
+            reconnects: 0,
+        });
+        source
+    }
+
+    /// Number of subscribed feeds.
+    pub fn feed_count(&self) -> usize {
+        self.feeds.len()
+    }
+
+    /// Runs the event loop until every feed has completed or failed, then
+    /// returns the final [`ReactorStats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Ingest`] only for reactor-global failures
+    /// (the `poll(2)` syscall itself); per-feed failures are recorded in
+    /// [`ReactorStats::errors`] instead.
+    pub fn run(mut self) -> Result<ReactorStats, AdaSenseError> {
+        self.stats.feeds = self.feeds.len() as u64;
+        loop {
+            let mut live = false;
+            for i in 0..self.feeds.len() {
+                self.service_feed(i);
+                match self.feeds[i].state {
+                    FeedState::Completed | FeedState::Failed => {}
+                    _ => live = true,
+                }
+            }
+            if !live {
+                break;
+            }
+            self.poll_ready()?;
+        }
+        for feed in &self.feeds {
+            self.stats.reconnects += feed.reconnects;
+        }
+        Ok(self.stats)
+    }
+
+    /// Polls every streaming, un-parked connection for readability, reading
+    /// and decoding whatever arrived.  Uses a short timeout when any feed is
+    /// waiting on channel room or a redial, so those make progress too.
+    fn poll_ready(&mut self) -> Result<(), AdaSenseError> {
+        let mut fds = Vec::with_capacity(self.feeds.len());
+        let mut owners = Vec::with_capacity(self.feeds.len());
+        let mut impatient = false;
+        let open = self.feeds.iter().filter(|f| f.conn.is_some()).count() as u64;
+        self.stats.peak_open = self.stats.peak_open.max(open);
+        for (i, feed) in self.feeds.iter().enumerate() {
+            match feed.state {
+                FeedState::Streaming if feed.overflow.len() < PARK_THRESHOLD => {
+                    let conn = feed.conn.as_ref().expect("streaming feeds hold a connection");
+                    fds.push(PollFd::new(conn.stream.as_raw_fd(), POLLIN));
+                    owners.push(i);
+                }
+                // Parked (ring full), draining, or waiting to redial: no fd
+                // to poll, but check back soon.
+                FeedState::Streaming | FeedState::Draining | FeedState::Dialing => impatient = true,
+                FeedState::Completed | FeedState::Failed => {}
+            }
+        }
+        let timeout_ms = if impatient { 1 } else { 250 };
+        if fds.is_empty() {
+            // Nothing pollable; pace the retry/drain loop without spinning.
+            std::thread::sleep(std::time::Duration::from_millis(timeout_ms as u64));
+            return Ok(());
+        }
+        let ready = poll_fds(&mut fds, timeout_ms)
+            .map_err(|e| AdaSenseError::ingest(format!("reactor poll failed: {e}")))?;
+        if ready == 0 {
+            return Ok(());
+        }
+        for (slot, &owner) in fds.iter().zip(&owners) {
+            if slot.readable() {
+                self.read_feed(owner);
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances one feed's non-read work: dials, drains overflow into the
+    /// channel, closes finished channels.
+    fn service_feed(&mut self, i: usize) {
+        // Deliver overflow first: room may have opened since the last pass.
+        self.drain_overflow(i);
+        match self.feeds[i].state {
+            FeedState::Dialing => self.dial(i),
+            FeedState::Draining if self.feeds[i].overflow.is_empty() => {
+                // Dropping the sender is the end-of-stream signal.
+                self.feeds[i].sender = None;
+                self.feeds[i].state = FeedState::Completed;
+                self.stats.completed += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Hands as many overflow batches to the channel as it will take
+    /// without blocking.
+    fn drain_overflow(&mut self, i: usize) {
+        let feed = &mut self.feeds[i];
+        while let Some(batch) = feed.overflow.pop_front() {
+            let Some(sender) = feed.sender.as_mut() else {
+                feed.overflow.clear();
+                break;
+            };
+            match sender.try_send(batch) {
+                Ok(None) => self.stats.batches += 1,
+                Ok(Some(batch)) => {
+                    feed.overflow.push_front(batch);
+                    break;
+                }
+                Err(_) => {
+                    // The runtime dropped its source (e.g. a bounded-duration
+                    // device finished).  Nothing is left to deliver to.
+                    let state = feed.state;
+                    self.finish_consumer_gone(i, state);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The consumer went away mid-stream: a draining feed just completes,
+    /// anything else counts as a failure.
+    fn finish_consumer_gone(&mut self, i: usize, state: FeedState) {
+        let feed = &mut self.feeds[i];
+        feed.overflow.clear();
+        feed.conn = None;
+        feed.sender = None;
+        if state == FeedState::Draining {
+            feed.state = FeedState::Completed;
+            self.stats.completed += 1;
+        } else {
+            feed.state = FeedState::Failed;
+            self.stats.failed += 1;
+            self.stats.errors.push((
+                feed.device_id,
+                AdaSenseError::ingest("the telemetry consumer disconnected mid-stream"),
+            ));
+        }
+    }
+
+    /// Attempts one (re)connect + handshake for a dialing feed, honoring the
+    /// policy's pacing and attempt budget.
+    fn dial(&mut self, i: usize) {
+        let feed = &mut self.feeds[i];
+        if let Some(last) = feed.last_dial {
+            if last.elapsed() < self.policy.delay {
+                return; // not due yet; poll_ready's short timeout re-checks
+            }
+        }
+        feed.last_dial = Some(Instant::now());
+        match Self::connect(&feed.addr, feed.device_id, feed.received_total) {
+            Ok(stream) => {
+                if feed.ever_connected {
+                    feed.reconnects += 1;
+                }
+                feed.ever_connected = true;
+                feed.conn = Some(Conn {
+                    stream,
+                    parser: StreamParser::telemetry(),
+                    received_this_stream: 0,
+                });
+                feed.redials_left = self.policy.attempts;
+                feed.state = FeedState::Streaming;
+            }
+            Err(e) => {
+                feed.redials_left = feed.redials_left.saturating_sub(1);
+                let error = AdaSenseError::ingest(format!(
+                    "connecting to {} failed after {} attempts: {e}",
+                    feed.addr, self.policy.attempts
+                ));
+                if feed.redials_left == 0 {
+                    self.fail_feed(i, error, false);
+                }
+            }
+        }
+    }
+
+    /// Dials `addr` and performs the client half of the handshake: stream
+    /// header + RESUME naming the next batch wanted.  The handshake is 29
+    /// bytes — it always fits the socket send buffer — so it is written
+    /// before the socket goes nonblocking.
+    fn connect(addr: &str, device_id: u64, next_batch: u64) -> std::io::Result<TcpStream> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut encoder = FrameEncoder::new();
+        stream.write_all(encoder.header())?;
+        stream.write_all(encoder.resume(device_id, next_batch))?;
+        stream.set_nonblocking(true)?;
+        Ok(stream)
+    }
+
+    /// Reads everything available on one feed's connection and decodes it.
+    fn read_feed(&mut self, i: usize) {
+        let mut torn = false;
+        {
+            let feed = &mut self.feeds[i];
+            let Some(conn) = feed.conn.as_mut() else { return };
+            let mut block = [0u8; READ_BLOCK];
+            // Bounded per readiness event so a flooding peer cannot starve
+            // the other feeds or grow the parse buffer without limit.
+            for _ in 0..16 {
+                match conn.stream.read(&mut block) {
+                    Ok(0) => {
+                        torn = true;
+                        break;
+                    }
+                    Ok(n) => conn.parser.feed(&block[..n]),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        torn = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.decode_feed(i, torn);
+    }
+
+    /// Decodes every complete frame buffered on feed `i`, then handles a
+    /// torn connection if the read hit EOF/error.
+    fn decode_feed(&mut self, i: usize, torn: bool) {
+        let mut batch = TelemetryBatch::placeholder();
+        loop {
+            let feed = &mut self.feeds[i];
+            let Some(conn) = feed.conn.as_mut() else { return };
+            match conn.parser.next_frame(&mut batch) {
+                Ok(None) => break,
+                Ok(Some(FrameKind::Batch)) => {
+                    conn.received_this_stream += 1;
+                    feed.received_total += 1;
+                    feed.overflow
+                        .push_back(std::mem::replace(&mut batch, TelemetryBatch::placeholder()));
+                    self.drain_overflow(i);
+                }
+                Ok(Some(FrameKind::End { batches })) => {
+                    let received = conn.received_this_stream;
+                    if batches == received {
+                        feed.conn = None;
+                        feed.state = FeedState::Draining;
+                    } else {
+                        self.fail_feed(
+                            i,
+                            AdaSenseError::ingest(format!(
+                                "end-of-stream count {batches} disagrees with the {received} \
+                                 batches this stream delivered"
+                            )),
+                            true,
+                        );
+                    }
+                    return;
+                }
+                Ok(Some(other)) => {
+                    self.fail_feed(
+                        i,
+                        AdaSenseError::ingest(format!(
+                            "unexpected {other:?} frame on a device telemetry feed"
+                        )),
+                        true,
+                    );
+                    return;
+                }
+                Err(e) => {
+                    self.fail_feed(i, e, true);
+                    return;
+                }
+            }
+        }
+        if torn {
+            let feed = &mut self.feeds[i];
+            // Partial frame bytes die with the connection; RESUME re-fetches
+            // from the last complete batch.
+            feed.conn = None;
+            feed.state = FeedState::Dialing;
+        }
+    }
+
+    /// Marks feed `i` failed with `error`; `corrupt` distinguishes lost
+    /// framing from connect exhaustion in the stats.
+    fn fail_feed(&mut self, i: usize, error: AdaSenseError, corrupt: bool) {
+        let feed = &mut self.feeds[i];
+        feed.conn = None;
+        feed.sender = None; // closes the channel; the device ends early
+        feed.overflow.clear();
+        feed.state = FeedState::Failed;
+        self.stats.failed += 1;
+        if corrupt {
+            self.stats.corrupt_streams += 1;
+        }
+        self.stats.errors.push((feed.device_id, error));
+    }
+}
+
+impl Default for IngestReactor {
+    /// Equivalent to [`IngestReactor::new`].
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::serve::TelemetryServe;
+    use crate::ingest::TelemetryTrace;
+    use crate::runtime::{SampleSource, SourceStatus};
+    use adasense_sensor::{Sample3, SensorConfig};
+    use std::time::Duration;
+
+    fn sample_trace(batches: usize) -> TelemetryTrace {
+        let config = SensorConfig::paper_pareto_front()[0];
+        let mut trace = TelemetryTrace::new();
+        for i in 0..batches {
+            trace.batches.push(TelemetryBatch::new(
+                config,
+                2.0 * (i + 1) as f64,
+                2.0,
+                0,
+                vec![Sample3::new(i as f64, 0.25, -0.25, 1.0)],
+            ));
+        }
+        trace
+    }
+
+    /// Drains every batch out of `source` by walking the known tick
+    /// schedule, returning the reassembled trace.
+    fn drain(mut source: ChannelSource, batches: usize) -> TelemetryTrace {
+        let config = SensorConfig::paper_pareto_front()[0];
+        let mut out = TelemetryTrace::new();
+        for i in 0..batches {
+            assert_eq!(source.status(), SourceStatus::Ready, "batch {i} should be coming");
+            let mut window = Vec::new();
+            let t_end = 2.0 * (i + 1) as f64;
+            source.capture_window(config, t_end, 2.0, &mut window);
+            out.batches.push(TelemetryBatch::new(config, t_end, 2.0, 0, window));
+        }
+        assert_eq!(source.status(), SourceStatus::Exhausted);
+        out
+    }
+
+    fn fast_policy() -> ReconnectPolicy {
+        ReconnectPolicy { attempts: 10, delay: Duration::from_millis(1) }
+    }
+
+    #[test]
+    fn delivers_a_full_stream() {
+        let trace = sample_trace(5);
+        let mut serve = TelemetryServe::bind("127.0.0.1:0", vec![(3, trace.clone())]).unwrap();
+        let addr = serve.local_addr().to_string();
+        let server = std::thread::spawn(move || {
+            serve.serve_streams(1, 50).unwrap();
+            serve.stats()
+        });
+
+        let mut reactor = IngestReactor::new().with_policy(fast_policy());
+        let source = reactor.subscribe(&addr, 3);
+        let consumer = std::thread::spawn(move || drain(source, 5));
+        let stats = reactor.run().unwrap();
+
+        assert_eq!(consumer.join().unwrap().batches, trace.batches);
+        assert_eq!(
+            (stats.completed, stats.failed, stats.batches, stats.reconnects),
+            (1, 0, 5, 0),
+            "{stats:?}"
+        );
+        assert_eq!(server.join().unwrap().streams_completed, 1);
+    }
+
+    #[test]
+    fn kill_and_resume_delivers_every_batch_exactly_once() {
+        let trace = sample_trace(6);
+        // One batch frame is 60 bytes (4-byte length prefix + 24-byte head +
+        // one 32-byte sample) after the 8-byte header: killing at byte 100
+        // tears the stream inside the *second* frame, so the client resumes
+        // from batch index 1.
+        let mut serve = TelemetryServe::bind("127.0.0.1:0", vec![(9, trace.clone())])
+            .unwrap()
+            .with_kill_at(100);
+        let addr = serve.local_addr().to_string();
+        let server = std::thread::spawn(move || {
+            serve.serve_streams(1, 50).unwrap();
+            serve.stats()
+        });
+
+        let mut reactor = IngestReactor::new().with_policy(fast_policy());
+        let source = reactor.subscribe(&addr, 9);
+        let consumer = std::thread::spawn(move || drain(source, 6));
+        let stats = reactor.run().unwrap();
+
+        assert_eq!(consumer.join().unwrap().batches, trace.batches, "no gap, no duplicate");
+        assert_eq!((stats.completed, stats.failed, stats.batches), (1, 0, 6), "{stats:?}");
+        assert!(stats.reconnects >= 1, "the torn stream forced a resume: {stats:?}");
+        let served = server.join().unwrap();
+        assert_eq!(served.killed_streams, 1);
+        assert_eq!(served.resume_requests, 1, "the reconnect asked to resume mid-trace");
+    }
+
+    #[test]
+    fn a_corrupt_stream_fails_only_its_own_feed() {
+        use std::io::Write as _;
+        let trace = sample_trace(4);
+        let mut serve = TelemetryServe::bind("127.0.0.1:0", vec![(1, trace.clone())]).unwrap();
+        let good_addr = serve.local_addr().to_string();
+        let server = std::thread::spawn(move || {
+            serve.serve_streams(1, 50).unwrap();
+        });
+        // A rogue peer: valid header, then garbage that can never frame.
+        let rogue = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let rogue_addr = rogue.local_addr().unwrap().to_string();
+        let rogue_thread = std::thread::spawn(move || {
+            let (mut conn, _) = rogue.accept().unwrap();
+            let mut encoder = FrameEncoder::new();
+            let mut bytes = encoder.header().to_vec();
+            bytes.extend_from_slice(&[0u8; 8]); // length prefix 0: instant framing error
+            conn.write_all(&bytes).unwrap();
+            // Hold the socket open: the reactor must fail on the bad bytes,
+            // not on EOF.
+            std::thread::sleep(Duration::from_millis(300));
+        });
+
+        let mut reactor = IngestReactor::new().with_policy(fast_policy());
+        let good = reactor.subscribe(&good_addr, 1);
+        let bad = reactor.subscribe(&rogue_addr, 2);
+        let consumer = std::thread::spawn(move || drain(good, 4));
+        let bad_consumer = std::thread::spawn(move || {
+            // The failed feed's channel just ends: no batch ever arrives.
+            let mut source = bad;
+            assert_eq!(source.status(), SourceStatus::Exhausted);
+        });
+        let stats = reactor.run().unwrap();
+
+        assert_eq!(consumer.join().unwrap().batches, trace.batches, "good feed unharmed");
+        bad_consumer.join().unwrap();
+        assert_eq!((stats.completed, stats.failed, stats.corrupt_streams), (1, 1, 1), "{stats:?}");
+        assert_eq!(stats.errors.len(), 1);
+        assert_eq!(stats.errors[0].0, 2, "the failure names the corrupt feed's device");
+        assert!(
+            stats.errors[0].1.to_string().contains("frame length"),
+            "surfaced as a framing AdaSenseError: {}",
+            stats.errors[0].1
+        );
+        server.join().unwrap();
+        rogue_thread.join().unwrap();
+    }
+
+    #[test]
+    fn exhausted_redials_fail_the_feed_with_an_error() {
+        // Nothing listens on this ephemeral port (bind then drop to claim a
+        // dead address).
+        let dead = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let mut reactor = IngestReactor::new()
+            .with_policy(ReconnectPolicy { attempts: 2, delay: Duration::from_millis(1) });
+        let source = reactor.subscribe(&dead, 4);
+        let stats = reactor.run().unwrap();
+        assert_eq!((stats.completed, stats.failed), (0, 1), "{stats:?}");
+        assert_eq!(stats.errors[0].0, 4);
+        drop(source);
+    }
+}

@@ -1,0 +1,480 @@
+//! The live-telemetry server: one thread exposes a whole simulated fleet's
+//! recorded traces as per-device socket streams, with server-side frame
+//! resume (the other half of the RESUME handshake in `docs/WIRE_FORMAT.md`).
+//!
+//! A [`TelemetryServe`] binds one listening TCP socket and readiness-polls
+//! it together with every accepted connection on a single thread (via
+//! `poll(2)`, like the [`reactor`](crate::ingest::reactor) on the consuming
+//! side).  Each connection speaks one stream of the protocol:
+//!
+//! 1. The client sends a stream header followed by one RESUME frame naming
+//!    the device it wants and the index of the next batch it has not yet
+//!    received (`0` for a fresh subscription).
+//! 2. The server answers with a stream header, the device's batch frames
+//!    from that index on, and an END frame whose count covers *this* stream,
+//!    then closes the connection.
+//!
+//! A malformed request (bad header, torn frame, any frame kind other than
+//! RESUME, an unknown device, an index past the trace) drops only that
+//! connection and is counted in [`ServeStats`] — one bad client cannot harm
+//! the rest of the fleet.
+//!
+//! For soak-testing the reconnect path, [`TelemetryServe::with_kill_at`]
+//! makes the server tear each device's *first* stream at a fixed byte
+//! offset; the resumed second stream is then served in full.  The
+//! `telemetry_serve` binary wraps all of this behind a CLI.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+
+use polling::{poll_fds, PollFd, POLLIN, POLLOUT};
+
+use adasense_sensor::TelemetryBatch;
+
+use super::{FrameEncoder, FrameKind, StreamParser, TelemetryTrace};
+use crate::error::AdaSenseError;
+
+/// Per-read scratch size.  Requests are tiny (29 bytes), so one block always
+/// holds a whole request; the constant exists to bound hostile senders.
+const READ_BLOCK: usize = 4096;
+
+/// Counters describing everything a [`TelemetryServe`] did, readable at any
+/// point between polls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Streams served to completion (END frame fully written).
+    pub streams_completed: u64,
+    /// Requests that resumed mid-trace (`next_batch > 0`).
+    pub resume_requests: u64,
+    /// Connections dropped for a malformed or unserviceable request.
+    pub rejected_requests: u64,
+    /// Streams deliberately torn by [`TelemetryServe::with_kill_at`].
+    pub killed_streams: u64,
+    /// Highest number of simultaneously open connections observed.
+    pub peak_open: u64,
+}
+
+/// One device's pre-encoded stream: the batch frames, individually framed so
+/// any suffix can be served on resume.
+#[derive(Debug)]
+struct DeviceStream {
+    frames: Vec<Vec<u8>>,
+}
+
+/// What one accepted connection is currently doing.
+#[derive(Debug)]
+enum ConnState {
+    /// Waiting for the header + RESUME request.
+    Reading,
+    /// Writing the response; `written` bytes already sent.
+    Writing { response: Vec<u8>, written: usize, kill_at: Option<usize> },
+}
+
+#[derive(Debug)]
+struct ServeConn {
+    stream: TcpStream,
+    parser: StreamParser,
+    state: ConnState,
+}
+
+/// A single-threaded, poll-driven server exposing recorded per-device
+/// telemetry traces as live socket streams.  See the [module
+/// docs](self) for the protocol.
+#[derive(Debug)]
+pub struct TelemetryServe {
+    listener: TcpListener,
+    devices: HashMap<u64, DeviceStream>,
+    conns: Vec<Option<ServeConn>>,
+    stats: ServeStats,
+    kill_at: Option<usize>,
+    /// Devices whose first stream has already been torn by `kill_at`.
+    killed: std::collections::HashSet<u64>,
+}
+
+impl TelemetryServe {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// pre-encodes one stream per `(device_id, trace)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Ingest`] if the listener cannot be bound.
+    pub fn bind(addr: &str, traces: Vec<(u64, TelemetryTrace)>) -> Result<Self, AdaSenseError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| AdaSenseError::ingest(format!("binding {addr} failed: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| AdaSenseError::ingest(format!("nonblocking listener failed: {e}")))?;
+        let mut encoder = FrameEncoder::new();
+        let devices = traces
+            .into_iter()
+            .map(|(device_id, trace)| {
+                let frames = trace.batches.iter().map(|b| encoder.batch(b).to_vec()).collect();
+                (device_id, DeviceStream { frames })
+            })
+            .collect();
+        Ok(Self {
+            listener,
+            devices,
+            conns: Vec::new(),
+            stats: ServeStats::default(),
+            kill_at: None,
+            killed: std::collections::HashSet::new(),
+        })
+    }
+
+    /// Tears each device's *first* stream after `bytes` of the response have
+    /// been written (clamped so at least the stream's final byte is still
+    /// unsent), forcing the client through the RESUME reconnect path.  The
+    /// device's next stream is served in full.
+    pub fn with_kill_at(mut self, bytes: usize) -> Self {
+        self.kill_at = Some(bytes);
+        self
+    }
+
+    /// The bound listening address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS cannot report the local address of a bound listener.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("a bound listener has a local address")
+    }
+
+    /// The server's counters so far.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Number of currently open connections.
+    pub fn open_connections(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Serves until `streams` streams have completed (torn streams do not
+    /// count), polling in `timeout_ms` slices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `poll(2)` failures; per-connection errors only drop that
+    /// connection.
+    pub fn serve_streams(&mut self, streams: u64, timeout_ms: i32) -> Result<(), AdaSenseError> {
+        while self.stats.streams_completed < streams {
+            self.poll_once(timeout_ms)?;
+        }
+        Ok(())
+    }
+
+    /// One pass of the event loop: polls the listener and every open
+    /// connection for readiness, accepts, reads requests, writes responses.
+    /// Returns the number of descriptors that were ready.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `poll(2)` failures; per-connection errors only drop that
+    /// connection.
+    pub fn poll_once(&mut self, timeout_ms: i32) -> Result<usize, AdaSenseError> {
+        let mut fds = Vec::with_capacity(self.conns.len() + 1);
+        fds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
+        for conn in &self.conns {
+            fds.push(match conn {
+                None => PollFd::parked(),
+                Some(c) => PollFd::new(
+                    c.stream.as_raw_fd(),
+                    match c.state {
+                        ConnState::Reading => POLLIN,
+                        ConnState::Writing { .. } => POLLOUT,
+                    },
+                ),
+            });
+        }
+        let ready = poll_fds(&mut fds, timeout_ms)
+            .map_err(|e| AdaSenseError::ingest(format!("poll failed: {e}")))?;
+        if ready == 0 {
+            return Ok(0);
+        }
+        // Snapshot before accepting: newly accepted connections have no slot
+        // in this poll round's fd array.
+        let polled = fds.len() - 1;
+        if fds[0].readable() {
+            self.accept_ready();
+        }
+        for i in 0..polled {
+            let slot = &fds[i + 1];
+            if !(slot.readable() || slot.writable()) {
+                continue;
+            }
+            if let Some(mut conn) = self.conns[i].take() {
+                if self.advance(&mut conn) {
+                    self.conns[i] = Some(conn);
+                }
+            }
+        }
+        Ok(ready)
+    }
+
+    /// Accepts every pending connection.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.stats.accepted += 1;
+                    let conn = ServeConn {
+                        stream,
+                        parser: StreamParser::telemetry(),
+                        state: ConnState::Reading,
+                    };
+                    match self.conns.iter().position(Option::is_none) {
+                        Some(slot) => self.conns[slot] = Some(conn),
+                        None => self.conns.push(Some(conn)),
+                    }
+                    self.stats.peak_open = self.stats.peak_open.max(self.open_connections() as u64);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Drives one ready connection as far as it will go without blocking.
+    /// Returns `false` when the connection is finished (served, torn or
+    /// rejected) and its slot should be freed.
+    fn advance(&mut self, conn: &mut ServeConn) -> bool {
+        match &mut conn.state {
+            ConnState::Reading => {
+                let mut block = [0u8; READ_BLOCK];
+                loop {
+                    match conn.stream.read(&mut block) {
+                        Ok(0) => {
+                            // Peer went away before completing a request.
+                            self.stats.rejected_requests += 1;
+                            return false;
+                        }
+                        Ok(n) => conn.parser.feed(&block[..n]),
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(_) => {
+                            self.stats.rejected_requests += 1;
+                            return false;
+                        }
+                    }
+                }
+                let mut scratch = TelemetryBatch::placeholder();
+                match conn.parser.next_frame(&mut scratch) {
+                    Ok(None) => true, // request still incomplete; keep waiting
+                    Ok(Some(FrameKind::Resume { device_id, next_batch })) => {
+                        match self.build_response(device_id, next_batch) {
+                            Some((response, kill_at)) => {
+                                if next_batch > 0 {
+                                    self.stats.resume_requests += 1;
+                                }
+                                conn.state = ConnState::Writing { response, written: 0, kill_at };
+                                // Try to write immediately; the socket is
+                                // almost certainly writable already.
+                                self.advance_write(conn)
+                            }
+                            None => {
+                                self.stats.rejected_requests += 1;
+                                false
+                            }
+                        }
+                    }
+                    Ok(Some(_)) | Err(_) => {
+                        // Wrong first frame or torn/corrupt request bytes.
+                        self.stats.rejected_requests += 1;
+                        false
+                    }
+                }
+            }
+            ConnState::Writing { .. } => self.advance_write(conn),
+        }
+    }
+
+    /// Writes as much of the response as the socket accepts, honoring a
+    /// pending chaos kill.  Returns `false` when the connection is done.
+    fn advance_write(&mut self, conn: &mut ServeConn) -> bool {
+        let ConnState::Writing { response, written, kill_at } = &mut conn.state else {
+            return true;
+        };
+        loop {
+            if let Some(kill) = *kill_at {
+                if *written >= kill {
+                    // Tear the stream mid-flight: the client must reconnect
+                    // and resume.
+                    self.stats.killed_streams += 1;
+                    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                    return false;
+                }
+            }
+            if *written == response.len() {
+                self.stats.streams_completed += 1;
+                return false;
+            }
+            let end = kill_at.map_or(response.len(), |k| k.min(response.len()));
+            match conn.stream.write(&response[*written..end.max(*written)]) {
+                Ok(0) => return false,
+                Ok(n) => *written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Pre-renders the full response stream for one request, and decides
+    /// whether this stream is the device's designated chaos kill.  Returns
+    /// `None` for an unknown device or an index past its trace.
+    fn build_response(
+        &mut self,
+        device_id: u64,
+        next_batch: u64,
+    ) -> Option<(Vec<u8>, Option<usize>)> {
+        let device = self.devices.get(&device_id)?;
+        let total = device.frames.len() as u64;
+        if next_batch > total {
+            return None;
+        }
+        let mut encoder = FrameEncoder::new();
+        let mut response = Vec::new();
+        response.extend_from_slice(encoder.header());
+        for frame in &device.frames[next_batch as usize..] {
+            response.extend_from_slice(frame);
+        }
+        response.extend_from_slice(encoder.end(total - next_batch));
+        let kill_at = match self.kill_at {
+            Some(bytes) if !self.killed.contains(&device_id) => {
+                self.killed.insert(device_id);
+                // Clamp so the END frame is never fully delivered: the
+                // client must observe a torn stream, not a complete one.
+                Some(bytes.min(response.len() - 1))
+            }
+            _ => None,
+        };
+        Some((response, kill_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::FrameDecoder;
+    use adasense_sensor::{Sample3, SensorConfig};
+
+    fn sample_trace(batches: usize) -> TelemetryTrace {
+        let config = SensorConfig::paper_pareto_front()[0];
+        let mut trace = TelemetryTrace::new();
+        for i in 0..batches {
+            trace.batches.push(TelemetryBatch::new(
+                config,
+                2.0 * (i + 1) as f64,
+                2.0,
+                0,
+                vec![Sample3::new(i as f64, 0.5, -0.5, 1.0)],
+            ));
+        }
+        trace
+    }
+
+    /// Connects, sends the RESUME handshake, and returns everything the
+    /// server streamed back.
+    fn request(addr: SocketAddr, device_id: u64, next_batch: u64) -> Vec<u8> {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut encoder = FrameEncoder::new();
+        stream.write_all(encoder.header()).unwrap();
+        stream.write_all(encoder.resume(device_id, next_batch)).unwrap();
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).unwrap();
+        response
+    }
+
+    fn decode_stream(bytes: &[u8]) -> (Vec<TelemetryBatch>, u64) {
+        let mut reader = bytes;
+        let mut decoder = FrameDecoder::new();
+        decoder.read_header(&mut reader).unwrap();
+        let mut batches = Vec::new();
+        loop {
+            let mut batch = TelemetryBatch::placeholder();
+            match decoder.read_frame(&mut reader, &mut batch).unwrap() {
+                FrameKind::Batch => batches.push(batch),
+                FrameKind::End { batches: count } => return (batches, count),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn serves_full_and_resumed_streams() {
+        let trace = sample_trace(4);
+        let mut serve = TelemetryServe::bind("127.0.0.1:0", vec![(7, trace.clone())]).unwrap();
+        let addr = serve.local_addr();
+        let client = std::thread::spawn(move || (request(addr, 7, 0), request(addr, 7, 3)));
+        serve.serve_streams(2, 50).unwrap();
+        let (full, resumed) = client.join().unwrap();
+        let (batches, count) = decode_stream(&full);
+        assert_eq!(batches, trace.batches);
+        assert_eq!(count, 4);
+        let (tail, tail_count) = decode_stream(&resumed);
+        assert_eq!(tail, trace.batches[3..]);
+        assert_eq!(tail_count, 1, "END counts only this stream's batches");
+        assert_eq!(serve.stats().streams_completed, 2);
+        assert_eq!(serve.stats().resume_requests, 1);
+        assert_eq!(serve.open_connections(), 0, "served connections are closed");
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_without_harming_good_ones() {
+        let trace = sample_trace(2);
+        let mut serve = TelemetryServe::bind("127.0.0.1:0", vec![(1, trace.clone())]).unwrap();
+        let addr = serve.local_addr();
+        let client = std::thread::spawn(move || {
+            // Garbage magic: rejected at the stream header.
+            let mut bad = TcpStream::connect(addr).unwrap();
+            bad.write_all(b"NOPEnope____").unwrap();
+            let mut sink = Vec::new();
+            assert_eq!(bad.read_to_end(&mut sink).unwrap(), 0, "server closed on us");
+            // Unknown device: valid frames, unserviceable request.
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut encoder = FrameEncoder::new();
+            stream.write_all(encoder.header()).unwrap();
+            stream.write_all(encoder.resume(99, 0)).unwrap();
+            let mut sink = Vec::new();
+            assert_eq!(stream.read_to_end(&mut sink).unwrap(), 0);
+            // Index past the trace: also rejected.
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(encoder.header()).unwrap();
+            stream.write_all(encoder.resume(1, 3)).unwrap();
+            let mut sink = Vec::new();
+            assert_eq!(stream.read_to_end(&mut sink).unwrap(), 0);
+            // The good request still goes through.
+            request(addr, 1, 0)
+        });
+        serve.serve_streams(1, 50).unwrap();
+        let good = client.join().unwrap();
+        assert_eq!(decode_stream(&good).0, trace.batches);
+        assert_eq!(serve.stats().rejected_requests, 3);
+        assert_eq!(serve.stats().streams_completed, 1);
+    }
+
+    #[test]
+    fn kill_at_tears_only_the_first_stream_per_device() {
+        let trace = sample_trace(3);
+        let mut serve =
+            TelemetryServe::bind("127.0.0.1:0", vec![(5, trace.clone())]).unwrap().with_kill_at(20);
+        let addr = serve.local_addr();
+        let client = std::thread::spawn(move || {
+            let torn = request(addr, 5, 0);
+            let retry = request(addr, 5, 0);
+            (torn, retry)
+        });
+        serve.serve_streams(1, 50).unwrap();
+        let (torn, retry) = client.join().unwrap();
+        assert!(torn.len() <= 20, "first stream dies at the kill offset");
+        assert_eq!(decode_stream(&retry).0, trace.batches, "second stream is whole");
+        assert_eq!(serve.stats().killed_streams, 1);
+        assert_eq!(serve.stats().streams_completed, 1);
+    }
+}

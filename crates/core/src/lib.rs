@@ -85,16 +85,23 @@ pub use controller::{ControllerInput, ControllerKind, SensorController, SpotCont
 pub use dse::{ConfigEvaluation, DesignSpaceExploration, DseReport};
 pub use error::AdaSenseError;
 pub use fleet::{
-    BackendBreakdown, DeviceSummary, ExternalDevice, FleetReport, FleetRun, FleetScheduler,
-    FleetSpec, RoutineBreakdown,
+    BackendBreakdown, DeviceSummary, ExternalDevice, FleetReport, FleetRun, FleetRunBuilder,
+    FleetScheduler, FleetSpec, RoutineBreakdown,
+};
+#[cfg(unix)]
+pub use ingest::{
+    reactor::{IngestReactor, ReactorStats},
+    serve::{ServeStats, TelemetryServe},
 };
 pub use ingest::{
     telemetry_channel, ChannelSource, FrameDecoder, FrameEncoder, FrameKind, ReconnectPolicy,
-    SocketSource, TelemetrySender, TelemetryTrace, TraceRecorder,
+    SocketSource, StreamParser, TelemetrySender, TelemetryTrace, TraceRecorder,
 };
 pub use pareto::pareto_front;
 pub use pipeline::{ClassifiedBatch, HarPipeline};
-pub use runtime::{DeviceRuntime, SampleSource, ScenarioSource, TickPhase, TickResult};
+pub use runtime::{
+    DeviceRuntime, SampleSource, ScenarioSource, SourceStatus, TickPhase, TickResult,
+};
 pub use scenario::{
     BackendSpec, DeviceProfile, FaultInjector, FaultLevel, FaultPlan, FaultProfile, FaultWindow,
     PopulationPrior, PopulationSpec, RoutinePreset, RoutineScript,
@@ -117,16 +124,23 @@ pub mod prelude {
     pub use crate::error::AdaSenseError;
     pub use crate::experiments;
     pub use crate::fleet::{
-        BackendBreakdown, DeviceSummary, ExternalDevice, FleetReport, FleetRun, FleetScheduler,
-        FleetSpec, RoutineBreakdown,
+        BackendBreakdown, DeviceSummary, ExternalDevice, FleetReport, FleetRun, FleetRunBuilder,
+        FleetScheduler, FleetSpec, RoutineBreakdown,
+    };
+    #[cfg(unix)]
+    pub use crate::ingest::{
+        reactor::{IngestReactor, ReactorStats},
+        serve::{ServeStats, TelemetryServe},
     };
     pub use crate::ingest::{
         telemetry_channel, ChannelSource, FrameDecoder, FrameEncoder, FrameKind, ReconnectPolicy,
-        SocketSource, TelemetrySender, TelemetryTrace, TraceRecorder,
+        SocketSource, StreamParser, TelemetrySender, TelemetryTrace, TraceRecorder,
     };
     pub use crate::pareto::pareto_front;
     pub use crate::pipeline::{ClassifiedBatch, HarPipeline};
-    pub use crate::runtime::{DeviceRuntime, SampleSource, ScenarioSource, TickPhase, TickResult};
+    pub use crate::runtime::{
+        DeviceRuntime, SampleSource, ScenarioSource, SourceStatus, TickPhase, TickResult,
+    };
     pub use crate::scenario::{
         BackendSpec, DeviceProfile, FaultInjector, FaultLevel, FaultPlan, FaultProfile,
         FaultWindow, PopulationPrior, PopulationSpec, RoutinePreset, RoutineScript,

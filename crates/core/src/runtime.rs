@@ -104,37 +104,46 @@ pub trait SampleSource {
     /// Must return `Some` for every driven tick.
     fn ground_truth(&self, t_s: f64) -> Option<Activity>;
 
-    /// Whether the source has permanently run out of windows to deliver.
+    /// The source's delivery status, checked by the runtime at the *start* of
+    /// every tick.
     ///
-    /// The runtime checks this at the *start* of every tick: once a source
-    /// reports exhaustion, the runtime finishes the epoch gracefully —
-    /// [`DeviceRuntime::begin_tick`] returns [`TickPhase::Exhausted`] without
-    /// accounting charge or residency for a tick that never happened, and
-    /// [`DeviceRuntime::is_complete`] turns `true` — instead of padding the
-    /// remaining timeline with silence.
+    /// Once a source reports [`SourceStatus::Exhausted`], the runtime
+    /// finishes the epoch gracefully — [`DeviceRuntime::begin_tick`] returns
+    /// [`TickPhase::Exhausted`] without accounting charge or residency for a
+    /// tick that never happened, and [`DeviceRuntime::is_complete`] turns
+    /// `true` — instead of padding the remaining timeline with silence.
     ///
-    /// Simulated sources are never exhausted (the default): they synthesize a
-    /// window for any requested instant, and finite runs are bounded by the
-    /// runtime's own tick budget.  Live-feed sources
-    /// ([`ChannelSource`](crate::ingest::ChannelSource),
-    /// [`SocketSource`](crate::ingest::SocketSource)) return `true` once the
-    /// peer has signalled end-of-stream and every delivered window has been
-    /// consumed.  The method takes `&mut self` so such sources may block on —
-    /// and stash — the next frame to learn whether one exists.
-    fn is_exhausted(&mut self) -> bool {
-        false
+    /// Live-feed sources ([`ChannelSource`](crate::ingest::ChannelSource),
+    /// [`SocketSource`](crate::ingest::SocketSource)) report
+    /// [`SourceStatus::Ready`] while the peer may still deliver and
+    /// [`SourceStatus::Exhausted`] once end-of-stream has been signalled and
+    /// every delivered window consumed; the method takes `&mut self` so they
+    /// may block on — and stash — the next frame to learn whether one exists.
+    /// Purely synthetic sources like [`ScenarioSource`] report
+    /// [`SourceStatus::Endless`] instead of `Ready`: they fabricate a window
+    /// for any requested instant, so only the runtime's own tick budget can
+    /// bound a run over them (a safety property
+    /// [`DeviceRuntime::run_to_completion`] checks up front).
+    ///
+    /// The default is [`SourceStatus::Ready`] — a plain source that delivers
+    /// whatever it is asked for, for as long as it is driven.
+    fn status(&mut self) -> SourceStatus {
+        SourceStatus::Ready
     }
+}
 
-    /// Whether this source is known to *never* exhaust (it synthesizes a
-    /// window for any requested instant, like [`ScenarioSource`]).
-    ///
-    /// Purely a safety hint: [`DeviceRuntime::run_to_completion`] panics up
-    /// front when asked to run an open-ended runtime over such a source,
-    /// instead of spinning forever.  Live-feed sources keep the `false`
-    /// default — blocking on a quiet feed is ordinary waiting, not a hang.
-    fn never_exhausts(&self) -> bool {
-        false
-    }
+/// What a [`SampleSource`] reports about its ability to keep delivering
+/// windows — the return of [`SampleSource::status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceStatus {
+    /// The source can deliver more windows (or is willing to wait for them).
+    Ready,
+    /// The source has permanently run out of windows: the runtime finishes
+    /// the epoch gracefully and stops.
+    Exhausted,
+    /// The source synthesizes a window for any requested instant and can
+    /// never exhaust; open-ended loops over it would spin forever.
+    Endless,
 }
 
 impl<S: SampleSource + ?Sized> SampleSource for Box<S> {
@@ -152,12 +161,8 @@ impl<S: SampleSource + ?Sized> SampleSource for Box<S> {
         (**self).ground_truth(t_s)
     }
 
-    fn is_exhausted(&mut self) -> bool {
-        (**self).is_exhausted()
-    }
-
-    fn never_exhausts(&self) -> bool {
-        (**self).never_exhausts()
+    fn status(&mut self) -> SourceStatus {
+        (**self).status()
     }
 }
 
@@ -204,8 +209,8 @@ impl SampleSource for ScenarioSource {
         self.trace.activity_at(t_s)
     }
 
-    fn never_exhausts(&self) -> bool {
-        true
+    fn status(&mut self) -> SourceStatus {
+        SourceStatus::Endless
     }
 }
 
@@ -328,7 +333,7 @@ impl CascadeTally {
 impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
     /// Creates an open-ended runtime over `source` with the paper's 2-second
     /// window and 1-second epoch.  The runtime reports completion only when the
-    /// source signals end-of-stream ([`SampleSource::is_exhausted`]); drive it
+    /// source reports [`SourceStatus::Exhausted`]); drive it
     /// with [`step`](DeviceRuntime::step) for as long as the source has data.
     pub fn new(
         spec: &'a ExperimentSpec,
@@ -426,7 +431,7 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
 
     /// Whether the runtime has finished: a finite runtime has consumed all its
     /// ticks, or the source reported end-of-stream
-    /// (see [`SampleSource::is_exhausted`]).
+    /// (see [`SampleSource::status`]).
     pub fn is_complete(&self) -> bool {
         self.exhausted || self.total_ticks.is_some_and(|n| self.ticks >= n)
     }
@@ -481,7 +486,7 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
     /// Panics if the previous tick's classification is still pending.
     pub fn begin_tick(&mut self) -> TickPhase {
         assert!(self.pending.is_none(), "complete_tick must resolve the previous tick first");
-        if self.exhausted || self.source.is_exhausted() {
+        if self.exhausted || self.source.status() == SourceStatus::Exhausted {
             // A finite external feed ran dry: finish the epoch gracefully —
             // no charge, residency or silent padding for a tick that never
             // happened.
@@ -620,13 +625,13 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
     ///
     /// # Panics
     ///
-    /// Panics if the runtime is open-ended over a source that declares it
-    /// [never exhausts](SampleSource::never_exhausts) ([`ScenarioSource`] and
-    /// any decorator around it) — such a loop would spin forever; bound the
-    /// runtime with [`for_source`](DeviceRuntime::for_source) instead.
+    /// Panics if the runtime is open-ended over a source that declares
+    /// itself [`SourceStatus::Endless`] ([`ScenarioSource`] and any decorator
+    /// around it) — such a loop would spin forever; bound the runtime with
+    /// [`for_source`](DeviceRuntime::for_source) instead.
     pub fn run_to_completion(&mut self) {
         assert!(
-            self.total_ticks.is_some() || !self.source.never_exhausts(),
+            self.total_ticks.is_some() || self.source.status() != SourceStatus::Endless,
             "run_to_completion requires a tick budget or an exhaustible source"
         );
         while !self.is_complete() {
@@ -826,8 +831,12 @@ mod tests {
             Some(Activity::LieDown)
         }
 
-        fn is_exhausted(&mut self) -> bool {
-            self.windows_left == 0
+        fn status(&mut self) -> SourceStatus {
+            if self.windows_left == 0 {
+                SourceStatus::Exhausted
+            } else {
+                SourceStatus::Ready
+            }
         }
     }
 

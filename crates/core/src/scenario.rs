@@ -37,7 +37,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::AdaSenseError;
 use crate::fleet::device_seed;
-use crate::runtime::SampleSource;
+use crate::runtime::{SampleSource, SourceStatus};
 use crate::simulation::ScenarioSpec;
 
 /// Salt mixed into the device seed to derive the routine-assignment stream.
@@ -842,12 +842,8 @@ impl<S: SampleSource> SampleSource for FaultInjector<S> {
         self.inner.ground_truth(t_s)
     }
 
-    fn is_exhausted(&mut self) -> bool {
-        self.inner.is_exhausted()
-    }
-
-    fn never_exhausts(&self) -> bool {
-        self.inner.never_exhausts()
+    fn status(&mut self) -> SourceStatus {
+        self.inner.status()
     }
 }
 

@@ -1,0 +1,164 @@
+//! Property-based test for the ingestion reactor's kill-and-resume path: tear
+//! the connection at an *arbitrary* byte offset mid-stream, let the reactor
+//! reconnect with a RESUME frame, and require the replayed fleet to be
+//! bit-identical to the scenario-driven reference — no batch lost, none
+//! duplicated, regardless of where the cut landed (inside a length prefix,
+//! mid-sample, one byte short of the END frame, …).
+
+#![cfg(unix)]
+
+use std::sync::OnceLock;
+
+use adasense::ingest::{TelemetryTrace, TraceRecorder};
+use adasense::prelude::*;
+use proptest::prelude::*;
+
+/// Trains the quick system once for every proptest case.
+fn shared_system() -> &'static (ExperimentSpec, TrainedSystem) {
+    static SYSTEM: OnceLock<(ExperimentSpec, TrainedSystem)> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        let spec = ExperimentSpec::quick();
+        let system = TrainedSystem::train(&spec).expect("quick training succeeds");
+        (spec, system)
+    })
+}
+
+/// The fleet every case replays: small enough to keep a case under a couple
+/// of seconds, long enough that streams span many frames.
+fn test_fleet(seed: u64) -> FleetSpec {
+    let mut fleet = FleetSpec::new(2, 6.0, seed);
+    // Fault exposure is a capture-side property a replayed feed cannot
+    // observe, and bit-identity requires rows with `faulted_epochs == 0`.
+    fleet.population = PopulationSpec::single(RoutinePreset::OfficeDay, FaultLevel::None);
+    fleet
+}
+
+/// Records every device of `fleet` as a wire-format trace, exactly as the
+/// scheduler would have produced it.
+fn record_traces(fleet: &FleetSpec) -> Vec<(u64, TelemetryTrace)> {
+    let (spec, system) = shared_system();
+    let scheduler = FleetScheduler::new(spec, system);
+    (0..fleet.devices)
+        .map(|device_id| {
+            let plan = fleet.device_plan(device_id);
+            let recorder = TraceRecorder::new(scheduler.device_source(fleet, &plan));
+            let mut runtime = DeviceRuntime::for_source(
+                spec,
+                system,
+                fleet.controller,
+                recorder,
+                plan.scenario.duration_s(),
+            )
+            .expect("runtime construction succeeds")
+            .with_classifier(system.backend(plan.backend));
+            runtime.run_to_completion();
+            (device_id, runtime.source().trace().clone())
+        })
+        .collect()
+}
+
+/// Field-by-field bit comparison of two summary rows (plain `==` would paper
+/// over NaN and signed-zero differences in the float fields).
+fn rows_bit_identical(a: &DeviceSummary, b: &DeviceSummary) -> bool {
+    a.device_id == b.device_id
+        && a.seed == b.seed
+        && a.routine == b.routine
+        && a.backend == b.backend
+        && a.faulted_epochs == b.faulted_epochs
+        && a.epochs == b.epochs
+        && a.correct_epochs == b.correct_epochs
+        && a.accuracy.to_bits() == b.accuracy.to_bits()
+        && a.average_current_ua.to_bits() == b.average_current_ua.to_bits()
+        && a.total_charge_uc.to_bits() == b.total_charge_uc.to_bits()
+        && a.duration_s.to_bits() == b.duration_s.to_bits()
+        && a.residency_s.len() == b.residency_s.len()
+        && a.residency_s.iter().zip(&b.residency_s).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Kill every device's first connection at an arbitrary byte offset; the
+    /// resumed fleet must reproduce the scenario-driven run bit for bit.
+    #[test]
+    fn kill_anywhere_resume_is_bit_identical(
+        seed in 0u64..1000,
+        kill_fraction in 0f64..1.0,
+    ) {
+        let (spec, system) = shared_system();
+        let fleet = test_fleet(seed);
+        let scheduler = FleetScheduler::new(spec, system);
+        let reference = scheduler.run_collect(&fleet).expect("reference run succeeds");
+
+        let traces = record_traces(&fleet);
+        let stream_len =
+            traces.iter().map(|(_, t)| t.encode().len()).max().expect("fleet is non-empty");
+        // Anywhere from "before the first full frame" to "one byte short of
+        // a complete stream" (the server clamps so END is never delivered).
+        let kill_at = ((stream_len as f64 * kill_fraction) as usize).max(1);
+
+        let mut serve = TelemetryServe::bind("127.0.0.1:0", traces)
+            .expect("loopback bind succeeds")
+            .with_kill_at(kill_at);
+        let addr = serve.local_addr().to_string();
+        let devices = fleet.devices;
+        let server = std::thread::spawn(move || {
+            serve.serve_streams(devices, 50).map(|()| serve.stats())
+        });
+
+        let mut reactor = IngestReactor::new().with_policy(ReconnectPolicy {
+            attempts: 10,
+            delay: std::time::Duration::from_millis(1),
+        });
+        let feeds: Vec<_> = (0..fleet.devices)
+            .map(|device_id| {
+                let plan = fleet.device_plan(device_id);
+                ExternalDevice::new(plan.device_id, reactor.subscribe(&addr, device_id))
+                    .with_metadata(plan.seed, plan.routine.clone())
+                    .with_backend(plan.backend)
+            })
+            .collect();
+        let reactor = std::thread::spawn(move || reactor.run());
+
+        let feed_only = FleetSpec { devices: 0, ..fleet.clone() };
+        let live = scheduler
+            .builder()
+            .spec(&feed_only)
+            .feeds(feeds)
+            .collect()
+            .run()
+            .expect("live run succeeds");
+
+        let stats = reactor.join().expect("reactor thread").expect("no feed fails");
+        let serve_stats = server.join().expect("server thread").expect("server completes");
+
+        prop_assert_eq!(stats.failed, 0, "errors: {:?}", stats.errors);
+        prop_assert_eq!(stats.completed, fleet.devices);
+        // Every first stream was torn, so every device reconnected.
+        prop_assert!(
+            stats.reconnects >= fleet.devices,
+            "kill at byte {} produced only {} reconnects",
+            kill_at,
+            stats.reconnects
+        );
+        prop_assert_eq!(serve_stats.killed_streams, fleet.devices);
+
+        prop_assert_eq!(
+            live.report.encode(),
+            reference.report.encode(),
+            "fleet report differs after kill at byte {}",
+            kill_at
+        );
+        prop_assert_eq!(live.summaries.len(), reference.summaries.len());
+        for (a, b) in reference.summaries.iter().zip(&live.summaries) {
+            prop_assert!(
+                rows_bit_identical(a, b),
+                "device {} differs after kill at byte {}:\n  reference: {:?}\n  live:      {:?}",
+                a.device_id,
+                kill_at,
+                a,
+                b
+            );
+        }
+    }
+}

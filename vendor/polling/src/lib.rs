@@ -1,0 +1,163 @@
+//! # polling — offline stand-in
+//!
+//! A thin, safe wrapper over `poll(2)` for readiness-multiplexing many
+//! nonblocking file descriptors on one thread.  This is the vendored-deps
+//! policy's answer to "the reactor needs a syscall the standard library does
+//! not expose": one `extern "C"` declaration against the platform libc that
+//! every Rust binary already links, wrapped so downstream crates (which
+//! `forbid(unsafe_code)`) never see a raw pointer.
+//!
+//! Only Unix is supported — the reactor that consumes this crate is
+//! `cfg(unix)`-gated alongside it.
+
+#![deny(missing_docs)]
+
+#[cfg(unix)]
+mod unix {
+    use std::io;
+
+    /// Readiness: there is data to read (or a pending connection to accept).
+    pub const POLLIN: i16 = 0x001;
+    /// Readiness: writing now will not block.
+    pub const POLLOUT: i16 = 0x004;
+    /// Revent: an error condition on the descriptor (output only).
+    pub const POLLERR: i16 = 0x008;
+    /// Revent: the peer hung up (output only).
+    pub const POLLHUP: i16 = 0x010;
+    /// Revent: the descriptor is not open (output only).
+    pub const POLLNVAL: i16 = 0x020;
+
+    /// One descriptor's poll request/response slot, layout-compatible with
+    /// `struct pollfd` from `<poll.h>` on every Unix this workspace targets
+    /// (Linux, macOS, BSDs: `int fd; short events; short revents;`).
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    impl PollFd {
+        /// A slot asking for `events` readiness on `fd`.
+        pub fn new(fd: i32, events: i16) -> Self {
+            PollFd { fd, events, revents: 0 }
+        }
+
+        /// A slot the kernel ignores (negative fd), for parking an entry in a
+        /// dense poll array without re-packing it.
+        pub fn parked() -> Self {
+            PollFd { fd: -1, events: 0, revents: 0 }
+        }
+
+        /// The descriptor this slot polls, or a negative value if parked.
+        pub fn fd(&self) -> i32 {
+            self.fd
+        }
+
+        /// Replaces the requested readiness events.
+        pub fn set_events(&mut self, events: i16) {
+            self.events = events;
+        }
+
+        /// The returned readiness events from the last `poll_fds` call.
+        pub fn revents(&self) -> i16 {
+            self.revents
+        }
+
+        /// True if the last poll flagged readability (or an error/hangup,
+        /// which reads also observe — a read must be attempted to see it).
+        pub fn readable(&self) -> bool {
+            self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+        }
+
+        /// True if the last poll flagged writability (or an error/hangup).
+        pub fn writable(&self) -> bool {
+            self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+        }
+    }
+
+    // The libc `poll(2)` symbol.  `nfds_t` is `c_ulong` on Linux and `c_uint`
+    // on the BSD family; `usize` matches the width of both on the LP64
+    // platforms this workspace supports.
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: i32) -> i32;
+    }
+
+    /// Blocks until at least one slot in `fds` is ready, the timeout elapses,
+    /// or a non-`EINTR` error occurs.  Returns the number of ready slots
+    /// (0 on timeout); each ready slot's [`PollFd::revents`] is populated.
+    ///
+    /// `timeout_ms < 0` blocks indefinitely; `0` polls without blocking.
+    /// `EINTR` is retried internally so callers never observe it.
+    ///
+    /// # Errors
+    ///
+    /// Any `poll(2)` failure other than `EINTR` (e.g. `ENOMEM`).
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY boundary lives in this crate alone: `fds` is a valid,
+            // exclusive slice of `#[repr(C)]` pollfd-layout structs, and the
+            // kernel writes only within `fds.len()` entries.
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len(), timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+pub use unix::{poll_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn timeout_returns_zero_ready() {
+        let (a, _b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 10).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn written_byte_flags_readable() {
+        let (a, mut b) = std::os::unix::net::UnixStream::pair().unwrap();
+        b.write_all(&[42]).unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        assert!(!fds[0].writable());
+    }
+
+    #[test]
+    fn parked_slots_are_ignored() {
+        let (a, mut b) = std::os::unix::net::UnixStream::pair().unwrap();
+        b.write_all(&[1]).unwrap();
+        let mut fds = [PollFd::parked(), PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(!fds[0].readable());
+        assert!(fds[1].readable());
+    }
+
+    #[test]
+    fn hangup_is_observed_as_readable() {
+        let (a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+    }
+}
