@@ -14,6 +14,7 @@ fn decision_stream(n: usize) -> Vec<ControllerInput> {
             predicted: if (i / 25) % 2 == 0 { Activity::Sit } else { Activity::Walk },
             confidence: 0.7 + 0.3 * ((i % 10) as f64 / 10.0),
             intensity_g_per_s: if (i / 25) % 2 == 0 { 3.0 } else { 9.0 },
+            escalated: i % 25 == 0,
         })
         .collect()
 }

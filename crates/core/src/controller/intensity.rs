@@ -88,7 +88,12 @@ mod tests {
     }
 
     fn input(intensity: f64) -> ControllerInput {
-        ControllerInput { predicted: Activity::Walk, confidence: 0.9, intensity_g_per_s: intensity }
+        ControllerInput {
+            predicted: Activity::Walk,
+            confidence: 0.9,
+            intensity_g_per_s: intensity,
+            escalated: false,
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub use spot::SpotController;
 pub use static_hold::StaticController;
 
 use adasense_data::Activity;
-use adasense_sensor::SensorConfig;
+use adasense_sensor::{SensorConfig, TxPolicy};
 use serde::{Deserialize, Serialize};
 
 use crate::training::ExperimentSpec;
@@ -35,6 +35,11 @@ pub struct ControllerInput {
     /// the intensity-based baseline switches on.  AdaSense's own controllers ignore
     /// it (the paper highlights that avoiding this computation saves processing).
     pub intensity_g_per_s: f64,
+    /// Whether a cascade backend escalated this epoch to its full second
+    /// stage.  Escalations are a free uncertainty signal: a stage-1-aware
+    /// controller can treat a rising escalation rate like low confidence.
+    /// Single-stage backends always report `false`.
+    pub escalated: bool,
 }
 
 /// A policy that selects the sensor configuration for the next epoch.
@@ -51,6 +56,15 @@ pub trait SensorController {
 
     /// A short human-readable name for reports.
     fn name(&self) -> String;
+
+    /// The transmission policy for the *next* epoch, chosen alongside the
+    /// sensor configuration.  The default — transmit the extracted feature
+    /// vector — is the paper's local-processing baseline; adaptive
+    /// controllers (see [`SpotController`]) escalate to raw payloads when
+    /// uncertain and drop to compressed payloads when stable.
+    fn tx_policy(&self) -> TxPolicy {
+        TxPolicy::Features
+    }
 }
 
 /// A declarative description of a controller, used to configure simulations.
@@ -125,7 +139,12 @@ mod tests {
     use super::*;
 
     fn input(activity: Activity) -> ControllerInput {
-        ControllerInput { predicted: activity, confidence: 0.95, intensity_g_per_s: 0.0 }
+        ControllerInput {
+            predicted: activity,
+            confidence: 0.95,
+            intensity_g_per_s: 0.0,
+            escalated: false,
+        }
     }
 
     #[test]

@@ -14,12 +14,33 @@
 //! The confidence extension (Section IV-E) only honours C3 when the classifier
 //! reports the change with a confidence above the configured threshold; low
 //! confidence changes are treated as sensor noise and ignored.
+//!
+//! SPOT additionally chooses a [`TxPolicy`] per epoch from the same evidence
+//! the FSM already sees: a smoothed cascade-escalation rate and the latest
+//! classification confidence.  While uncertain (low confidence or frequent
+//! escalations) it ships raw windows so the host can re-examine them; once
+//! settled it ships feature vectors, and after a long quiet stretch in a
+//! below-maximum state it drops to compressed-sensing payloads.
 
 use adasense_data::Activity;
-use adasense_sensor::SensorConfig;
+use adasense_sensor::{SensorConfig, TxPolicy};
 use serde::{Deserialize, Serialize};
 
 use super::{ControllerInput, SensorController};
+
+/// EWMA smoothing factor for the escalation-rate estimate (per epoch).
+const TX_ESCALATION_ALPHA: f64 = 0.2;
+
+/// Smoothed escalation rate above which SPOT transmits raw windows.
+const TX_RAW_ESCALATION: f64 = 0.5;
+
+/// Smoothed escalation rate below which SPOT may transmit compressed windows
+/// (provided it is also confident and has stepped below the high-power state).
+const TX_COMPRESSED_ESCALATION: f64 = 0.1;
+
+/// Confidence floor for the transmission decision when the confidence
+/// extension is not configured (the paper's 0.85 default).
+const TX_DEFAULT_CONFIDENCE: f64 = 0.85;
 
 /// The SPOT adaptive sensing controller.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,6 +51,8 @@ pub struct SpotController {
     state: usize,
     counter: u32,
     last_activity: Option<Activity>,
+    escalation_rate: f64,
+    last_confidence: f64,
 }
 
 impl SpotController {
@@ -48,6 +71,8 @@ impl SpotController {
             state: 0,
             counter: 0,
             last_activity: None,
+            escalation_rate: 1.0,
+            last_confidence: 0.0,
         }
     }
 
@@ -95,6 +120,16 @@ impl SpotController {
         self.last_activity
     }
 
+    /// The smoothed cascade-escalation rate driving the transmission policy.
+    ///
+    /// Starts pessimistically at 1.0 (as if every epoch escalated) and decays
+    /// toward the observed rate with factor `TX_ESCALATION_ALPHA` (0.2) per epoch,
+    /// so a freshly started or reset controller earns its way down to the
+    /// cheaper payloads instead of assuming stability.
+    pub fn escalation_rate(&self) -> f64 {
+        self.escalation_rate
+    }
+
     /// Whether an observed change should be trusted (confidence gate).
     fn change_is_trusted(&self, confidence: f64) -> bool {
         match self.confidence_threshold {
@@ -110,6 +145,9 @@ impl SensorController for SpotController {
     }
 
     fn observe(&mut self, input: &ControllerInput) -> SensorConfig {
+        self.escalation_rate = (1.0 - TX_ESCALATION_ALPHA) * self.escalation_rate
+            + TX_ESCALATION_ALPHA * f64::from(u8::from(input.escalated));
+        self.last_confidence = input.confidence;
         match self.last_activity {
             None => {
                 // First observation: nothing to compare against yet.
@@ -143,12 +181,25 @@ impl SensorController for SpotController {
         self.state = 0;
         self.counter = 0;
         self.last_activity = None;
+        self.escalation_rate = 1.0;
+        self.last_confidence = 0.0;
     }
 
     fn name(&self) -> String {
         match self.confidence_threshold {
             Some(c) => format!("SPOT+confidence({c})"),
             None => "SPOT".to_string(),
+        }
+    }
+
+    fn tx_policy(&self) -> TxPolicy {
+        let floor = self.confidence_threshold.unwrap_or(TX_DEFAULT_CONFIDENCE);
+        if self.last_confidence < floor || self.escalation_rate > TX_RAW_ESCALATION {
+            TxPolicy::Raw
+        } else if self.escalation_rate < TX_COMPRESSED_ESCALATION && self.state > 0 {
+            TxPolicy::Compressed
+        } else {
+            TxPolicy::Features
         }
     }
 }
@@ -158,11 +209,30 @@ mod tests {
     use super::*;
 
     fn stable(activity: Activity) -> ControllerInput {
-        ControllerInput { predicted: activity, confidence: 0.99, intensity_g_per_s: 0.0 }
+        ControllerInput {
+            predicted: activity,
+            confidence: 0.99,
+            intensity_g_per_s: 0.0,
+            escalated: false,
+        }
     }
 
     fn with_confidence(activity: Activity, confidence: f64) -> ControllerInput {
-        ControllerInput { predicted: activity, confidence, intensity_g_per_s: 0.0 }
+        ControllerInput {
+            predicted: activity,
+            confidence,
+            intensity_g_per_s: 0.0,
+            escalated: false,
+        }
+    }
+
+    fn escalated(activity: Activity) -> ControllerInput {
+        ControllerInput {
+            predicted: activity,
+            confidence: 0.99,
+            intensity_g_per_s: 0.0,
+            escalated: true,
+        }
     }
 
     #[test]
@@ -279,5 +349,81 @@ mod tests {
     fn names_identify_the_variant() {
         assert_eq!(SpotController::paper(1).name(), "SPOT");
         assert!(SpotController::paper_with_confidence(1, 0.85).name().contains("confidence"));
+    }
+
+    #[test]
+    fn tx_policy_starts_raw_and_earns_its_way_down() {
+        let mut spot = SpotController::paper(1);
+        // No evidence yet: assume the worst and ship raw windows.
+        assert_eq!(spot.tx_policy(), TxPolicy::Raw);
+        // The pessimistic escalation prior decays over a few quiet epochs…
+        let mut policies = Vec::new();
+        for _ in 0..20 {
+            spot.observe(&stable(Activity::Sit));
+            policies.push(spot.tx_policy());
+        }
+        // …passing through Features on the way to Compressed, never backwards.
+        assert_eq!(policies[0], TxPolicy::Raw, "one quiet epoch is not enough");
+        assert!(policies.contains(&TxPolicy::Features));
+        assert_eq!(*policies.last().unwrap(), TxPolicy::Compressed);
+        let first_features = policies.iter().position(|p| *p == TxPolicy::Features).unwrap();
+        let first_compressed = policies.iter().position(|p| *p == TxPolicy::Compressed).unwrap();
+        assert!(first_features < first_compressed);
+        assert!(policies[first_features..first_compressed]
+            .iter()
+            .all(|p| *p == TxPolicy::Features));
+    }
+
+    #[test]
+    fn escalations_push_the_policy_back_toward_raw() {
+        let mut spot = SpotController::paper(1);
+        for _ in 0..20 {
+            spot.observe(&stable(Activity::Walk));
+        }
+        assert_eq!(spot.tx_policy(), TxPolicy::Compressed);
+        let settled_rate = spot.escalation_rate();
+        // A burst of cascade escalations drives the smoothed rate back up.
+        for _ in 0..8 {
+            spot.observe(&escalated(Activity::Walk));
+        }
+        assert!(spot.escalation_rate() > settled_rate);
+        assert_eq!(spot.tx_policy(), TxPolicy::Raw);
+    }
+
+    #[test]
+    fn low_confidence_epochs_force_raw_payloads() {
+        let mut spot = SpotController::paper_with_confidence(1, 0.85);
+        for _ in 0..20 {
+            spot.observe(&stable(Activity::Stand));
+        }
+        assert_eq!(spot.tx_policy(), TxPolicy::Compressed);
+        // One shaky classification and the next payload is a full raw window,
+        // even though the FSM itself (rightly) ignores the noisy change.
+        spot.observe(&with_confidence(Activity::Stand, 0.4));
+        assert_eq!(spot.tx_policy(), TxPolicy::Raw);
+    }
+
+    #[test]
+    fn compressed_requires_leaving_the_high_power_state() {
+        // With an enormous stability threshold the FSM never steps down, so the
+        // policy parks at Features no matter how quiet the stream is.
+        let mut spot = SpotController::paper(u32::MAX);
+        for _ in 0..50 {
+            spot.observe(&stable(Activity::Sit));
+        }
+        assert_eq!(spot.state_index(), 0);
+        assert_eq!(spot.tx_policy(), TxPolicy::Features);
+    }
+
+    #[test]
+    fn reset_restores_the_pessimistic_tx_prior() {
+        let mut spot = SpotController::paper(1);
+        for _ in 0..20 {
+            spot.observe(&stable(Activity::Walk));
+        }
+        assert_eq!(spot.tx_policy(), TxPolicy::Compressed);
+        spot.reset();
+        assert_eq!(spot.tx_policy(), TxPolicy::Raw);
+        assert!((spot.escalation_rate() - 1.0).abs() < 1e-12);
     }
 }

@@ -57,6 +57,7 @@ mod tests {
                 predicted: activity,
                 confidence: 0.3,
                 intensity_g_per_s: 100.0,
+                escalated: true,
             });
             assert_eq!(next, initial);
         }

@@ -42,12 +42,12 @@ use std::sync::Mutex;
 
 use adasense_data::ActivityChangeSetting;
 use adasense_ml::{BackendKind, CascadeStage, Prediction};
-use adasense_sensor::SensorConfig;
+use adasense_sensor::{SensorConfig, TxPolicy};
 use serde::{Deserialize, Serialize};
 
 use crate::controller::ControllerKind;
 use crate::error::AdaSenseError;
-use crate::runtime::{DeviceRuntime, SampleSource, ScenarioSource, TickPhase};
+use crate::runtime::{DeviceRuntime, SampleSource, ScenarioSource, TickPhase, TxSetup};
 use crate::scenario::{FaultInjector, PopulationSpec};
 use crate::shard::{
     decode_str, encode_str, shard_ranges, ByteCursor, DiscardSink, FleetStats, ShardRange,
@@ -94,6 +94,11 @@ pub struct FleetSpec {
     /// batched into one forward pass).  Chunking depends only on this value, so
     /// changing the worker count never changes the results.
     pub lockstep_devices: usize,
+    /// Compression ratio for transmission modelling: `None` leaves radios off
+    /// (the historic fleet, bit for bit); `Some(ratio)` gives every device a
+    /// BLE radio ([`TxSetup::ble`]) whose compressed path projects windows down
+    /// by `ratio`, and the per-policy counters surface in the report.
+    pub tx_ratio: Option<u32>,
 }
 
 impl FleetSpec {
@@ -111,6 +116,7 @@ impl FleetSpec {
             },
             base_seed,
             lockstep_devices: 16,
+            tx_ratio: None,
         }
     }
 
@@ -138,6 +144,9 @@ impl FleetSpec {
         }
         if self.lockstep_devices == 0 {
             return Err(AdaSenseError::invalid_spec("lockstep_devices must be non-zero"));
+        }
+        if self.tx_ratio == Some(0) {
+            return Err(AdaSenseError::invalid_spec("tx_ratio must be non-zero when set"));
         }
         self.population.validate()
     }
@@ -315,6 +324,13 @@ pub struct DeviceSummary {
     pub duration_s: f64,
     /// Seconds spent in each configuration, indexed by [`SensorConfig::index`].
     pub residency_s: Vec<f64>,
+    /// Classified epochs transmitted under each [`TxPolicy`], indexed by
+    /// [`TxPolicy::index`] (all zero when transmission modelling is off).
+    pub tx_epochs: Vec<u64>,
+    /// Payload bytes transmitted under each policy.
+    pub tx_bytes: Vec<u64>,
+    /// Radio charge spent under each policy, in µC.
+    pub tx_charge_uc: Vec<f64>,
 }
 
 impl DeviceSummary {
@@ -574,6 +590,54 @@ impl FleetReport {
         }
     }
 
+    /// Total classified epochs transmitted under `policy` across the
+    /// population (0 when transmission modelling is off).
+    pub fn tx_epochs(&self, policy: TxPolicy) -> u64 {
+        self.stats.tx_epochs[policy.index()]
+    }
+
+    /// Total payload bytes transmitted under `policy`.
+    pub fn tx_bytes(&self, policy: TxPolicy) -> u64 {
+        self.stats.tx_bytes[policy.index()]
+    }
+
+    /// Total radio charge spent under `policy`, in µC (exact sum).
+    pub fn tx_charge_uc(&self, policy: TxPolicy) -> f64 {
+        self.stats.tx_charge_uc[policy.index()].value()
+    }
+
+    /// Total payload bytes transmitted across all policies.
+    pub fn total_tx_bytes(&self) -> u64 {
+        self.stats.tx_bytes.iter().sum()
+    }
+
+    /// Total radio charge across all policies, in µC.
+    pub fn total_tx_charge_uc(&self) -> f64 {
+        self.stats.tx_charge_uc.iter().map(crate::shard::ExactSum::value).sum()
+    }
+
+    /// Mean payload size per epoch under `policy`, in bytes.  [`f64::NAN`]
+    /// when no epoch transmitted under the policy.
+    pub fn tx_mean_bytes(&self, policy: TxPolicy) -> f64 {
+        let epochs = self.stats.tx_epochs[policy.index()];
+        if epochs == 0 {
+            f64::NAN
+        } else {
+            self.stats.tx_bytes[policy.index()] as f64 / epochs as f64
+        }
+    }
+
+    /// Mean radio charge per epoch under `policy`, in µC.  [`f64::NAN`] when
+    /// no epoch transmitted under the policy.
+    pub fn tx_mean_charge_uc(&self, policy: TxPolicy) -> f64 {
+        let epochs = self.stats.tx_epochs[policy.index()];
+        if epochs == 0 {
+            f64::NAN
+        } else {
+            self.stats.tx_charge_uc[policy.index()].value() / epochs as f64
+        }
+    }
+
     /// Groups the population by routine, returning one [`RoutineBreakdown`]
     /// per distinct routine label, sorted by label.
     pub fn routine_breakdown(&self) -> Vec<RoutineBreakdown> {
@@ -667,6 +731,20 @@ impl FleetReport {
                 self.stats.early_exit_epochs,
                 self.stats.escalated_epochs
             ));
+        }
+        if self.stats.tx_epochs.iter().sum::<u64>() > 0 {
+            out.push_str("transmission breakdown:\n");
+            for policy in TxPolicy::ALL {
+                let index = policy.index();
+                out.push_str(&format!(
+                    "  {:<12} {:>7} epochs  {:>10} B  {} B/epoch  {} uC/epoch\n",
+                    policy.label(),
+                    self.stats.tx_epochs[index],
+                    self.stats.tx_bytes[index],
+                    cell(self.tx_mean_bytes(policy), 7, 1),
+                    cell(self.tx_mean_charge_uc(policy), 8, 1)
+                ));
+            }
         }
         out
     }
@@ -917,7 +995,7 @@ impl<'a> FleetScheduler<'a> {
             let plan = fleet.device_plan(device_id);
             let duration_s = plan.scenario.duration_s();
             let source = self.device_source(fleet, &plan);
-            let runtime = DeviceRuntime::for_source(
+            let mut runtime = DeviceRuntime::for_source(
                 self.spec,
                 self.system,
                 fleet.controller,
@@ -926,6 +1004,9 @@ impl<'a> FleetScheduler<'a> {
             )?
             .with_recording(false)
             .with_classifier(self.system.backend(plan.backend));
+            if let Some(ratio) = fleet.tx_ratio {
+                runtime = runtime.with_tx(TxSetup::ble(ratio).with_seed(plan.seed));
+            }
             backends.push(plan.backend);
             plans.push(plan);
             runtimes.push(runtime);
@@ -938,6 +1019,7 @@ impl<'a> FleetScheduler<'a> {
             .zip(runtimes)
             .map(|(plan, runtime)| {
                 let tally = runtime.cascade_tally();
+                let tx = runtime.tx_tally();
                 DeviceSummary {
                     device_id: plan.device_id,
                     seed: plan.seed,
@@ -955,24 +1037,31 @@ impl<'a> FleetScheduler<'a> {
                     total_charge_uc: runtime.total_charge().micro_coulombs(),
                     duration_s: runtime.elapsed_s(),
                     residency_s: runtime.residency_seconds().to_vec(),
+                    tx_epochs: tx.epochs.to_vec(),
+                    tx_bytes: tx.bytes.to_vec(),
+                    tx_charge_uc: tx.charge_uc.to_vec(),
                 }
             })
             .collect())
     }
 
     /// Runs one lockstep chunk of externally fed devices until every feed
-    /// exhausts (or hits its tick budget).
+    /// exhausts (or hits its tick budget).  Fed devices inherit the fleet's
+    /// controller and transmission setup; a feed's tx seed is its carried
+    /// [`ExternalDevice::seed`], so a replayed scenario device prices and
+    /// compresses exactly as the original did.
     fn run_feed_chunk(
         &self,
-        controller: ControllerKind,
+        fleet: &FleetSpec,
         feeds: Vec<ExternalDevice>,
     ) -> Result<Vec<DeviceSummary>, AdaSenseError> {
+        let controller = fleet.controller;
         let mut metas = Vec::with_capacity(feeds.len());
         let mut backends = Vec::with_capacity(feeds.len());
         let mut runtimes = Vec::with_capacity(feeds.len());
         for feed in feeds {
             let ExternalDevice { device_id, seed, routine, backend, duration_s, source } = feed;
-            let runtime = match duration_s {
+            let mut runtime = match duration_s {
                 Some(duration_s) => DeviceRuntime::for_source(
                     self.spec,
                     self.system,
@@ -984,6 +1073,9 @@ impl<'a> FleetScheduler<'a> {
             }
             .with_recording(false)
             .with_classifier(self.system.backend(backend));
+            if let Some(ratio) = fleet.tx_ratio {
+                runtime = runtime.with_tx(TxSetup::ble(ratio).with_seed(seed));
+            }
             metas.push((device_id, seed, routine, backend));
             backends.push(backend);
             runtimes.push(runtime);
@@ -996,6 +1088,7 @@ impl<'a> FleetScheduler<'a> {
             .zip(runtimes)
             .map(|((device_id, seed, routine, backend), runtime)| {
                 let tally = runtime.cascade_tally();
+                let tx = runtime.tx_tally();
                 DeviceSummary {
                     device_id,
                     seed,
@@ -1013,6 +1106,9 @@ impl<'a> FleetScheduler<'a> {
                     total_charge_uc: runtime.total_charge().micro_coulombs(),
                     duration_s: runtime.elapsed_s(),
                     residency_s: runtime.residency_seconds().to_vec(),
+                    tx_epochs: tx.epochs.to_vec(),
+                    tx_bytes: tx.bytes.to_vec(),
+                    tx_charge_uc: tx.charge_uc.to_vec(),
                 }
             })
             .collect())
@@ -1255,7 +1351,7 @@ impl<'a, 's> FleetRunBuilder<'a, 's> {
                     .expect("no worker panicked holding a feed slot")
                     .take()
                     .expect("each feed chunk is claimed exactly once");
-                scheduler.run_feed_chunk(fleet.controller, group)
+                scheduler.run_feed_chunk(fleet, group)
             }?;
             {
                 let mut guard = shared.lock().expect("no worker panicked holding the aggregate");
@@ -1567,6 +1663,9 @@ mod tests {
             assert_eq!(feed_row.total_charge_uc, scenario_row.total_charge_uc);
             assert_eq!(feed_row.duration_s, scenario_row.duration_s);
             assert_eq!(feed_row.residency_s, scenario_row.residency_s);
+            assert_eq!(feed_row.tx_epochs, scenario_row.tx_epochs);
+            assert_eq!(feed_row.tx_bytes, scenario_row.tx_bytes);
+            assert_eq!(feed_row.tx_charge_uc, scenario_row.tx_charge_uc);
         }
     }
 
@@ -1652,6 +1751,64 @@ mod tests {
         let collected = scheduler.run_collect(&fleet).unwrap();
         assert_eq!(rows, collected.summaries, "spooled rows must round-trip bit-exactly");
         assert_eq!(report, collected.report);
+    }
+
+    #[test]
+    fn tx_enabled_fleets_price_every_classified_epoch_deterministically() {
+        let (spec, system) = shared_system();
+        let fleet =
+            FleetSpec { tx_ratio: Some(2), lockstep_devices: 4, ..FleetSpec::new(8, 24.0, 17) };
+        let single = FleetScheduler::new(spec, system).with_threads(1).run(&fleet).unwrap();
+        let parallel = FleetScheduler::new(spec, system).with_threads(4).run(&fleet).unwrap();
+        assert_eq!(single, parallel, "tx fleets must stay worker-count deterministic");
+        assert_eq!(single.encode(), parallel.encode(), "encodings must match bytewise");
+        // Every classified epoch transmits under exactly one policy.
+        assert_eq!(single.stats.tx_epochs.iter().sum::<u64>(), single.total_epochs());
+        assert!(single.total_tx_bytes() > 0);
+        assert!(single.total_tx_charge_uc() > 0.0);
+        let text = single.to_table_string();
+        assert!(text.contains("transmission breakdown:"), "missing tx section in:\n{text}");
+        // A radio-off fleet keeps the section (and the counters) out entirely.
+        let off = FleetScheduler::new(spec, system)
+            .run(&FleetSpec { tx_ratio: None, ..fleet.clone() })
+            .unwrap();
+        assert_eq!(off.stats.tx_epochs.iter().sum::<u64>(), 0);
+        assert!(!off.to_table_string().contains("transmission breakdown:"));
+        // The radio only ever adds charge on top of the sensing cost.
+        assert!(single.stats.charge_uc.value() > off.stats.charge_uc.value());
+    }
+
+    #[test]
+    fn tx_counters_survive_sharding_and_spool_replay() {
+        use crate::shard::{SpoolReader, SpoolWriter};
+
+        let (spec, system) = shared_system();
+        let fleet =
+            FleetSpec { tx_ratio: Some(4), lockstep_devices: 4, ..FleetSpec::new(12, 24.0, 23) };
+        let scheduler = FleetScheduler::new(spec, system).with_threads(2);
+        let monolithic = scheduler.run(&fleet).unwrap();
+        let mut bytes = Vec::new();
+        let mut writer = SpoolWriter::new(&mut bytes).unwrap();
+        let mut merged = FleetReport::new(fleet.controller.label());
+        for range in fleet.shards(3) {
+            merged.merge(&scheduler.run_shard(&fleet, range, &mut writer).unwrap()).unwrap();
+        }
+        writer.finish().unwrap();
+        assert_eq!(merged.encode(), monolithic.encode(), "shards must merge bytewise");
+        // Replaying the spooled rows rebuilds the identical report, per-policy
+        // transmission counters included.
+        let mut replayed = FleetReport::new(fleet.controller.label());
+        for row in SpoolReader::new(&bytes[..]).unwrap() {
+            replayed.observe(&row.unwrap());
+        }
+        assert_eq!(replayed.encode(), monolithic.encode(), "spool replay must match bytewise");
+        assert!(monolithic.stats.tx_epochs.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn zero_tx_ratio_is_rejected() {
+        let fleet = FleetSpec { tx_ratio: Some(0), ..FleetSpec::new(4, 30.0, 1) };
+        assert!(fleet.validate().is_err(), "a zero compression ratio must not validate");
     }
 
     #[test]

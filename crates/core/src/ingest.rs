@@ -46,6 +46,7 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::time::Duration;
 
 use adasense_data::{Activity, EPOCH_LABEL_OFFSET_S};
+use adasense_dsp::{ProjectionScratch, SparseProjection, FEATURE_DIM};
 use adasense_sensor::{Sample3, SensorConfig, TelemetryBatch};
 
 use crate::error::AdaSenseError;
@@ -60,15 +61,16 @@ pub mod serve;
 pub const WIRE_MAGIC: [u8; 4] = *b"ADSN";
 
 /// Wire-format version this build writes (see `docs/WIRE_FORMAT.md` for the
-/// versioning rules).  v2 added the RESUME frame kind; v1 streams — which by
-/// construction contain no RESUME frame — decode identically, so readers
-/// accept both.
-pub const WIRE_VERSION: u16 = 2;
+/// versioning rules).  v2 added the RESUME frame kind; v3 added the
+/// COMPRESSED batch frame (a seeded sparse-projection payload).  Streams of
+/// older versions — which by construction contain none of the newer frame
+/// kinds — decode identically, so readers accept all of them.
+pub const WIRE_VERSION: u16 = 3;
 
-/// Wire-format versions readers accept.  Every frame a v1 stream can carry
-/// means the same thing in v2, so accepting both costs nothing; anything else
-/// is rejected (no minor-version negotiation).
-const ACCEPTED_VERSIONS: [u16; 2] = [1, WIRE_VERSION];
+/// Wire-format versions readers accept.  Every frame an older stream can
+/// carry means the same thing in v3, so accepting all of them costs nothing;
+/// anything else is rejected (no minor-version negotiation).
+const ACCEPTED_VERSIONS: [u16; 3] = [1, 2, WIRE_VERSION];
 
 /// Frame-kind tag of a sample batch.
 const KIND_BATCH: u8 = 0x01;
@@ -79,6 +81,9 @@ const KIND_END: u8 = 0x02;
 const KIND_REPORT: u8 = 0x03;
 /// Frame-kind tag of a resume request (client→server on reconnect; v2).
 const KIND_RESUME: u8 = 0x04;
+/// Frame-kind tag of a compressed sample batch: a seeded sparse random
+/// projection of the window instead of its raw samples (v3).
+const KIND_COMPRESSED: u8 = 0x05;
 
 /// Exact payload length of a RESUME frame: kind byte + `device_id` + the
 /// index of the next batch the client wants.
@@ -89,6 +94,13 @@ const RESUME_PAYLOAD_LEN: usize = 1 + 8 + 8;
 const BATCH_HEAD_LEN: usize = 4 + 8 + 8 + 4;
 /// Encoded size of one sample (four little-endian `f64`s).
 const SAMPLE_LEN: usize = 32;
+/// Fixed part of a compressed-batch payload: the batch head fields plus the
+/// `u32` per-axis measurement count and the `u64` projection seed.
+const COMPRESSED_HEAD_LEN: usize = BATCH_HEAD_LEN + 4 + 8;
+/// Encoded size of one per-axis measurement triple (three little-endian
+/// `f64`s — timestamps are not transmitted; the decoder regenerates a uniform
+/// grid from `t_end`, `window_s` and the sample count).
+const MEASUREMENT_LEN: usize = 24;
 /// Upper bound on a frame payload, enforced by the decoder (rejecting
 /// corrupt length prefixes before any allocation) and by the encoder
 /// (refusing to produce a frame the decoder would reject).  The largest
@@ -146,6 +158,10 @@ pub const MAX_REPORT_FRAME_LEN: usize = 64 << 20;
 #[derive(Debug, Default)]
 pub struct FrameEncoder {
     buf: Vec<u8>,
+    /// Per-axis scratch for [`compressed`](FrameEncoder::compressed): the
+    /// de-interleaved axis samples and their projected measurements.
+    axis: Vec<f64>,
+    measurements: Vec<f64>,
 }
 
 impl FrameEncoder {
@@ -249,6 +265,101 @@ impl FrameEncoder {
         self.buf.extend_from_slice(&next_batch.to_le_bytes());
         &self.buf
     }
+
+    /// Encodes one length-prefixed compressed-batch frame (v3): the window is
+    /// replaced by a seeded sparse random projection of each axis, compressed
+    /// roughly `ratio`× (see [`SparseProjection`]).  The decoder reconstructs
+    /// the window deterministically from the carried seed, so compressed
+    /// frames flow through every consumer as ordinary batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch (there is nothing to project) or if the
+    /// encoded payload would exceed [`MAX_FRAME_LEN`] — impossible for any
+    /// batch the raw encoder accepts, since a compressed frame is strictly
+    /// smaller than its raw counterpart.
+    pub fn compressed(&mut self, batch: &TelemetryBatch, ratio: u32, seed: u64) -> &[u8] {
+        let samples = batch.samples.len();
+        assert!(samples > 0, "cannot compress an empty batch");
+        let projection = SparseProjection::new(seed, samples, ratio);
+        let coeffs = projection.output_len();
+        let payload_len = COMPRESSED_HEAD_LEN + coeffs * MEASUREMENT_LEN;
+        assert!(
+            payload_len <= MAX_FRAME_LEN,
+            "compressed batch of {coeffs} measurements encodes to {payload_len} B, above the \
+             {MAX_FRAME_LEN} B frame cap the decoder enforces"
+        );
+        self.buf.clear();
+        self.buf.reserve(4 + payload_len);
+        self.buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        self.buf.push(KIND_COMPRESSED);
+        self.buf.push(batch.config.index() as u8);
+        self.buf.push(batch.label);
+        self.buf.push(0); // reserved
+        self.buf.extend_from_slice(&batch.t_end.to_le_bytes());
+        self.buf.extend_from_slice(&batch.window_s.to_le_bytes());
+        self.buf.extend_from_slice(&(samples as u32).to_le_bytes());
+        self.buf.extend_from_slice(&(coeffs as u32).to_le_bytes());
+        self.buf.extend_from_slice(&seed.to_le_bytes());
+        // Measurements are written axis-major (all x, all y, all z) so the
+        // decoder can reconstruct one axis at a time from a contiguous slice.
+        self.axis.resize(samples, 0.0);
+        self.measurements.resize(coeffs, 0.0);
+        for extract in
+            [(|s: &Sample3| s.x) as fn(&Sample3) -> f64, |s: &Sample3| s.y, |s: &Sample3| s.z]
+        {
+            for (slot, sample) in self.axis.iter_mut().zip(&batch.samples) {
+                *slot = extract(sample);
+            }
+            projection.project_into(&self.axis, &mut self.measurements);
+            for value in &self.measurements {
+                self.buf.extend_from_slice(&value.to_le_bytes());
+            }
+        }
+        &self.buf
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-policy transmission sizes
+// ---------------------------------------------------------------------------
+
+/// On-wire size of one raw batch frame carrying `samples` samples (length
+/// prefix included) — what a transmit-raw device sends per epoch.
+pub fn raw_tx_bytes(samples: usize) -> usize {
+    4 + BATCH_HEAD_LEN + samples * SAMPLE_LEN
+}
+
+/// On-wire size of one feature-vector payload (length prefix and batch-style
+/// head included) — what a transmit-features device sends per epoch.  With
+/// the unified 15-dimensional feature vector this is 148 B, within rounding
+/// of the 144 B time-domain payload measured by Pagán et al.
+pub fn features_tx_bytes() -> usize {
+    4 + BATCH_HEAD_LEN + FEATURE_DIM * 8
+}
+
+/// On-wire size of one compressed batch frame for a `samples`-sample window
+/// at roughly `ratio`× compression (length prefix included) — what a
+/// transmit-compressed device sends per epoch.  Matches
+/// [`FrameEncoder::compressed`] byte for byte.
+pub fn compressed_tx_bytes(samples: usize, ratio: u32) -> usize {
+    let coeffs = SparseProjection::new(0, samples.max(1), ratio).output_len();
+    4 + COMPRESSED_HEAD_LEN + coeffs * MEASUREMENT_LEN
+}
+
+/// The canonical per-frame projection seed: a splitmix64-style mix of the
+/// device id and the batch index, so every frame of every device projects
+/// through a different — but fully reproducible — matrix.  The seed travels
+/// in the frame, so decoders never need to recompute it; this helper only
+/// keeps the *encoding* sides (server, tests, sweeps) in agreement.
+pub fn compressed_frame_seed(device_id: u64, batch_index: u64) -> u64 {
+    let mut z = device_id
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(batch_index)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 // ---------------------------------------------------------------------------
@@ -429,8 +540,100 @@ fn decode_frame_payload(
             let next_batch = u64::from_le_bytes(payload[9..17].try_into().expect("8-byte slice"));
             Ok(FrameKind::Resume { device_id, next_batch })
         }
+        KIND_COMPRESSED => {
+            if len > MAX_FRAME_LEN {
+                return Err(AdaSenseError::ingest(format!(
+                    "compressed frame length {len} exceeds the {MAX_FRAME_LEN} B cap"
+                )));
+            }
+            decode_compressed_payload(payload, batch)?;
+            Ok(FrameKind::Batch)
+        }
         kind => Err(AdaSenseError::ingest(format!("unknown frame kind {kind:#04x}"))),
     }
+}
+
+/// Decodes a complete compressed-batch payload (kind byte included) into
+/// `batch`, reconstructing the window from its sparse-projection measurements
+/// (see `docs/WIRE_FORMAT.md` § COMPRESSED).  Reconstruction is a pure
+/// function of the carried seed and measurements, so replaying a compressed
+/// stream is as deterministic as replaying a raw one.  Timestamps are
+/// regenerated on a uniform grid ending at `t_end`.
+fn decode_compressed_payload(
+    payload: &[u8],
+    batch: &mut TelemetryBatch,
+) -> Result<(), AdaSenseError> {
+    if payload.len() < COMPRESSED_HEAD_LEN {
+        return Err(AdaSenseError::ingest(format!(
+            "compressed frame has length {}, expected at least {COMPRESSED_HEAD_LEN}",
+            payload.len()
+        )));
+    }
+    let config = SensorConfig::from_index(payload[1] as usize).ok_or_else(|| {
+        AdaSenseError::ingest(format!("invalid sensor-configuration tag {}", payload[1]))
+    })?;
+    let label = payload[2];
+    if label as usize >= Activity::COUNT {
+        return Err(AdaSenseError::ingest(format!(
+            "invalid class label {label} (must be < {})",
+            Activity::COUNT
+        )));
+    }
+    let t_end = f64::from_le_bytes(payload[4..12].try_into().expect("8-byte slice"));
+    let window_s = f64::from_le_bytes(payload[12..20].try_into().expect("8-byte slice"));
+    if !t_end.is_finite() || !window_s.is_finite() || window_s <= 0.0 {
+        return Err(AdaSenseError::ingest(format!(
+            "batch times are not sane (t_end {t_end}, window {window_s})"
+        )));
+    }
+    let samples = u32::from_le_bytes(payload[20..24].try_into().expect("4-byte slice")) as usize;
+    let coeffs = u32::from_le_bytes(payload[24..28].try_into().expect("4-byte slice")) as usize;
+    if samples == 0 || coeffs == 0 || coeffs > samples {
+        return Err(AdaSenseError::ingest(format!(
+            "compressed frame carries {coeffs} measurements for {samples} samples"
+        )));
+    }
+    if samples > MAX_FRAME_LEN / SAMPLE_LEN {
+        return Err(AdaSenseError::ingest(format!(
+            "compressed frame claims {samples} samples, above the raw-frame bound"
+        )));
+    }
+    let seed = u64::from_le_bytes(payload[28..36].try_into().expect("8-byte slice"));
+    if payload.len() != COMPRESSED_HEAD_LEN + coeffs * MEASUREMENT_LEN {
+        return Err(AdaSenseError::ingest(format!(
+            "compressed frame length {} does not match its measurement count {coeffs}",
+            payload.len()
+        )));
+    }
+    let projection = SparseProjection::with_lengths(seed, samples, coeffs);
+    let mut measurements = vec![0.0; coeffs];
+    let mut axis = vec![0.0; samples];
+    let mut scratch = ProjectionScratch::default();
+
+    batch.reset(config, t_end, window_s, label);
+    let step = window_s / samples as f64;
+    let t0 = t_end - window_s;
+    batch.samples.reserve(samples);
+    for i in 0..samples {
+        batch.samples.push(Sample3::new(t0 + (i + 1) as f64 * step, 0.0, 0.0, 0.0));
+    }
+    for axis_index in 0..3 {
+        let base = COMPRESSED_HEAD_LEN + axis_index * coeffs * 8;
+        for (slot, chunk) in
+            measurements.iter_mut().zip(payload[base..base + coeffs * 8].chunks_exact(8))
+        {
+            *slot = f64::from_le_bytes(chunk.try_into().expect("8-byte slice"));
+        }
+        projection.reconstruct_into(&measurements, &mut axis, &mut scratch);
+        for (sample, &value) in batch.samples.iter_mut().zip(&axis) {
+            match axis_index {
+                0 => sample.x = value,
+                1 => sample.y = value,
+                _ => sample.z = value,
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Decodes a complete batch payload (kind byte included) into `batch`.
@@ -1427,6 +1630,9 @@ mod tests {
             total_charge_uc: 830.0,
             duration_s: 20.0,
             residency_s: vec![20.0],
+            tx_epochs: vec![0, 10, 0],
+            tx_bytes: vec![0, 1480, 0],
+            tx_charge_uc: vec![0.0, 5970.0, 0.0],
         });
         let bytes = report.encode();
 
@@ -1763,5 +1969,128 @@ mod tests {
     #[test]
     fn zero_capacity_rings_are_rejected() {
         assert!(std::panic::catch_unwind(|| telemetry_channel(0)).is_err());
+    }
+
+    /// Encodes a full compressed stream (header, one compressed frame per
+    /// batch, END) from raw batches.
+    fn compressed_stream(batches: &[TelemetryBatch], ratio: u32) -> Vec<u8> {
+        let mut encoder = FrameEncoder::new();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(encoder.header());
+        for (index, batch) in batches.iter().enumerate() {
+            stream.extend_from_slice(encoder.compressed(
+                batch,
+                ratio,
+                compressed_frame_seed(7, index as u64),
+            ));
+        }
+        stream.extend_from_slice(encoder.end(batches.len() as u64));
+        stream
+    }
+
+    #[test]
+    fn compressed_frames_decode_as_deterministic_batches() {
+        let batches: Vec<_> = (2..6).map(|t| sample_batch(t as f64)).collect();
+        let stream = compressed_stream(&batches, 2);
+        let first = TelemetryTrace::decode(&stream).expect("compressed stream decodes");
+        let second = TelemetryTrace::decode(&stream).expect("second decode succeeds");
+        assert_eq!(first.len(), batches.len());
+        for (restored, original) in first.batches.iter().zip(&batches) {
+            assert_eq!(restored.config, original.config);
+            assert_eq!(restored.label, original.label);
+            assert_eq!(restored.t_end.to_bits(), original.t_end.to_bits());
+            assert_eq!(restored.window_s.to_bits(), original.window_s.to_bits());
+            assert_eq!(restored.samples.len(), original.samples.len());
+        }
+        // Reconstruction is a pure function of the frame bytes: two decodes
+        // of the same stream agree bit for bit.
+        for (a, b) in first.batches.iter().zip(&second.batches) {
+            for (x, y) in a.samples.iter().zip(&b.samples) {
+                assert_eq!(x.t.to_bits(), y.t.to_bits());
+                assert_eq!(x.x.to_bits(), y.x.to_bits());
+                assert_eq!(x.y.to_bits(), y.y.to_bits());
+                assert_eq!(x.z.to_bits(), y.z.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_frames_are_smaller_and_sized_as_promised() {
+        let batch = sample_batch(2.0);
+        let mut encoder = FrameEncoder::new();
+        for ratio in [2u32, 4, 8] {
+            let frame = encoder.compressed(&batch, ratio, 99).to_vec();
+            assert_eq!(frame.len(), compressed_tx_bytes(batch.samples.len(), ratio));
+            assert!(frame.len() < raw_tx_bytes(batch.samples.len()));
+        }
+        // Above ~2× compression the byte saving is real, which is what makes
+        // local processing competitive with transmit-raw.
+        assert!(compressed_tx_bytes(200, 2) * 2 < raw_tx_bytes(200) + 100);
+    }
+
+    #[test]
+    fn every_strict_prefix_of_a_compressed_stream_is_rejected() {
+        let batches: Vec<_> = (2..4).map(|t| sample_batch(t as f64)).collect();
+        let stream = compressed_stream(&batches, 4);
+        for cut in 0..stream.len() {
+            assert!(
+                TelemetryTrace::decode(&stream[..cut]).is_err(),
+                "a compressed stream truncated at byte {cut}/{} must not decode",
+                stream.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_compressed_frames_are_rejected_not_panicked() {
+        let good = compressed_stream(&[sample_batch(2.0)], 2);
+
+        // Measurement count above the sample count (coeffs field lives at
+        // payload offset 24; header 8 B + length prefix 4 B before it).
+        let mut bad_coeffs = good.clone();
+        bad_coeffs[36..40].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(TelemetryTrace::decode(&bad_coeffs).is_err());
+
+        // Zero samples (samples field at payload offset 20).
+        let mut bad_samples = good.clone();
+        bad_samples[32..36].copy_from_slice(&0u32.to_le_bytes());
+        assert!(TelemetryTrace::decode(&bad_samples).is_err());
+
+        // Bad configuration tag.
+        let mut bad_config = good.clone();
+        bad_config[13] = 200;
+        assert!(TelemetryTrace::decode(&bad_config).is_err());
+
+        assert!(TelemetryTrace::decode(&good).is_ok(), "the uncorrupted stream stays valid");
+    }
+
+    #[test]
+    fn compressed_batches_reconstruct_close_to_the_original() {
+        // A smooth gravity-plus-oscillation window must survive 2×
+        // compression with small relative error — the property the
+        // transmit-compressed policy's accuracy claim rests on.
+        let config = SensorConfig::paper_pareto_front()[0];
+        let samples: Vec<Sample3> = (0..200)
+            .map(|i| {
+                let t = i as f64 / 100.0;
+                Sample3::new(
+                    t,
+                    0.05 * (std::f64::consts::TAU * 1.3 * t).sin(),
+                    -0.04 * (std::f64::consts::TAU * 0.7 * t).cos(),
+                    1.0 + 0.3 * (std::f64::consts::TAU * 2.1 * t).sin(),
+                )
+            })
+            .collect();
+        let batch = TelemetryBatch::new(config, 2.0, 2.0, 0, samples);
+        let stream = compressed_stream(std::slice::from_ref(&batch), 2);
+        let decoded = TelemetryTrace::decode(&stream).expect("stream decodes");
+        let restored = &decoded.batches[0];
+        let mut err = 0.0;
+        let mut norm = 0.0;
+        for (a, b) in batch.samples.iter().zip(&restored.samples) {
+            err += (a.z - b.z).powi(2);
+            norm += a.z * a.z;
+        }
+        assert!(err / norm < 0.05, "z-axis relative error {} too high", err / norm);
     }
 }

@@ -126,6 +126,41 @@ impl TelemetryServe {
         })
     }
 
+    /// Like [`bind`](TelemetryServe::bind), but every batch is served as a v3
+    /// COMPRESSED frame at roughly `ratio`× compression, seeded per frame by
+    /// [`compressed_frame_seed`](crate::ingest::compressed_frame_seed).
+    /// Everything else — the RESUME handshake, per-frame resume offsets,
+    /// chaos kills — behaves identically, which is exactly the point:
+    /// compressed payloads ride the same frame machinery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaSenseError::Ingest`] if the listener cannot be bound.
+    pub fn bind_compressed(
+        addr: &str,
+        traces: Vec<(u64, TelemetryTrace)>,
+        ratio: u32,
+    ) -> Result<Self, AdaSenseError> {
+        let mut serve = Self::bind(addr, Vec::new())?;
+        let mut encoder = FrameEncoder::new();
+        serve.devices = traces
+            .into_iter()
+            .map(|(device_id, trace)| {
+                let frames = trace
+                    .batches
+                    .iter()
+                    .enumerate()
+                    .map(|(index, b)| {
+                        let seed = crate::ingest::compressed_frame_seed(device_id, index as u64);
+                        encoder.compressed(b, ratio, seed).to_vec()
+                    })
+                    .collect();
+                (device_id, DeviceStream { frames })
+            })
+            .collect();
+        Ok(serve)
+    }
+
     /// Tears each device's *first* stream after `bytes` of the response have
     /// been written (clamped so at least the stream's final byte is still
     /// unsent), forcing the client through the RESUME reconnect path.  The

@@ -82,7 +82,9 @@ pub mod simulation;
 pub mod training;
 
 pub use controller::{ControllerInput, ControllerKind, SensorController, SpotController};
-pub use dse::{ConfigEvaluation, DesignSpaceExploration, DseReport};
+pub use dse::{
+    ConfigEvaluation, DesignSpaceExploration, DseReport, TxDseReport, TxEvaluation, TxExploration,
+};
 pub use error::AdaSenseError;
 pub use fleet::{
     BackendBreakdown, DeviceSummary, ExternalDevice, FleetReport, FleetRun, FleetRunBuilder,
@@ -100,7 +102,8 @@ pub use ingest::{
 pub use pareto::pareto_front;
 pub use pipeline::{ClassifiedBatch, HarPipeline};
 pub use runtime::{
-    DeviceRuntime, SampleSource, ScenarioSource, SourceStatus, TickPhase, TickResult,
+    DeviceRuntime, SampleSource, ScenarioSource, SourceStatus, TickPhase, TickResult, TxSetup,
+    TxTally,
 };
 pub use scenario::{
     BackendSpec, DeviceProfile, FaultInjector, FaultLevel, FaultPlan, FaultProfile, FaultWindow,
@@ -120,7 +123,10 @@ pub mod prelude {
         ControllerInput, ControllerKind, IntensityBasedController, SensorController,
         SpotController, StaticController,
     };
-    pub use crate::dse::{ConfigEvaluation, DesignSpaceExploration, DseReport};
+    pub use crate::dse::{
+        ConfigEvaluation, DesignSpaceExploration, DseReport, TxDseReport, TxEvaluation,
+        TxExploration,
+    };
     pub use crate::error::AdaSenseError;
     pub use crate::experiments;
     pub use crate::fleet::{
@@ -139,7 +145,8 @@ pub mod prelude {
     pub use crate::pareto::pareto_front;
     pub use crate::pipeline::{ClassifiedBatch, HarPipeline};
     pub use crate::runtime::{
-        DeviceRuntime, SampleSource, ScenarioSource, SourceStatus, TickPhase, TickResult,
+        DeviceRuntime, SampleSource, ScenarioSource, SourceStatus, TickPhase, TickResult, TxSetup,
+        TxTally,
     };
     pub use crate::scenario::{
         BackendSpec, DeviceProfile, FaultInjector, FaultLevel, FaultPlan, FaultProfile,

@@ -17,9 +17,11 @@
 //! [`SensorConfig::index`] instead of a map keyed by label strings.
 
 use adasense_data::{Activity, ActivityTrace};
-use adasense_dsp::IntensityEstimator;
+use adasense_dsp::{IntensityEstimator, ProjectionScratch, SparseProjection};
 use adasense_ml::{CascadeStage, Classifier, Prediction};
-use adasense_sensor::{Accelerometer, Charge, EnergyModel, NoiseModel, Sample3, SensorConfig};
+use adasense_sensor::{
+    Accelerometer, Charge, EnergyModel, NoiseModel, RadioModel, Sample3, SensorConfig, TxPolicy,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -253,6 +255,61 @@ struct PendingTick {
     charge: Charge,
 }
 
+/// Transmission configuration for a device, opted into with
+/// [`DeviceRuntime::with_tx`].  Without it the runtime models sensing energy
+/// only, exactly as before — every existing driver is unaffected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxSetup {
+    /// The radio energy model pricing every transmitted payload.
+    pub radio: RadioModel,
+    /// Compression ratio of the sparse random projection behind
+    /// [`TxPolicy::Compressed`] payloads (samples per transmitted coefficient).
+    pub ratio: u32,
+    /// Base seed mixed with the tick index to derive each window's projection
+    /// seed (use the device seed so fleet devices project independently).
+    pub seed: u64,
+}
+
+impl TxSetup {
+    /// Transmission over the calibrated BLE radio with projection `ratio`.
+    pub fn ble(ratio: u32) -> Self {
+        Self { radio: RadioModel::ble(), ratio, seed: 0 }
+    }
+
+    /// Replaces the base projection seed (mixed per window).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Per-policy accounting of what a transmission-enabled device sent: epochs,
+/// payload bytes and radio charge, each indexed by [`TxPolicy::index`].  Plain
+/// counter addition makes the tally mergeable across devices and shards, like
+/// [`CascadeTally`].  All counters stay zero when the device has no
+/// [`TxSetup`], so the tally doubles as a "did this device transmit" marker.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TxTally {
+    /// Classified epochs transmitted under each policy.
+    pub epochs: [u64; TxPolicy::COUNT],
+    /// Payload bytes (length prefix + frame) sent under each policy.
+    pub bytes: [u64; TxPolicy::COUNT],
+    /// Radio charge in µC spent under each policy.
+    pub charge_uc: [f64; TxPolicy::COUNT],
+}
+
+/// Scratch state of a transmission-enabled device: the tally plus reusable
+/// projection buffers, so the compressed path allocates nothing per tick once
+/// warmed up.
+#[derive(Debug, Default)]
+struct TxState {
+    tally: TxTally,
+    axis: Vec<f64>,
+    measurements: Vec<f64>,
+    recon: Vec<f64>,
+    scratch: ProjectionScratch,
+}
+
 /// The per-second closed loop of one simulated wearable, advanced tick by tick.
 ///
 /// Construct with [`DeviceRuntime::for_scenario`] (finite, scenario-driven) or
@@ -286,6 +343,8 @@ pub struct DeviceRuntime<'a, S: SampleSource> {
     pending: Option<PendingTick>,
     window: Vec<Sample3>,
     features: Vec<f64>,
+    tx_setup: Option<TxSetup>,
+    tx: TxState,
     // Accumulators.
     records: Vec<EpochRecord>,
     epochs: usize,
@@ -361,6 +420,8 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
             pending: None,
             window: Vec::new(),
             features: Vec::new(),
+            tx_setup: None,
+            tx: TxState::default(),
             records: Vec::new(),
             epochs: 0,
             correct: 0,
@@ -413,6 +474,19 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
         self
     }
 
+    /// Enables transmission modelling: every classified epoch the controller's
+    /// [`TxPolicy`](crate::controller::SensorController::tx_policy) prices a
+    /// payload against `setup.radio`, the charge joins the tick's energy and
+    /// the per-policy [`TxTally`] counters, and
+    /// [`TxPolicy::Compressed`] epochs classify the window *as the host would
+    /// see it* — projected through the seeded sparse random projection and
+    /// reconstructed — so the accuracy cost of compression is part of the
+    /// closed loop, not an afterthought.
+    pub fn with_tx(mut self, setup: TxSetup) -> Self {
+        self.tx_setup = Some(setup);
+        self
+    }
+
     /// The sample source this runtime is consuming (for example to read fault
     /// exposure counters off a [`crate::scenario::FaultInjector`] after a run).
     pub fn source(&self) -> &S {
@@ -450,6 +524,12 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
     /// (all zero when the backend has no cascade structure).
     pub fn cascade_tally(&self) -> CascadeTally {
         self.cascade
+    }
+
+    /// Per-policy transmission counters (all zero without
+    /// [`with_tx`](DeviceRuntime::with_tx)).
+    pub fn tx_tally(&self) -> TxTally {
+        self.tx.tally
     }
 
     /// Total sensor charge consumed so far.
@@ -494,18 +574,22 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
             return TickPhase::Exhausted;
         }
         let config = self.controller.config();
-        let charge = self.energy.charge_over(config, self.epoch_s);
-        self.total_charge += charge;
+        let mut charge = self.energy.charge_over(config, self.epoch_s);
         self.residency_s[config.index()] += self.epoch_s;
 
         self.ticks += 1;
         let t_end = self.ticks as f64 * self.epoch_s;
         if t_end + 1e-9 < self.window_s {
             // Still filling the first buffer.
+            self.total_charge += charge;
             return TickPhase::Idle(TickResult { t_s: t_end, config, charge, record: None });
         }
 
         self.source.capture_window(config, t_end, self.window_s, &mut self.window);
+        if let Some(setup) = self.tx_setup {
+            charge += self.transmit_window(&setup);
+        }
+        self.total_charge += charge;
         self.system.extractor().extract_into(
             &self.window,
             config.frequency.hz(),
@@ -513,6 +597,55 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
         );
         self.pending = Some(PendingTick { config, t_end, charge });
         TickPhase::Classify
+    }
+
+    /// Prices the captured window under the controller's transmission policy,
+    /// folds the payload into the per-policy tally, and — for compressed
+    /// payloads — replaces the window with what the host reconstructs from the
+    /// projected measurements, so the classifier judges exactly the data the
+    /// receiving side would.  Returns the radio charge of the payload.
+    fn transmit_window(&mut self, setup: &TxSetup) -> Charge {
+        let policy = self.controller.tx_policy();
+        let n = self.window.len();
+        let bytes = match policy {
+            TxPolicy::Raw => crate::ingest::raw_tx_bytes(n),
+            TxPolicy::Features => crate::ingest::features_tx_bytes(),
+            TxPolicy::Compressed => crate::ingest::compressed_tx_bytes(n, setup.ratio),
+        };
+        let tx_charge = setup.radio.tx_charge(bytes);
+        self.tx.tally.epochs[policy.index()] += 1;
+        self.tx.tally.bytes[policy.index()] += bytes as u64;
+        self.tx.tally.charge_uc[policy.index()] += tx_charge.micro_coulombs();
+        if policy == TxPolicy::Compressed && n > 0 {
+            let seed = crate::ingest::compressed_frame_seed(setup.seed, self.ticks as u64);
+            let projection = SparseProjection::new(seed, n, setup.ratio);
+            self.tx.axis.resize(n, 0.0);
+            self.tx.measurements.resize(projection.output_len(), 0.0);
+            self.tx.recon.resize(n, 0.0);
+            for axis_index in 0..3 {
+                for (slot, sample) in self.tx.axis.iter_mut().zip(self.window.iter()) {
+                    *slot = match axis_index {
+                        0 => sample.x,
+                        1 => sample.y,
+                        _ => sample.z,
+                    };
+                }
+                projection.project_into(&self.tx.axis, &mut self.tx.measurements);
+                projection.reconstruct_into(
+                    &self.tx.measurements,
+                    &mut self.tx.recon,
+                    &mut self.tx.scratch,
+                );
+                for (sample, value) in self.window.iter_mut().zip(self.tx.recon.iter()) {
+                    match axis_index {
+                        0 => sample.x = *value,
+                        1 => sample.y = *value,
+                        _ => sample.z = *value,
+                    }
+                }
+            }
+        }
+        tx_charge
     }
 
     /// The feature vector of the pending classification.
@@ -599,6 +732,7 @@ impl<'a, S: SampleSource> DeviceRuntime<'a, S> {
             predicted,
             confidence: prediction.confidence,
             intensity_g_per_s: self.intensity_estimator.intensity(&self.window),
+            escalated: stage == CascadeStage::Escalated,
         });
         TickResult { t_s: t_end, config, charge, record: Some(record) }
     }
@@ -911,6 +1045,99 @@ mod tests {
         runtime.run_to_completion();
         assert_eq!(runtime.ticks(), 4);
         assert_eq!(runtime.epochs(), 3);
+    }
+
+    #[test]
+    fn tx_disabled_runtimes_report_a_zero_tally() {
+        let (spec, system) = shared_system();
+        let scenario = ScenarioSpec::sit_then_walk(8.0, 8.0);
+        let controller = ControllerKind::Spot { stability_threshold: 2 };
+        let mut runtime = DeviceRuntime::for_scenario(spec, system, controller, &scenario).unwrap();
+        runtime.run_to_completion();
+        assert_eq!(runtime.tx_tally(), TxTally::default());
+    }
+
+    #[test]
+    fn tx_charges_every_classified_epoch_exactly_once() {
+        let (spec, system) = shared_system();
+        let scenario = ScenarioSpec::sit_then_walk(10.0, 10.0);
+        let controller = ControllerKind::Spot { stability_threshold: 2 };
+
+        let mut plain = DeviceRuntime::for_scenario(spec, system, controller, &scenario).unwrap();
+        plain.run_to_completion();
+
+        let setup = TxSetup::ble(4).with_seed(99);
+        let mut tx = DeviceRuntime::for_scenario(spec, system, controller, &scenario)
+            .unwrap()
+            .with_tx(setup);
+        tx.run_to_completion();
+
+        let tally = tx.tx_tally();
+        assert_eq!(tally.epochs.iter().sum::<u64>(), tx.epochs() as u64);
+        let radio_uc: f64 = tally.charge_uc.iter().sum();
+        assert!(radio_uc > 0.0);
+        // Radio charge is what separates the two total-charge figures as long
+        // as every epoch stayed on Raw/Features payloads (identical windows);
+        // with compressed epochs the trajectories may diverge, so only check
+        // the exact split when none occurred.
+        if tally.epochs[TxPolicy::Compressed.index()] == 0 {
+            let sensing_uc = tx.total_charge().micro_coulombs() - radio_uc;
+            assert!((sensing_uc - plain.total_charge().micro_coulombs()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spot_transmission_settles_off_raw_payloads() {
+        let (spec, system) = shared_system();
+        // A long single-activity scenario: SPOT settles, so the raw-payload
+        // epochs must be a small prefix and cheaper policies must dominate.
+        let scenario = ScenarioSpec::sit_then_walk(60.0, 1.0);
+        let controller = ControllerKind::Spot { stability_threshold: 2 };
+        let mut runtime = DeviceRuntime::for_scenario(spec, system, controller, &scenario)
+            .unwrap()
+            .with_tx(TxSetup::ble(4).with_seed(7));
+        runtime.run_to_completion();
+        let tally = runtime.tx_tally();
+        let raw = tally.epochs[TxPolicy::Raw.index()];
+        let local =
+            tally.epochs[TxPolicy::Features.index()] + tally.epochs[TxPolicy::Compressed.index()];
+        assert!(raw > 0, "the pessimistic prior starts on raw payloads");
+        assert!(local > raw, "a settled stream must mostly ship local payloads");
+        // Per-epoch byte cost must be ordered raw > features > compressed.
+        let mean = |policy: TxPolicy| {
+            let i = policy.index();
+            if tally.epochs[i] == 0 {
+                return f64::NAN;
+            }
+            tally.bytes[i] as f64 / tally.epochs[i] as f64
+        };
+        let raw_mean = mean(TxPolicy::Raw);
+        for cheaper in [mean(TxPolicy::Features), mean(TxPolicy::Compressed)] {
+            if cheaper.is_finite() {
+                assert!(cheaper < raw_mean);
+            }
+        }
+    }
+
+    #[test]
+    fn tx_runs_are_deterministic() {
+        let (spec, system) = shared_system();
+        let scenario = ScenarioSpec::sit_then_walk(20.0, 20.0);
+        let controller = ControllerKind::SpotWithConfidence {
+            stability_threshold: 2,
+            confidence_threshold: 0.85,
+        };
+        let run = |seed: u64| {
+            let mut runtime = DeviceRuntime::for_scenario(spec, system, controller, &scenario)
+                .unwrap()
+                .with_tx(TxSetup::ble(2).with_seed(seed));
+            runtime.run_to_completion();
+            (runtime.tx_tally(), runtime.report())
+        };
+        let (tally_a, report_a) = run(5);
+        let (tally_b, report_b) = run(5);
+        assert_eq!(tally_a, tally_b);
+        assert_eq!(report_a, report_b);
     }
 
     #[test]

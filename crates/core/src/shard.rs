@@ -47,7 +47,7 @@
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 
-use adasense_sensor::SensorConfig;
+use adasense_sensor::{SensorConfig, TxPolicy};
 
 use crate::error::AdaSenseError;
 use crate::fleet::DeviceSummary;
@@ -639,8 +639,9 @@ impl GroupStat {
 /// Magic bytes opening an encoded fleet-report aggregate.
 pub const REPORT_MAGIC: [u8; 4] = *b"ADSR";
 /// Version of the report encoding this build writes and accepts.
-/// Version 2 added the cascade early-exit/escalation counters.
-pub const REPORT_VERSION: u16 = 2;
+/// Version 2 added the cascade early-exit/escalation counters; version 3
+/// added the per-policy transmission counters.
+pub const REPORT_VERSION: u16 = 3;
 
 /// The complete mergeable state of a fleet report: everything
 /// [`FleetReport`](crate::fleet::FleetReport) can answer, in memory bounded
@@ -670,6 +671,13 @@ pub struct FleetStats {
     pub escalated_epochs: u64,
     /// Escalated epochs classified correctly.
     pub escalated_correct: u64,
+    /// Total classified epochs transmitted under each [`TxPolicy`], indexed
+    /// by [`TxPolicy::index`] (all zero when transmission modelling is off).
+    pub tx_epochs: [u64; TxPolicy::COUNT],
+    /// Total payload bytes transmitted under each policy.
+    pub tx_bytes: [u64; TxPolicy::COUNT],
+    /// Exact total radio charge spent under each policy, µC.
+    pub tx_charge_uc: [ExactSum; TxPolicy::COUNT],
     /// Exact total simulated duration, seconds.
     pub duration_s: ExactSum,
     /// Exact total sensor charge, µC.
@@ -708,6 +716,11 @@ impl FleetStats {
         self.early_exit_correct += device.early_exit_correct as u64;
         self.escalated_epochs += device.escalated_epochs as u64;
         self.escalated_correct += device.escalated_correct as u64;
+        for index in 0..TxPolicy::COUNT {
+            self.tx_epochs[index] += device.tx_epochs.get(index).copied().unwrap_or(0);
+            self.tx_bytes[index] += device.tx_bytes.get(index).copied().unwrap_or(0);
+            self.tx_charge_uc[index].add(device.tx_charge_uc.get(index).copied().unwrap_or(0.0));
+        }
         self.duration_s.add(device.duration_s);
         self.charge_uc.add(device.total_charge_uc);
         self.accuracy.observe(device.accuracy);
@@ -731,6 +744,11 @@ impl FleetStats {
         self.early_exit_correct += other.early_exit_correct;
         self.escalated_epochs += other.escalated_epochs;
         self.escalated_correct += other.escalated_correct;
+        for index in 0..TxPolicy::COUNT {
+            self.tx_epochs[index] += other.tx_epochs[index];
+            self.tx_bytes[index] += other.tx_bytes[index];
+            self.tx_charge_uc[index].merge(&other.tx_charge_uc[index]);
+        }
         self.duration_s.merge(&other.duration_s);
         self.charge_uc.merge(&other.charge_uc);
         self.accuracy.merge(&other.accuracy);
@@ -759,6 +777,11 @@ impl FleetStats {
         out.extend_from_slice(&self.early_exit_correct.to_le_bytes());
         out.extend_from_slice(&self.escalated_epochs.to_le_bytes());
         out.extend_from_slice(&self.escalated_correct.to_le_bytes());
+        for index in 0..TxPolicy::COUNT {
+            out.extend_from_slice(&self.tx_epochs[index].to_le_bytes());
+            out.extend_from_slice(&self.tx_bytes[index].to_le_bytes());
+            self.tx_charge_uc[index].encode_into(out);
+        }
         self.duration_s.encode_into(out);
         self.charge_uc.encode_into(out);
         self.accuracy.encode_into(out);
@@ -783,6 +806,14 @@ impl FleetStats {
         let early_exit_correct = cursor.u64()?;
         let escalated_epochs = cursor.u64()?;
         let escalated_correct = cursor.u64()?;
+        let mut tx_epochs = [0u64; TxPolicy::COUNT];
+        let mut tx_bytes = [0u64; TxPolicy::COUNT];
+        let mut tx_charge_uc: [ExactSum; TxPolicy::COUNT] = Default::default();
+        for index in 0..TxPolicy::COUNT {
+            tx_epochs[index] = cursor.u64()?;
+            tx_bytes[index] = cursor.u64()?;
+            tx_charge_uc[index] = ExactSum::decode_from(cursor)?;
+        }
         let duration_s = ExactSum::decode_from(cursor)?;
         let charge_uc = ExactSum::decode_from(cursor)?;
         let accuracy = MetricStat::decode_from(cursor)?;
@@ -810,6 +841,9 @@ impl FleetStats {
             early_exit_correct,
             escalated_epochs,
             escalated_correct,
+            tx_epochs,
+            tx_bytes,
+            tx_charge_uc,
             duration_s,
             charge_uc,
             accuracy,
@@ -950,8 +984,9 @@ impl SummarySink for Vec<DeviceSummary> {
 /// Magic bytes opening a device-summary spool.
 pub const SPOOL_MAGIC: [u8; 4] = *b"ADSP";
 /// Version of the spool encoding this build writes and accepts.
-/// Version 2 added the per-row cascade early-exit/escalation counters.
-pub const SPOOL_VERSION: u16 = 2;
+/// Version 2 added the per-row cascade early-exit/escalation counters;
+/// version 3 added the per-policy transmission counters.
+pub const SPOOL_VERSION: u16 = 3;
 
 /// Frame-kind tag of one spooled row.
 const SPOOL_KIND_ROW: u8 = 0x01;
@@ -1051,6 +1086,15 @@ impl<W: Write + Send> SummarySink for SpoolWriter<W> {
         self.buf.extend_from_slice(&(row.residency_s.len() as u16).to_le_bytes());
         for seconds in &row.residency_s {
             self.buf.extend_from_slice(&seconds.to_le_bytes());
+        }
+        self.buf.extend_from_slice(&(row.tx_epochs.len() as u16).to_le_bytes());
+        for index in 0..row.tx_epochs.len() {
+            self.buf.extend_from_slice(&row.tx_epochs[index].to_le_bytes());
+            self.buf
+                .extend_from_slice(&row.tx_bytes.get(index).copied().unwrap_or(0).to_le_bytes());
+            self.buf.extend_from_slice(
+                &row.tx_charge_uc.get(index).copied().unwrap_or(0.0).to_le_bytes(),
+            );
         }
         let payload_len = self.buf.len() - 4;
         assert!(payload_len <= SPOOL_MAX_FRAME, "spool row exceeds the frame cap");
@@ -1187,6 +1231,21 @@ fn decode_summary(cursor: &mut ByteCursor<'_>) -> Result<DeviceSummary, AdaSense
     for _ in 0..residency_len {
         residency_s.push(cursor.f64()?);
     }
+    let tx_len = cursor.u16()? as usize;
+    if tx_len > TxPolicy::COUNT {
+        return Err(AdaSenseError::shard(format!(
+            "spooled row carries {tx_len} transmission entries, this build has {}",
+            TxPolicy::COUNT
+        )));
+    }
+    let mut tx_epochs = Vec::with_capacity(tx_len);
+    let mut tx_bytes = Vec::with_capacity(tx_len);
+    let mut tx_charge_uc = Vec::with_capacity(tx_len);
+    for _ in 0..tx_len {
+        tx_epochs.push(cursor.u64()?);
+        tx_bytes.push(cursor.u64()?);
+        tx_charge_uc.push(cursor.f64()?);
+    }
     Ok(DeviceSummary {
         device_id,
         seed,
@@ -1204,6 +1263,9 @@ fn decode_summary(cursor: &mut ByteCursor<'_>) -> Result<DeviceSummary, AdaSense
         total_charge_uc,
         duration_s,
         residency_s,
+        tx_epochs,
+        tx_bytes,
+        tx_charge_uc,
     })
 }
 
@@ -1481,6 +1543,9 @@ mod tests {
             total_charge_uc: 1234.5,
             duration_s: 20.0,
             residency_s: vec![1.0, 2.0, 17.0],
+            tx_epochs: vec![3, 15, 2],
+            tx_bytes: vec![9276, 2220, 3104],
+            tx_charge_uc: vec![37119.0, 8895.0, 12431.0],
         }
     }
 

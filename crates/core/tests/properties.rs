@@ -88,6 +88,7 @@ proptest! {
                 predicted: activity,
                 confidence: rng.random_range(0.3..1.0),
                 intensity_g_per_s: rng.random_range(0.0..15.0),
+                escalated: false,
             });
             prop_assert!(states.contains(&config));
         }
@@ -185,5 +186,108 @@ proptest! {
         }
         prop_assert_eq!(first.faulted_captures(), second.faulted_captures());
         prop_assert_eq!(first.captures(), second.captures());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compressed-sensing payloads on the wire
+// ---------------------------------------------------------------------------
+
+/// Decodes a stream holding exactly one frame and returns the batch.
+fn decode_single_frame(stream: &[u8]) -> TelemetryBatch {
+    let mut reader = stream;
+    let mut decoder = FrameDecoder::new();
+    decoder.read_header(&mut reader).expect("header decodes");
+    let mut batch = TelemetryBatch::placeholder();
+    let kind = decoder.read_frame(&mut reader, &mut batch).expect("frame decodes");
+    assert_eq!(kind, FrameKind::Batch, "compressed frames decode as ordinary batches");
+    batch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A compressed frame is bit-deterministic end to end for a fixed seed:
+    /// encoding the same window twice yields identical bytes, the frame size
+    /// matches the [`compressed_tx_bytes`] pricing helper, and the decoded
+    /// window is exactly — bit for bit — the host-side sparse-projection
+    /// reconstruction of the original axes.
+    #[test]
+    fn compressed_frames_round_trip_bit_deterministically(
+        config in any_config(),
+        raw in prop::collection::vec((-8.0f64..8.0, -8.0f64..8.0, -8.0f64..8.0), 8usize..64),
+        ratio_lane in 0u8..2,
+        seed in 0u64..u64::MAX,
+        label_lane in 0usize..64,
+    ) {
+        use adasense::ingest::compressed_tx_bytes;
+
+        let ratio = if ratio_lane == 0 { 2 } else { 4 };
+        let label = (label_lane % Activity::COUNT) as u8;
+        let (t_end, window_s) = (4.0, 2.0);
+        let n = raw.len();
+        let step = window_s / n as f64;
+        let samples: Vec<Sample3> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, z))| {
+                Sample3::new(t_end - window_s + (i + 1) as f64 * step, x, y, z)
+            })
+            .collect();
+        let batch = TelemetryBatch::new(config, t_end, window_s, label, samples);
+
+        let mut encoder = FrameEncoder::new();
+        let header_len = encoder.header().len();
+        let mut stream = encoder.header().to_vec();
+        stream.extend_from_slice(encoder.compressed(&batch, ratio, seed));
+        prop_assert_eq!(stream.len() - header_len, compressed_tx_bytes(n, ratio));
+
+        // Encoding the same window through a fresh encoder is bit-identical.
+        let mut other = FrameEncoder::new();
+        let mut replay = other.header().to_vec();
+        replay.extend_from_slice(other.compressed(&batch, ratio, seed));
+        prop_assert_eq!(&stream, &replay);
+
+        let decoded = decode_single_frame(&stream);
+        prop_assert_eq!(decoded.config, config);
+        prop_assert_eq!(decoded.label, label);
+        prop_assert_eq!(decoded.t_end.to_bits(), t_end.to_bits());
+        prop_assert_eq!(decoded.window_s.to_bits(), window_s.to_bits());
+        prop_assert_eq!(decoded.samples.len(), n);
+
+        // The wire reconstruction equals the host-side one, bit for bit.
+        let projection = SparseProjection::new(seed, n, ratio);
+        let mut axis = vec![0.0; n];
+        let mut measurements = vec![0.0; projection.output_len()];
+        let mut reconstructed = vec![0.0; n];
+        let mut scratch = ProjectionScratch::default();
+        for axis_index in 0..3 {
+            for (slot, sample) in axis.iter_mut().zip(&batch.samples) {
+                *slot = match axis_index {
+                    0 => sample.x,
+                    1 => sample.y,
+                    _ => sample.z,
+                };
+            }
+            projection.project_into(&axis, &mut measurements);
+            projection.reconstruct_into(&measurements, &mut reconstructed, &mut scratch);
+            for (sample, &expected) in decoded.samples.iter().zip(&reconstructed) {
+                let got = match axis_index {
+                    0 => sample.x,
+                    1 => sample.y,
+                    _ => sample.z,
+                };
+                prop_assert_eq!(got.to_bits(), expected.to_bits());
+            }
+        }
+
+        // Decoding the same bytes again is equally stable.
+        let again = decode_single_frame(&stream);
+        for (a, b) in decoded.samples.iter().zip(&again.samples) {
+            prop_assert_eq!(a.t.to_bits(), b.t.to_bits());
+            prop_assert_eq!(a.x.to_bits(), b.x.to_bits());
+            prop_assert_eq!(a.y.to_bits(), b.y.to_bits());
+            prop_assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
     }
 }

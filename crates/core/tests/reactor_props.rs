@@ -73,6 +73,57 @@ fn rows_bit_identical(a: &DeviceSummary, b: &DeviceSummary) -> bool {
         && a.duration_s.to_bits() == b.duration_s.to_bits()
         && a.residency_s.len() == b.residency_s.len()
         && a.residency_s.iter().zip(&b.residency_s).all(|(x, y)| x.to_bits() == y.to_bits())
+        && a.tx_epochs == b.tx_epochs
+        && a.tx_bytes == b.tx_bytes
+        && a.tx_charge_uc.len() == b.tx_charge_uc.len()
+        && a.tx_charge_uc.iter().zip(&b.tx_charge_uc).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Runs `fleet` entirely from compressed socket feeds at `ratio`× compression,
+/// optionally tearing each device's first stream after `kill_at` bytes, and
+/// returns the live run plus both sides' counters.
+fn run_compressed_feed(
+    fleet: &FleetSpec,
+    traces: Vec<(u64, TelemetryTrace)>,
+    ratio: u32,
+    kill_at: Option<usize>,
+) -> (FleetRun, ReactorStats, ServeStats) {
+    let (spec, system) = shared_system();
+    let scheduler = FleetScheduler::new(spec, system);
+    let mut serve = TelemetryServe::bind_compressed("127.0.0.1:0", traces, ratio)
+        .expect("loopback bind succeeds");
+    if let Some(bytes) = kill_at {
+        serve = serve.with_kill_at(bytes);
+    }
+    let addr = serve.local_addr().to_string();
+    let devices = fleet.devices;
+    let server =
+        std::thread::spawn(move || serve.serve_streams(devices, 50).map(|()| serve.stats()));
+
+    let mut reactor = IngestReactor::new()
+        .with_policy(ReconnectPolicy { attempts: 10, delay: std::time::Duration::from_millis(1) });
+    let feeds: Vec<_> = (0..fleet.devices)
+        .map(|device_id| {
+            let plan = fleet.device_plan(device_id);
+            ExternalDevice::new(plan.device_id, reactor.subscribe(&addr, device_id))
+                .with_metadata(plan.seed, plan.routine.clone())
+                .with_backend(plan.backend)
+        })
+        .collect();
+    let reactor = std::thread::spawn(move || reactor.run());
+
+    let feed_only = FleetSpec { devices: 0, ..fleet.clone() };
+    let live = scheduler
+        .builder()
+        .spec(&feed_only)
+        .feeds(feeds)
+        .collect()
+        .run()
+        .expect("live run succeeds");
+
+    let stats = reactor.join().expect("reactor thread").expect("no feed fails");
+    let serve_stats = server.join().expect("server thread").expect("server completes");
+    (live, stats, serve_stats)
 }
 
 proptest! {
@@ -154,6 +205,81 @@ proptest! {
             prop_assert!(
                 rows_bit_identical(a, b),
                 "device {} differs after kill at byte {}:\n  reference: {:?}\n  live:      {:?}",
+                a.device_id,
+                kill_at,
+                a,
+                b
+            );
+        }
+    }
+}
+
+proptest! {
+    // Each case replays the fleet twice (clean reference + torn run), so the
+    // case budget is tighter than the raw kill-anywhere property above.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Tear a *compressed* stream mid-frame and let the reactor RESUME: the
+    /// torn-and-resumed fleet must be bit-identical to the same compressed
+    /// feed served without interference.  This pins the PR 8 resume contract
+    /// onto the v3 COMPRESSED frames: a resumed stream re-projects the
+    /// replayed batches with their original per-frame seeds, so the
+    /// reconstruction — and everything downstream of it — cannot drift.
+    #[test]
+    fn compressed_stream_killed_mid_frame_resumes_identically(
+        seed in 0u64..1000,
+        frame_fraction in 0f64..1.0,
+        ratio_lane in 0u8..2,
+    ) {
+        let ratio = if ratio_lane == 0 { 2 } else { 4 };
+        // Replaying a compressed trace is lossy: the reconstructed windows can
+        // classify differently from the originals, and an *adaptive* controller
+        // would then request a config schedule the recorded trace cannot
+        // serve.  Hold the configuration static so the schedule is a pure
+        // function of time — the property under test is the resume contract,
+        // not closed-loop adaptation (tx_sweep covers that in-runtime).
+        let mut fleet = test_fleet(seed);
+        fleet.controller = ControllerKind::StaticHigh;
+        let traces = record_traces(&fleet);
+
+        // Aim the kill strictly *inside* the first COMPRESSED frame: past the
+        // stream header and the frame's length prefix, short of its last byte.
+        let mut encoder = FrameEncoder::new();
+        let header_len = encoder.header().len();
+        let (first_device, first_trace) = &traces[0];
+        let frame_seed = adasense::ingest::compressed_frame_seed(*first_device, 0);
+        let frame_len = encoder.compressed(&first_trace.batches[0], ratio, frame_seed).len();
+        let kill_at =
+            header_len + 1 + ((frame_len.saturating_sub(2)) as f64 * frame_fraction) as usize;
+
+        let (reference, _, clean_stats) =
+            run_compressed_feed(&fleet, traces.clone(), ratio, None);
+        prop_assert_eq!(clean_stats.killed_streams, 0);
+
+        let (live, stats, serve_stats) =
+            run_compressed_feed(&fleet, traces, ratio, Some(kill_at));
+        prop_assert_eq!(stats.failed, 0, "errors: {:?}", stats.errors);
+        prop_assert_eq!(stats.completed, fleet.devices);
+        prop_assert!(
+            stats.reconnects >= fleet.devices,
+            "kill at byte {} produced only {} reconnects",
+            kill_at,
+            stats.reconnects
+        );
+        prop_assert_eq!(serve_stats.killed_streams, fleet.devices);
+
+        prop_assert_eq!(
+            live.report.encode(),
+            reference.report.encode(),
+            "compressed fleet report differs after mid-frame kill at byte {}",
+            kill_at
+        );
+        prop_assert_eq!(live.summaries.len(), reference.summaries.len());
+        for (a, b) in reference.summaries.iter().zip(&live.summaries) {
+            prop_assert!(
+                rows_bit_identical(a, b),
+                "device {} differs after mid-frame kill at byte {}:\n  reference: {:?}\n  \
+                 live:      {:?}",
                 a.device_id,
                 kill_at,
                 a,

@@ -43,18 +43,30 @@ fn any_summary() -> impl Strategy<Value = DeviceSummary> {
         (0u64..1_000_000, 0u64..u64::MAX),
         prop::sample::select(vec!["office_day", "active_day", "dwell-medium"]),
         prop::sample::select(vec!["f64", "int8", "cascade"]),
-        (0usize..100, 0usize..100),
+        (0usize..100, 0usize..100, 0u64..10_000),
         prop::collection::vec(any_row_value(), 4),
         prop::collection::vec(0.0f64..3600.0, SensorConfig::COUNT),
     )
         .prop_map(
-            |((device_id, seed), routine, backend, (epochs, exits), values, residency_s)| {
+            |(
+                (device_id, seed),
+                routine,
+                backend,
+                (epochs, exits, tx_base),
+                values,
+                residency_s,
+            )| {
                 // Cascade rows split their epochs between the two stages (the
                 // split fraction varies per row); single-stage rows keep the
                 // stage counters at zero.
                 let early_exit_epochs = if backend == "cascade" { epochs * exits / 100 } else { 0 };
                 let escalated_epochs =
                     if backend == "cascade" { epochs - early_exit_epochs } else { 0 };
+                // Per-policy transmission counters, derived so rows vary but
+                // stay internally consistent (bytes/charge follow the epochs).
+                let tx_epochs = vec![tx_base % 7, tx_base % 11, tx_base % 5];
+                let tx_bytes: Vec<u64> = tx_epochs.iter().map(|e| e * 148).collect();
+                let tx_charge_uc: Vec<f64> = tx_bytes.iter().map(|b| *b as f64 * 12.0).collect();
                 DeviceSummary {
                     device_id,
                     seed,
@@ -72,6 +84,9 @@ fn any_summary() -> impl Strategy<Value = DeviceSummary> {
                     total_charge_uc: values[2],
                     duration_s: values[3],
                     residency_s,
+                    tx_epochs,
+                    tx_bytes,
+                    tx_charge_uc,
                 }
             },
         )
@@ -212,6 +227,17 @@ proptest! {
         prop_assert_eq!(&merged, &reference);
         prop_assert_eq!(merged.encode(), reference.encode());
 
+        // The per-policy transmission counters are part of the same algebra:
+        // any shard partition reproduces the monolithic totals exactly.
+        for policy in TxPolicy::ALL {
+            prop_assert_eq!(merged.tx_epochs(policy), reference.tx_epochs(policy));
+            prop_assert_eq!(merged.tx_bytes(policy), reference.tx_bytes(policy));
+            prop_assert_eq!(
+                merged.tx_charge_uc(policy).to_bits(),
+                reference.tx_charge_uc(policy).to_bits()
+            );
+        }
+
         let decoded = FleetReport::decode(&merged.encode()).unwrap();
         prop_assert_eq!(&decoded, &reference);
         if rows.is_empty() {
@@ -240,6 +266,11 @@ proptest! {
         for (a, b) in decoded.iter().zip(&rows) {
             prop_assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
             prop_assert_eq!(a.duration_s.to_bits(), b.duration_s.to_bits());
+            prop_assert_eq!(&a.tx_epochs, &b.tx_epochs);
+            prop_assert_eq!(&a.tx_bytes, &b.tx_bytes);
+            for (x, y) in a.tx_charge_uc.iter().zip(&b.tx_charge_uc) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
         }
 
         let cut = cut % bytes.len();

@@ -46,6 +46,7 @@ pub mod dwt;
 pub mod features;
 pub mod fft;
 pub mod intensity;
+pub mod projection;
 pub mod resample;
 pub mod stats;
 pub mod window;
@@ -56,6 +57,7 @@ pub use fft::{
     dft_magnitudes, fft_radix2, goertzel_magnitude, goertzel_magnitude_of, Complex, FftPlan,
 };
 pub use intensity::{mean_absolute_derivative, IntensityEstimator};
+pub use projection::{ProjectionScratch, SparseProjection};
 pub use resample::resample_linear;
 pub use stats::AxisStats;
 pub use window::BatchBuffer;
@@ -68,6 +70,7 @@ pub mod prelude {
         dft_magnitudes, fft_radix2, goertzel_magnitude, goertzel_magnitude_of, Complex, FftPlan,
     };
     pub use crate::intensity::{mean_absolute_derivative, IntensityEstimator};
+    pub use crate::projection::{ProjectionScratch, SparseProjection};
     pub use crate::resample::resample_linear;
     pub use crate::stats::AxisStats;
     pub use crate::window::BatchBuffer;

@@ -59,7 +59,7 @@ pub mod telemetry;
 
 pub use accelerometer::{Accelerometer, SignalSource};
 pub use config::{AveragingWindow, OperationMode, SamplingFrequency, SensorConfig};
-pub use energy::{Charge, EnergyModel};
+pub use energy::{Charge, EnergyModel, RadioModel, TxPolicy, SUPPLY_VOLTS};
 pub use fault::FaultKind;
 pub use noise::NoiseModel;
 pub use sample::Sample3;
@@ -69,7 +69,7 @@ pub use telemetry::{ClassLabel, TelemetryBatch};
 pub mod prelude {
     pub use crate::accelerometer::{Accelerometer, SignalSource};
     pub use crate::config::{AveragingWindow, OperationMode, SamplingFrequency, SensorConfig};
-    pub use crate::energy::{Charge, EnergyModel};
+    pub use crate::energy::{Charge, EnergyModel, RadioModel, TxPolicy, SUPPLY_VOLTS};
     pub use crate::fault::FaultKind;
     pub use crate::noise::NoiseModel;
     pub use crate::sample::Sample3;

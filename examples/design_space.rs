@@ -42,6 +42,7 @@ fn main() -> Result<(), AdaSenseError> {
             predicted: record.predicted,
             confidence: record.confidence,
             intensity_g_per_s: 0.0,
+            escalated: false,
         });
     }
     let custom_front_current = charge.average_current_ua(baseline.records().len() as f64);

@@ -60,6 +60,7 @@ proptest! {
                 predicted: activity,
                 confidence: 0.99,
                 intensity_g_per_s: 0.0,
+                escalated: false,
             });
             let index = spot.state_index();
             prop_assert!(index < spot.states().len());
