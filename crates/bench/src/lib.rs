@@ -240,6 +240,74 @@ pub fn record_fleet_traces(
     Ok(traces)
 }
 
+/// One device's lifetime in a churn soak: when it joins the fleet clock and
+/// how much of the full duration it streams before departing.  Produced by
+/// [`churn_plan`], consumed identically by `telemetry_serve --churn` (trace
+/// lengths, JOIN start-epochs) and `reactor_fleet --churn` (reference
+/// lifetimes, feed metadata) — the two processes must agree or the
+/// byte-identity gate fails, which is the point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnEntry {
+    /// The device's id within the fleet.
+    pub device_id: u64,
+    /// Fleet epoch at which the device joins the cohort (0 = present from
+    /// the start).
+    pub start_epoch: u64,
+    /// Seconds of its scenario the device streams before its trace ends.
+    pub lifetime_s: f64,
+    /// Whether the device departs before the full fleet duration.
+    pub departed: bool,
+}
+
+/// The deterministic churn schedule for a `devices`-strong soak over
+/// `duration_s` seconds: every odd device joins late (half the fleet), every
+/// `4k+2` device departs early (a quarter), and lifetimes/start-epochs vary
+/// with the device id so no two shards of the timeline look alike.
+pub fn churn_plan(devices: u64, duration_s: f64) -> Vec<ChurnEntry> {
+    (0..devices)
+        .map(|device_id| {
+            let start_epoch = if device_id % 2 == 1 { 1 + device_id % 7 } else { 0 };
+            let departed = device_id % 4 == 2;
+            let lifetime_s = if departed {
+                // A quarter, half or three quarters of the run, but never
+                // below one full capture window.
+                ((device_id % 3 + 1) as f64 * duration_s / 4.0).max(2.0)
+            } else {
+                duration_s
+            };
+            ChurnEntry { device_id, start_epoch, lifetime_s, departed }
+        })
+        .collect()
+}
+
+/// Like [`record_fleet_traces`], but each device records only over its
+/// [`ChurnEntry::lifetime_s`] window — the per-lifetime traces behind the
+/// churn soak's byte-identity gate.
+///
+/// # Errors
+///
+/// Propagates runtime construction errors.
+pub fn record_churn_traces(
+    spec: &ExperimentSpec,
+    system: &TrainedSystem,
+    fleet: &FleetSpec,
+    plan: &[ChurnEntry],
+) -> Result<Vec<(u64, TelemetryTrace)>, AdaSenseError> {
+    let scheduler = FleetScheduler::new(spec, system);
+    let mut traces = Vec::with_capacity(plan.len());
+    for entry in plan {
+        let device = fleet.device_plan(entry.device_id);
+        let recorder =
+            adasense::ingest::TraceRecorder::new(scheduler.device_source(fleet, &device));
+        let mut runtime =
+            DeviceRuntime::for_source(spec, system, fleet.controller, recorder, entry.lifetime_s)?
+                .with_classifier(system.backend(device.backend));
+        runtime.run_to_completion();
+        traces.push((entry.device_id, runtime.source().trace().clone()));
+    }
+    Ok(traces)
+}
+
 /// Trains the HAR system for the selected scale, printing a short progress note.
 ///
 /// # Errors
@@ -298,6 +366,17 @@ mod tests {
         assert!(FleetBench::from_json("{}").unwrap_err().contains("missing key"));
         let malformed = legacy.replace("\"devices\": 256", "\"devices\": \"many\"");
         assert!(FleetBench::from_json(&malformed).unwrap_err().contains("devices"));
+    }
+
+    #[test]
+    fn churn_plan_is_deterministic_and_hits_the_soak_quotas() {
+        let plan = churn_plan(512, 8.0);
+        assert_eq!(plan.len(), 512);
+        assert_eq!(plan.iter().filter(|e| e.start_epoch > 0).count(), 256, "half join late");
+        assert_eq!(plan.iter().filter(|e| e.departed).count(), 128, "a quarter depart early");
+        assert!(plan.iter().all(|e| e.lifetime_s >= 2.0 && e.lifetime_s <= 8.0));
+        assert!(plan.iter().filter(|e| e.departed).all(|e| e.lifetime_s < 8.0));
+        assert_eq!(plan, churn_plan(512, 8.0), "the schedule is a pure function of its inputs");
     }
 
     #[test]

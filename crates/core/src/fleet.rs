@@ -229,6 +229,12 @@ pub struct ExternalDevice {
     /// Optional tick budget, in seconds.  `None` runs until the source
     /// exhausts — a feed that never signals end-of-stream then never returns.
     pub duration_s: Option<f64>,
+    /// The fleet epoch at which the device joined the cohort (0 = present
+    /// from run start); copied into the summary row for churn accounting.
+    pub start_epoch: u64,
+    /// Whether the device departed before draining its full stream (its row
+    /// is finalized at the last completed epoch).
+    pub departed: bool,
     /// The live sample feed.
     pub source: Box<dyn SampleSource + Send>,
 }
@@ -243,6 +249,8 @@ impl ExternalDevice {
             routine: "external".to_string(),
             backend: BackendKind::F64,
             duration_s: None,
+            start_epoch: 0,
+            departed: false,
             source: Box::new(source),
         }
     }
@@ -267,6 +275,31 @@ impl ExternalDevice {
         self.duration_s = Some(duration_s);
         self
     }
+
+    /// Records the fleet epoch at which this device joined the cohort.
+    pub fn with_start_epoch(mut self, start_epoch: u64) -> Self {
+        self.start_epoch = start_epoch;
+        self
+    }
+
+    /// Marks this device as an early departure (finalized at its last
+    /// completed epoch rather than a drained stream).
+    pub fn with_departed(mut self, departed: bool) -> Self {
+        self.departed = departed;
+        self
+    }
+}
+
+/// The summary metadata of one externally fed device, separated from its
+/// boxed source so the scheduler can keep it while the runtime owns the feed.
+#[derive(Debug, Clone)]
+struct FeedMeta {
+    device_id: u64,
+    seed: u64,
+    routine: String,
+    backend: BackendKind,
+    start_epoch: u64,
+    departed: bool,
 }
 
 impl std::fmt::Debug for ExternalDevice {
@@ -331,6 +364,11 @@ pub struct DeviceSummary {
     pub tx_bytes: Vec<u64>,
     /// Radio charge spent under each policy, in µC.
     pub tx_charge_uc: Vec<f64>,
+    /// The fleet epoch at which the device joined the cohort (0 = present
+    /// from run start).
+    pub start_epoch: u64,
+    /// Whether the device departed before draining its full stream.
+    pub departed: bool,
 }
 
 impl DeviceSummary {
@@ -506,6 +544,22 @@ impl FleetReport {
     /// for an empty fleet.
     pub fn mean_accuracy(&self) -> f64 {
         self.stats.accuracy.mean()
+    }
+
+    /// Devices that joined the cohort after fleet epoch 0 (late joiners).
+    pub fn joined_devices(&self) -> u64 {
+        self.stats.joined
+    }
+
+    /// Devices that departed before draining their full stream.
+    pub fn departed_devices(&self) -> u64 {
+        self.stats.departed
+    }
+
+    /// Peak number of simultaneously active devices over the fleet timeline
+    /// (the maximum prefix sum of the per-epoch lifetime deltas).
+    pub fn active_peak(&self) -> u64 {
+        self.stats.active_peak()
     }
 
     /// Mean average sensor current across the population, in µA.  [`f64::NAN`]
@@ -958,6 +1012,7 @@ impl<'a> FleetScheduler<'a> {
             scheduler: *self,
             fleet: None,
             feeds: Vec::new(),
+            intake: None,
             range: None,
             sink: None,
             collect: false,
@@ -1040,9 +1095,80 @@ impl<'a> FleetScheduler<'a> {
                     tx_epochs: tx.epochs.to_vec(),
                     tx_bytes: tx.bytes.to_vec(),
                     tx_charge_uc: tx.charge_uc.to_vec(),
+                    start_epoch: 0,
+                    departed: false,
                 }
             })
             .collect())
+    }
+
+    /// Builds the runtime driving one externally fed device, returning it
+    /// alongside the metadata its summary row will carry.
+    fn feed_runtime(
+        &self,
+        fleet: &FleetSpec,
+        feed: ExternalDevice,
+    ) -> Result<(FeedMeta, DeviceRuntime<'a, Box<dyn SampleSource + Send>>), AdaSenseError> {
+        let ExternalDevice {
+            device_id,
+            seed,
+            routine,
+            backend,
+            duration_s,
+            start_epoch,
+            departed,
+            source,
+        } = feed;
+        let mut runtime = match duration_s {
+            Some(duration_s) => DeviceRuntime::for_source(
+                self.spec,
+                self.system,
+                fleet.controller,
+                source,
+                duration_s,
+            )?,
+            None => DeviceRuntime::new(self.spec, self.system, fleet.controller, source),
+        }
+        .with_recording(false)
+        .with_classifier(self.system.backend(backend));
+        if let Some(ratio) = fleet.tx_ratio {
+            runtime = runtime.with_tx(TxSetup::ble(ratio).with_seed(seed));
+        }
+        Ok((FeedMeta { device_id, seed, routine, backend, start_epoch, departed }, runtime))
+    }
+
+    /// Finalizes one externally fed device into its summary row.  Fault
+    /// exposure is a capture-side property the feed does not carry, so the
+    /// row always reports `faulted_epochs == 0`.
+    fn feed_summary<S: SampleSource>(
+        meta: FeedMeta,
+        runtime: &DeviceRuntime<'_, S>,
+    ) -> DeviceSummary {
+        let tally = runtime.cascade_tally();
+        let tx = runtime.tx_tally();
+        DeviceSummary {
+            device_id: meta.device_id,
+            seed: meta.seed,
+            routine: meta.routine,
+            backend: meta.backend.label().to_string(),
+            faulted_epochs: 0,
+            epochs: runtime.epochs(),
+            correct_epochs: runtime.correct_epochs(),
+            early_exit_epochs: tally.early_exit_epochs,
+            early_exit_correct: tally.early_exit_correct,
+            escalated_epochs: tally.escalated_epochs,
+            escalated_correct: tally.escalated_correct,
+            accuracy: runtime.accuracy(),
+            average_current_ua: runtime.average_current_ua(),
+            total_charge_uc: runtime.total_charge().micro_coulombs(),
+            duration_s: runtime.elapsed_s(),
+            residency_s: runtime.residency_seconds().to_vec(),
+            tx_epochs: tx.epochs.to_vec(),
+            tx_bytes: tx.bytes.to_vec(),
+            tx_charge_uc: tx.charge_uc.to_vec(),
+            start_epoch: meta.start_epoch,
+            departed: meta.departed,
+        }
     }
 
     /// Runs one lockstep chunk of externally fed devices until every feed
@@ -1055,29 +1181,13 @@ impl<'a> FleetScheduler<'a> {
         fleet: &FleetSpec,
         feeds: Vec<ExternalDevice>,
     ) -> Result<Vec<DeviceSummary>, AdaSenseError> {
-        let controller = fleet.controller;
         let mut metas = Vec::with_capacity(feeds.len());
         let mut backends = Vec::with_capacity(feeds.len());
         let mut runtimes = Vec::with_capacity(feeds.len());
         for feed in feeds {
-            let ExternalDevice { device_id, seed, routine, backend, duration_s, source } = feed;
-            let mut runtime = match duration_s {
-                Some(duration_s) => DeviceRuntime::for_source(
-                    self.spec,
-                    self.system,
-                    controller,
-                    source,
-                    duration_s,
-                )?,
-                None => DeviceRuntime::new(self.spec, self.system, controller, source),
-            }
-            .with_recording(false)
-            .with_classifier(self.system.backend(backend));
-            if let Some(ratio) = fleet.tx_ratio {
-                runtime = runtime.with_tx(TxSetup::ble(ratio).with_seed(seed));
-            }
-            metas.push((device_id, seed, routine, backend));
-            backends.push(backend);
+            let (meta, runtime) = self.feed_runtime(fleet, feed)?;
+            backends.push(meta.backend);
+            metas.push(meta);
             runtimes.push(runtime);
         }
 
@@ -1086,31 +1196,7 @@ impl<'a> FleetScheduler<'a> {
         Ok(metas
             .into_iter()
             .zip(runtimes)
-            .map(|((device_id, seed, routine, backend), runtime)| {
-                let tally = runtime.cascade_tally();
-                let tx = runtime.tx_tally();
-                DeviceSummary {
-                    device_id,
-                    seed,
-                    routine,
-                    backend: backend.label().to_string(),
-                    faulted_epochs: 0, // fault exposure is a capture-side property
-                    epochs: runtime.epochs(),
-                    correct_epochs: runtime.correct_epochs(),
-                    early_exit_epochs: tally.early_exit_epochs,
-                    early_exit_correct: tally.early_exit_correct,
-                    escalated_epochs: tally.escalated_epochs,
-                    escalated_correct: tally.escalated_correct,
-                    accuracy: runtime.accuracy(),
-                    average_current_ua: runtime.average_current_ua(),
-                    total_charge_uc: runtime.total_charge().micro_coulombs(),
-                    duration_s: runtime.elapsed_s(),
-                    residency_s: runtime.residency_seconds().to_vec(),
-                    tx_epochs: tx.epochs.to_vec(),
-                    tx_bytes: tx.bytes.to_vec(),
-                    tx_charge_uc: tx.charge_uc.to_vec(),
-                }
-            })
+            .map(|(meta, runtime)| Self::feed_summary(meta, &runtime))
             .collect())
     }
 
@@ -1128,55 +1214,152 @@ impl<'a> FleetScheduler<'a> {
         runtimes: &mut [DeviceRuntime<'_, S>],
         backends: &[BackendKind],
     ) {
-        let mut pools: Vec<BatchPool> =
-            BackendKind::ALL.iter().map(|_| BatchPool::default()).collect();
-        let mut predictions: Vec<Prediction> = Vec::new();
-        let mut stages: Vec<CascadeStage> = Vec::new();
-        loop {
-            let mut any_live = false;
-            for pool in &mut pools {
-                pool.reset();
+        let mut scratch = LockstepScratch::default();
+        while self.lockstep_tick(runtimes, backends, &mut scratch) {}
+    }
+
+    /// Advances every live device of a cohort by one tick (one iteration of
+    /// [`run_lockstep`](Self::run_lockstep)'s loop), returning whether any
+    /// device is still live.  Per-row results are independent of the batch
+    /// composition, so the cohort may grow or shrink between ticks — the
+    /// churn entry point [`FleetRunBuilder::intake`] relies on exactly that.
+    fn lockstep_tick<S: crate::runtime::SampleSource>(
+        &self,
+        runtimes: &mut [DeviceRuntime<'_, S>],
+        backends: &[BackendKind],
+        scratch: &mut LockstepScratch,
+    ) -> bool {
+        let LockstepScratch { pools, predictions, stages } = scratch;
+        let mut any_live = false;
+        for pool in pools.iter_mut() {
+            pool.reset();
+        }
+        for (i, runtime) in runtimes.iter_mut().enumerate() {
+            if runtime.is_complete() {
+                continue;
             }
-            for (i, runtime) in runtimes.iter_mut().enumerate() {
-                if runtime.is_complete() {
-                    continue;
-                }
-                match runtime.begin_tick() {
-                    TickPhase::Exhausted => {}
-                    TickPhase::Idle(_) => any_live = true,
-                    TickPhase::Classify => {
-                        any_live = true;
-                        if runtime.batches_with_unified() {
-                            pools[backend_index(backends[i])].push(i, runtime.pending_features());
-                        } else {
-                            // Bank classifiers are per-configuration; classify
-                            // this device individually.
-                            let (prediction, stage) = runtime
-                                .active_classifier()
-                                .predict_with_stage(runtime.pending_features());
-                            runtime.complete_tick_staged(prediction, stage);
-                        }
+            match runtime.begin_tick() {
+                TickPhase::Exhausted => {}
+                TickPhase::Idle(_) => any_live = true,
+                TickPhase::Classify => {
+                    any_live = true;
+                    if runtime.batches_with_unified() {
+                        pools[backend_index(backends[i])].push(i, runtime.pending_features());
+                    } else {
+                        // Bank classifiers are per-configuration; classify
+                        // this device individually.
+                        let (prediction, stage) = runtime
+                            .active_classifier()
+                            .predict_with_stage(runtime.pending_features());
+                        runtime.complete_tick_staged(prediction, stage);
                     }
                 }
             }
-            if !any_live {
-                break;
+        }
+        if !any_live {
+            return false;
+        }
+        for (pool, kind) in pools.iter().zip(BackendKind::ALL) {
+            if pool.used == 0 {
+                continue;
             }
-            for (pool, kind) in pools.iter().zip(BackendKind::ALL) {
-                if pool.used == 0 {
+            self.system.backend(kind).predict_batch_staged(pool.rows(), predictions, stages);
+            for ((&i, prediction), stage) in
+                pool.members.iter().zip(predictions.drain(..)).zip(stages.drain(..))
+            {
+                runtimes[i].complete_tick_staged(prediction, stage);
+            }
+        }
+        true
+    }
+
+    /// Drives a churning cohort fed through a channel: devices admitted
+    /// between ticks as they arrive on `intake`, completed devices finalized
+    /// immediately at their last completed epoch and handed to `on_row`.
+    /// Returns once the cohort has drained *and* the intake has
+    /// disconnected.
+    fn run_intake_churn(
+        &self,
+        fleet: &FleetSpec,
+        intake: std::sync::mpsc::Receiver<ExternalDevice>,
+        on_row: &mut dyn FnMut(DeviceSummary) -> Result<(), AdaSenseError>,
+    ) -> Result<(), AdaSenseError> {
+        let mut metas: Vec<FeedMeta> = Vec::new();
+        let mut backends: Vec<BackendKind> = Vec::new();
+        let mut runtimes: Vec<DeviceRuntime<'a, Box<dyn SampleSource + Send>>> = Vec::new();
+        let mut scratch = LockstepScratch::default();
+        let mut open = true;
+        loop {
+            // Admit arrivals between ticks: block only when the cohort is
+            // empty (nothing to tick anyway), otherwise drain without
+            // waiting.
+            loop {
+                let feed = if runtimes.is_empty() && open {
+                    match intake.recv() {
+                        Ok(feed) => Some(feed),
+                        Err(_) => {
+                            open = false;
+                            None
+                        }
+                    }
+                } else {
+                    match intake.try_recv() {
+                        Ok(feed) => Some(feed),
+                        Err(std::sync::mpsc::TryRecvError::Empty) => None,
+                        Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                            open = false;
+                            None
+                        }
+                    }
+                };
+                let Some(feed) = feed else { break };
+                let (meta, runtime) = self.feed_runtime(fleet, feed)?;
+                backends.push(meta.backend);
+                metas.push(meta);
+                runtimes.push(runtime);
+            }
+            if runtimes.is_empty() {
+                if open {
                     continue;
                 }
-                self.system.backend(kind).predict_batch_staged(
-                    pool.rows(),
-                    &mut predictions,
-                    &mut stages,
-                );
-                for ((&i, prediction), stage) in
-                    pool.members.iter().zip(predictions.drain(..)).zip(stages.drain(..))
-                {
-                    runtimes[i].complete_tick_staged(prediction, stage);
+                return Ok(());
+            }
+            self.lockstep_tick(&mut runtimes, &backends, &mut scratch);
+            // Finalize and evict completed devices so a drained feed's row is
+            // visible (to the shared aggregate and any sink) without waiting
+            // for the rest of the cohort.  Eviction order is irrelevant to
+            // the results: rows are bit-identical per device regardless of
+            // batch composition.
+            let mut i = 0;
+            while i < runtimes.len() {
+                if runtimes[i].is_complete() {
+                    let runtime = runtimes.swap_remove(i);
+                    let meta = metas.swap_remove(i);
+                    backends.swap_remove(i);
+                    on_row(Self::feed_summary(meta, &runtime))?;
+                } else {
+                    i += 1;
                 }
             }
+        }
+    }
+}
+
+/// The retained per-tick buffers of one lockstep cohort (batch pools and
+/// prediction scratch), kept across ticks so the loop allocates nothing once
+/// they have grown.
+struct LockstepScratch {
+    pools: Vec<BatchPool>,
+    predictions: Vec<Prediction>,
+    stages: Vec<CascadeStage>,
+}
+
+impl Default for LockstepScratch {
+    fn default() -> Self {
+        Self {
+            pools: BackendKind::ALL.iter().map(|_| BatchPool::default()).collect(),
+            predictions: Vec::new(),
+            stages: Vec::new(),
         }
     }
 }
@@ -1211,6 +1394,7 @@ pub struct FleetRunBuilder<'a, 's> {
     scheduler: FleetScheduler<'a>,
     fleet: Option<&'s FleetSpec>,
     feeds: Vec<ExternalDevice>,
+    intake: Option<std::sync::mpsc::Receiver<ExternalDevice>>,
     range: Option<ShardRange>,
     sink: Option<&'s mut dyn SummarySink>,
     collect: bool,
@@ -1222,6 +1406,7 @@ impl std::fmt::Debug for FleetRunBuilder<'_, '_> {
             .field("scheduler", &self.scheduler)
             .field("fleet", &self.fleet)
             .field("feeds", &self.feeds.len())
+            .field("intake", &self.intake.is_some())
             .field("range", &self.range)
             .field("sink", &self.sink.is_some())
             .field("collect", &self.collect)
@@ -1250,6 +1435,19 @@ impl<'a, 's> FleetRunBuilder<'a, 's> {
     /// Appends one externally fed device.
     pub fn feed(mut self, feed: ExternalDevice) -> Self {
         self.feeds.push(feed);
+        self
+    }
+
+    /// Attaches a *live intake*: devices sent on the channel join the cohort
+    /// between lockstep ticks, so the fleet can grow while it runs — the
+    /// churn counterpart of the up-front [`feeds`](FleetRunBuilder::feeds)
+    /// list.  Each arriving device runs until its source exhausts (a
+    /// departing device's sender is simply dropped) and its row folds into
+    /// the report the moment it completes.  The run finishes when the
+    /// scenario cohort, the feed chunks *and* the intake have all drained:
+    /// drop the sender to close the intake.
+    pub fn intake(mut self, intake: std::sync::mpsc::Receiver<ExternalDevice>) -> Self {
+        self.intake = Some(intake);
         self
     }
 
@@ -1292,7 +1490,7 @@ impl<'a, 's> FleetRunBuilder<'a, 's> {
     /// degenerate specs (including no devices in either cohort), or for a
     /// shard range outside the fleet; propagates per-device and sink errors.
     pub fn run(self) -> Result<FleetRun, AdaSenseError> {
-        let Self { scheduler, fleet, feeds, range, sink, collect } = self;
+        let Self { scheduler, fleet, feeds, intake, range, sink, collect } = self;
         let Some(fleet) = fleet else {
             return Err(AdaSenseError::invalid_spec(
                 "FleetRunBuilder::run needs a fleet spec (FleetRunBuilder::spec)",
@@ -1301,7 +1499,7 @@ impl<'a, 's> FleetRunBuilder<'a, 's> {
         if fleet.devices > 0 {
             fleet.validate()?;
         } else {
-            if feeds.is_empty() {
+            if feeds.is_empty() && intake.is_none() {
                 return Err(AdaSenseError::invalid_spec(
                     "a fleet needs at least one device (scenario-driven or external)",
                 ));
@@ -1334,6 +1532,11 @@ impl<'a, 's> FleetRunBuilder<'a, 's> {
             feed_chunks.push(Mutex::new(Some(group)));
         }
         let scenario_jobs = chunks.len();
+        let feed_jobs = feed_chunks.len();
+        // The intake receiver is stateful and owned like a feed chunk, so it
+        // sits in the same kind of take-once slot.
+        let intake_jobs = usize::from(intake.is_some());
+        let intake = Mutex::new(intake);
         let mut discard = DiscardSink;
         let sink: &mut dyn SummarySink = sink.unwrap_or(&mut discard);
         // The aggregate and the sink share one lock: rows are observed and
@@ -1342,7 +1545,35 @@ impl<'a, 's> FleetRunBuilder<'a, 's> {
         // collected rows are reassembled in job order below, so theirs does
         // not either.
         let shared = Mutex::new((FleetStats::new(), sink));
-        let kept = run_jobs(scheduler.worker_threads(), scenario_jobs + feed_chunks.len(), |i| {
+        let observe = |rows: &[DeviceSummary]| -> Result<(), AdaSenseError> {
+            let mut guard = shared.lock().expect("no worker panicked holding the aggregate");
+            let (stats, sink) = &mut *guard;
+            for row in rows {
+                stats.observe(row);
+                sink.push(row)?;
+            }
+            Ok(())
+        };
+        let jobs = scenario_jobs + feed_jobs + intake_jobs;
+        let kept = run_jobs(scheduler.worker_threads(), jobs, |i| {
+            if i >= scenario_jobs + feed_jobs {
+                // The intake job folds each row in as its device completes,
+                // so departures are visible before the run ends.
+                let intake = intake
+                    .lock()
+                    .expect("no worker panicked holding the intake slot")
+                    .take()
+                    .expect("the intake is claimed exactly once");
+                let mut rows = Vec::new();
+                scheduler.run_intake_churn(fleet, intake, &mut |row| {
+                    observe(std::slice::from_ref(&row))?;
+                    if collect {
+                        rows.push(row);
+                    }
+                    Ok(())
+                })?;
+                return Ok(rows);
+            }
             let rows = if i < scenario_jobs {
                 scheduler.run_chunk(fleet, chunks[i].clone())
             } else {
@@ -1353,14 +1584,7 @@ impl<'a, 's> FleetRunBuilder<'a, 's> {
                     .expect("each feed chunk is claimed exactly once");
                 scheduler.run_feed_chunk(fleet, group)
             }?;
-            {
-                let mut guard = shared.lock().expect("no worker panicked holding the aggregate");
-                let (stats, sink) = &mut *guard;
-                for row in &rows {
-                    stats.observe(row);
-                    sink.push(row)?;
-                }
-            }
+            observe(&rows)?;
             Ok(if collect { rows } else { Vec::new() })
         })?;
         let summaries: Vec<DeviceSummary> = kept.into_iter().flatten().collect();

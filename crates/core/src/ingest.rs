@@ -62,15 +62,17 @@ pub const WIRE_MAGIC: [u8; 4] = *b"ADSN";
 
 /// Wire-format version this build writes (see `docs/WIRE_FORMAT.md` for the
 /// versioning rules).  v2 added the RESUME frame kind; v3 added the
-/// COMPRESSED batch frame (a seeded sparse-projection payload).  Streams of
+/// COMPRESSED batch frame (a seeded sparse-projection payload); v4 added the
+/// JOIN handshake frame (device id + initial configuration + start epoch)
+/// that opens a served device stream for fleet-churn bookkeeping.  Streams of
 /// older versions — which by construction contain none of the newer frame
 /// kinds — decode identically, so readers accept all of them.
-pub const WIRE_VERSION: u16 = 3;
+pub const WIRE_VERSION: u16 = 4;
 
 /// Wire-format versions readers accept.  Every frame an older stream can
-/// carry means the same thing in v3, so accepting all of them costs nothing;
+/// carry means the same thing in v4, so accepting all of them costs nothing;
 /// anything else is rejected (no minor-version negotiation).
-const ACCEPTED_VERSIONS: [u16; 3] = [1, 2, WIRE_VERSION];
+const ACCEPTED_VERSIONS: [u16; 4] = [1, 2, 3, WIRE_VERSION];
 
 /// Frame-kind tag of a sample batch.
 const KIND_BATCH: u8 = 0x01;
@@ -84,10 +86,17 @@ const KIND_RESUME: u8 = 0x04;
 /// Frame-kind tag of a compressed sample batch: a seeded sparse random
 /// projection of the window instead of its raw samples (v3).
 const KIND_COMPRESSED: u8 = 0x05;
+/// Frame-kind tag of the JOIN handshake that opens a served device stream
+/// (v4): device id, the device's initial sensor configuration, and the fleet
+/// epoch at which the device joined the cohort.
+const KIND_JOIN: u8 = 0x06;
 
 /// Exact payload length of a RESUME frame: kind byte + `device_id` + the
 /// index of the next batch the client wants.
 const RESUME_PAYLOAD_LEN: usize = 1 + 8 + 8;
+/// Exact payload length of a JOIN frame: kind byte + `device_id` + the
+/// configuration tag + `start_epoch`.
+const JOIN_PAYLOAD_LEN: usize = 1 + 8 + 1 + 8;
 
 /// Fixed part of a batch payload: kind, config, label, reserved byte, two
 /// `f64` times and the `u32` sample count.
@@ -266,6 +275,22 @@ impl FrameEncoder {
         &self.buf
     }
 
+    /// Encodes one join-handshake frame (v4): the first frame of a served
+    /// device stream, announcing which device the stream carries, the
+    /// device's initial sensor configuration, and the fleet epoch at which
+    /// the device joined the cohort (`0` for a device present from run
+    /// start).  Resumed streams repeat the JOIN so a reconnecting consumer
+    /// re-learns the same metadata (see `docs/WIRE_FORMAT.md` § JOIN).
+    pub fn join(&mut self, device_id: u64, config: SensorConfig, start_epoch: u64) -> &[u8] {
+        self.buf.clear();
+        self.buf.extend_from_slice(&(JOIN_PAYLOAD_LEN as u32).to_le_bytes());
+        self.buf.push(KIND_JOIN);
+        self.buf.extend_from_slice(&device_id.to_le_bytes());
+        self.buf.push(config.index() as u8);
+        self.buf.extend_from_slice(&start_epoch.to_le_bytes());
+        &self.buf
+    }
+
     /// Encodes one length-prefixed compressed-batch frame (v3): the window is
     /// replaced by a seeded sparse random projection of each axis, compressed
     /// roughly `ratio`× (see [`SparseProjection`]).  The decoder reconstructs
@@ -389,6 +414,17 @@ pub enum FrameKind {
         device_id: u64,
         /// Index of the first batch the client has not yet received.
         next_batch: u64,
+    },
+    /// The join handshake opening a served device stream (v4): metadata the
+    /// consuming fleet needs to account a churned device correctly.
+    Join {
+        /// The device this stream carries.
+        device_id: u64,
+        /// The device's initial sensor configuration.
+        config: SensorConfig,
+        /// Fleet epoch at which the device joined the cohort (0 = from run
+        /// start).
+        start_epoch: u64,
     },
 }
 
@@ -548,6 +584,19 @@ fn decode_frame_payload(
             }
             decode_compressed_payload(payload, batch)?;
             Ok(FrameKind::Batch)
+        }
+        KIND_JOIN => {
+            if len != JOIN_PAYLOAD_LEN {
+                return Err(AdaSenseError::ingest(format!(
+                    "join frame has length {len}, expected {JOIN_PAYLOAD_LEN}"
+                )));
+            }
+            let device_id = u64::from_le_bytes(payload[1..9].try_into().expect("8-byte slice"));
+            let config = SensorConfig::from_index(payload[9] as usize).ok_or_else(|| {
+                AdaSenseError::ingest(format!("invalid sensor-configuration tag {}", payload[9]))
+            })?;
+            let start_epoch = u64::from_le_bytes(payload[10..18].try_into().expect("8-byte slice"));
+            Ok(FrameKind::Join { device_id, config, start_epoch })
         }
         kind => Err(AdaSenseError::ingest(format!("unknown frame kind {kind:#04x}"))),
     }
@@ -913,6 +962,12 @@ impl TelemetryTrace {
                     return Err(AdaSenseError::ingest(format!(
                         "telemetry trace contains a resume frame (device {device_id}); resume \
                          requests belong on live client→server links only"
+                    )));
+                }
+                FrameKind::Join { device_id, .. } => {
+                    return Err(AdaSenseError::ingest(format!(
+                        "telemetry trace contains a join frame (device {device_id}); join \
+                         handshakes belong on live server→client links only"
                     )));
                 }
                 FrameKind::End { batches } => {
@@ -1382,37 +1437,42 @@ impl SocketSource {
     /// the runtime cannot surface errors mid-tick, and silently truncating a
     /// trace would produce a plausible-looking but wrong run.
     fn poll(&mut self) {
-        if self.pending || self.done {
-            return;
-        }
-        match self.decoder.read_frame(&mut self.reader, &mut self.batch) {
-            Ok(FrameKind::Batch) => self.pending = true,
-            Ok(FrameKind::Report { shard }) => {
-                // Report frames belong on shard→coordinator links, not on a
-                // device telemetry feed.
-                panic!(
-                    "{}: unexpected fleet-report frame for shard {shard} on a telemetry feed",
-                    self.peer
-                )
+        while !(self.pending || self.done) {
+            match self.decoder.read_frame(&mut self.reader, &mut self.batch) {
+                Ok(FrameKind::Batch) => self.pending = true,
+                Ok(FrameKind::Report { shard }) => {
+                    // Report frames belong on shard→coordinator links, not on a
+                    // device telemetry feed.
+                    panic!(
+                        "{}: unexpected fleet-report frame for shard {shard} on a telemetry feed",
+                        self.peer
+                    )
+                }
+                Ok(FrameKind::Resume { device_id, .. }) => {
+                    // Resume requests flow client→server; a server echoing one
+                    // back is speaking the wrong direction of the protocol.
+                    panic!(
+                        "{}: unexpected resume frame for device {device_id} on a telemetry feed",
+                        self.peer
+                    )
+                }
+                Ok(FrameKind::Join { .. }) => {
+                    // v4 servers open every stream with a join handshake; a
+                    // plain replay source has no cohort to register it with,
+                    // so the metadata is simply skipped.
+                    continue;
+                }
+                Ok(FrameKind::End { batches }) => {
+                    assert!(
+                        batches == self.delivered,
+                        "{}: end-of-stream marker claims {batches} batches, delivered {}",
+                        self.peer,
+                        self.delivered
+                    );
+                    self.done = true;
+                }
+                Err(error) => panic!("{}: {error}", self.peer),
             }
-            Ok(FrameKind::Resume { device_id, .. }) => {
-                // Resume requests flow client→server; a server echoing one
-                // back is speaking the wrong direction of the protocol.
-                panic!(
-                    "{}: unexpected resume frame for device {device_id} on a telemetry feed",
-                    self.peer
-                )
-            }
-            Ok(FrameKind::End { batches }) => {
-                assert!(
-                    batches == self.delivered,
-                    "{}: end-of-stream marker claims {batches} batches, delivered {}",
-                    self.peer,
-                    self.delivered
-                );
-                self.done = true;
-            }
-            Err(error) => panic!("{}: {error}", self.peer),
         }
     }
 }
@@ -1633,6 +1693,8 @@ mod tests {
             tx_epochs: vec![0, 10, 0],
             tx_bytes: vec![0, 1480, 0],
             tx_charge_uc: vec![0.0, 5970.0, 0.0],
+            start_epoch: 0,
+            departed: false,
         });
         let bytes = report.encode();
 
@@ -1719,6 +1781,69 @@ mod tests {
         short.push(0x04); // KIND_RESUME
         short.extend_from_slice(&77u64.to_le_bytes());
         let mut reader = &short[..];
+        decoder.read_header(&mut reader).unwrap();
+        assert!(decoder.read_frame(&mut reader, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn join_frames_round_trip_and_are_rejected_off_live_links() {
+        let config = SensorConfig::from_index(3).expect("valid configuration index");
+        let mut encoder = FrameEncoder::new();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(encoder.header());
+        stream.extend_from_slice(encoder.join(42, config, 17));
+
+        let mut decoder = FrameDecoder::new();
+        let mut reader = &stream[..];
+        decoder.read_header(&mut reader).unwrap();
+        let mut scratch = TelemetryBatch::placeholder();
+        assert_eq!(
+            decoder.read_frame(&mut reader, &mut scratch).unwrap(),
+            FrameKind::Join { device_id: 42, config, start_epoch: 17 }
+        );
+
+        // A join frame inside a recorded telemetry trace is corrupt …
+        let mut trace_stream = Vec::new();
+        trace_stream.extend_from_slice(encoder.header());
+        trace_stream.extend_from_slice(encoder.join(42, config, 0));
+        trace_stream.extend_from_slice(encoder.end(0));
+        assert!(TelemetryTrace::decode(&trace_stream).is_err());
+
+        // … but a plain socket source skips it: the handshake only carries
+        // cohort metadata, and the batches behind it must replay untouched.
+        let trace = TelemetryTrace { batches: vec![sample_batch(2.0)] };
+        let mut served = Vec::new();
+        served.extend_from_slice(encoder.header());
+        served.extend_from_slice(encoder.join(42, config, 3));
+        served.extend_from_slice(encoder.batch(&trace.batches[0]));
+        served.extend_from_slice(encoder.end(1));
+        let mut source = SocketSource::from_reader(std::io::Cursor::new(served)).unwrap();
+        assert_eq!(source.status(), SourceStatus::Ready);
+        let mut out = Vec::new();
+        let batch = &trace.batches[0];
+        source.capture_window(batch.config, batch.t_end, batch.window_s, &mut out);
+        assert_eq!(out, batch.samples);
+        assert_eq!(source.status(), SourceStatus::Exhausted);
+
+        // A join frame with the wrong payload length is corrupt.
+        let mut short = Vec::new();
+        short.extend_from_slice(encoder.header());
+        short.extend_from_slice(&10u32.to_le_bytes());
+        short.push(0x06); // KIND_JOIN
+        short.extend_from_slice(&42u64.to_le_bytes());
+        short.push(0);
+        let mut reader = &short[..];
+        decoder.read_header(&mut reader).unwrap();
+        assert!(decoder.read_frame(&mut reader, &mut scratch).is_err());
+
+        // An out-of-range configuration tag is corrupt.
+        let mut bad_config = Vec::new();
+        bad_config.extend_from_slice(encoder.header());
+        let frame = encoder.join(42, config, 17).to_vec();
+        bad_config.extend_from_slice(&frame);
+        let tag_at = bad_config.len() - frame.len() + 4 + 1 + 8;
+        bad_config[tag_at] = 0xEE;
+        let mut reader = &bad_config[..];
         decoder.read_header(&mut reader).unwrap();
         assert!(decoder.read_frame(&mut reader, &mut scratch).is_err());
     }

@@ -44,6 +44,8 @@ use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::time::Instant;
 
 use polling::{poll_fds, PollFd, POLLIN};
@@ -83,6 +85,13 @@ pub struct ReactorStats {
     pub corrupt_streams: u64,
     /// Highest number of simultaneously connected feeds observed.
     pub peak_open: u64,
+    /// Feeds subscribed while the reactor was already running (via
+    /// [`ReactorHandle::subscribe`]).
+    pub joined: u64,
+    /// Feeds unsubscribed mid-run (via [`ReactorHandle::unsubscribe`]): their
+    /// channels closed at the last delivered batch, so the device finalized
+    /// at its last completed epoch.
+    pub departed: u64,
     /// Per-feed failures: `(device_id, error)`.
     pub errors: Vec<(u64, AdaSenseError)>,
 }
@@ -98,16 +107,131 @@ enum FeedState {
     Draining,
     /// All batches delivered and the channel closed.
     Completed,
+    /// Unsubscribed mid-run; the channel closed at the last delivered batch.
+    Departed,
     /// Gave up; error recorded.
     Failed,
 }
 
+/// One feed transport: loopback/remote TCP, or a Unix-domain socket for
+/// local fleets that skip the TCP stack.  Address scheme: `unix:<path>`
+/// dials a Unix socket, anything else is `host:port`.
+#[derive(Debug)]
+enum FeedSocket {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+/// The `unix:<path>` address prefix selecting a Unix-domain-socket feed.
+pub const UNIX_ADDR_SCHEME: &str = "unix:";
+
+impl FeedSocket {
+    /// Dials `addr`, honoring the `unix:` scheme.
+    fn connect(addr: &str) -> std::io::Result<Self> {
+        match addr.strip_prefix(UNIX_ADDR_SCHEME) {
+            Some(path) => Ok(Self::Unix(UnixStream::connect(path)?)),
+            None => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                Ok(Self::Tcp(stream))
+            }
+        }
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.set_nonblocking(nonblocking),
+            Self::Unix(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+}
+
+impl Read for FeedSocket {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            Self::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for FeedSocket {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            Self::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            Self::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl AsRawFd for FeedSocket {
+    fn as_raw_fd(&self) -> std::os::unix::io::RawFd {
+        match self {
+            Self::Tcp(s) => s.as_raw_fd(),
+            Self::Unix(s) => s.as_raw_fd(),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Conn {
-    stream: TcpStream,
+    stream: FeedSocket,
     parser: StreamParser,
     /// Batches received on *this* connection (END validates against it).
     received_this_stream: u64,
+}
+
+/// A churn command sent from a [`ReactorHandle`] to its running reactor.
+enum Command {
+    Subscribe { device_id: u64, addr: String, sender: TelemetrySender },
+    Unsubscribe { device_id: u64 },
+}
+
+/// A cloneable handle for subscribing and unsubscribing feeds while the
+/// reactor runs (see [`IngestReactor::handle`]).  The reactor keeps running
+/// until every feed is terminal *and* every handle has been dropped, so hold
+/// a handle only as long as the fleet may still churn.
+#[derive(Clone)]
+pub struct ReactorHandle {
+    commands: Sender<Command>,
+    capacity: usize,
+}
+
+impl ReactorHandle {
+    /// Registers a new feed with the *running* reactor: device `device_id`
+    /// served at `addr` (`host:port`, or `unix:<path>`), starting from batch
+    /// `0`.  Returns the [`ChannelSource`] the device runtime consumes —
+    /// typically handed to the fleet through
+    /// [`FleetRunBuilder::intake`](crate::fleet::FleetRunBuilder::intake).
+    /// If the reactor has already exited, the source reports end-of-stream
+    /// immediately.
+    pub fn subscribe(&self, addr: &str, device_id: u64) -> ChannelSource {
+        let (sender, source) = telemetry_channel(self.capacity);
+        let _ =
+            self.commands.send(Command::Subscribe { device_id, addr: addr.to_string(), sender });
+        source
+    }
+
+    /// Removes a live feed: its connection is dropped, undelivered batches
+    /// are discarded and its channel closes, so the device finalizes at its
+    /// last completed epoch.  Unknown or already-terminal device ids are
+    /// ignored.
+    pub fn unsubscribe(&self, device_id: u64) {
+        let _ = self.commands.send(Command::Unsubscribe { device_id });
+    }
+}
+
+impl std::fmt::Debug for ReactorHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorHandle").field("capacity", &self.capacity).finish_non_exhaustive()
+    }
 }
 
 struct Feed {
@@ -157,6 +281,17 @@ pub struct IngestReactor {
     policy: ReconnectPolicy,
     capacity: usize,
     stats: ReactorStats,
+    /// Command intake from live [`ReactorHandle`]s, created on first
+    /// [`handle`](Self::handle) call.
+    commands: Option<Receiver<Command>>,
+    /// The reactor's own sender, kept only until [`run`](Self::run) starts so
+    /// `handle` can clone it; dropped at run start so intake disconnection
+    /// means "every user handle is gone".
+    handle_tx: Option<Sender<Command>>,
+    /// Whether the intake was still connected at the last drain (run-loop
+    /// state: an open intake keeps the reactor alive and the poll timeout
+    /// short).
+    intake_open: bool,
 }
 
 impl IngestReactor {
@@ -168,7 +303,28 @@ impl IngestReactor {
             policy: ReconnectPolicy::default(),
             capacity: 8,
             stats: ReactorStats::default(),
+            commands: None,
+            handle_tx: None,
+            intake_open: false,
         }
+    }
+
+    /// Returns a cloneable [`ReactorHandle`] for subscribing and
+    /// unsubscribing feeds *while the reactor runs*.  With at least one
+    /// handle outstanding the reactor keeps running after its current feeds
+    /// finish, waiting for churn; it exits once every handle is dropped and
+    /// every feed is terminal.
+    pub fn handle(&mut self) -> ReactorHandle {
+        let tx = match &self.handle_tx {
+            Some(tx) => tx.clone(),
+            None => {
+                let (tx, rx) = std::sync::mpsc::channel();
+                self.commands = Some(rx);
+                self.handle_tx = Some(tx.clone());
+                tx
+            }
+        };
+        ReactorHandle { commands: tx, capacity: self.capacity }
     }
 
     /// Replaces the reconnect policy (applies per disconnect: each torn
@@ -186,14 +342,22 @@ impl IngestReactor {
     }
 
     /// Registers one feed: device `device_id` served at `addr`
-    /// (`host:port`), starting from batch `0`.  Returns the
-    /// [`ChannelSource`] the device runtime consumes.  The connection is
-    /// dialed when [`run`](Self::run) starts.
+    /// (`host:port`, or `unix:<path>` for a Unix-domain socket), starting
+    /// from batch `0`.  Returns the [`ChannelSource`] the device runtime
+    /// consumes.  The connection is dialed when [`run`](Self::run) starts;
+    /// to subscribe feeds *after* that, take a [`handle`](Self::handle)
+    /// first.
     pub fn subscribe(&mut self, addr: &str, device_id: u64) -> ChannelSource {
         let (sender, source) = telemetry_channel(self.capacity);
+        self.admit(device_id, addr.to_string(), sender);
+        source
+    }
+
+    /// Adds one feed in its initial dialing state.
+    fn admit(&mut self, device_id: u64, addr: String, sender: TelemetrySender) {
         self.feeds.push(Feed {
             device_id,
-            addr: addr.to_string(),
+            addr,
             sender: Some(sender),
             conn: None,
             state: FeedState::Dialing,
@@ -204,7 +368,6 @@ impl IngestReactor {
             ever_connected: false,
             reconnects: 0,
         });
-        source
     }
 
     /// Number of subscribed feeds.
@@ -221,17 +384,31 @@ impl IngestReactor {
     /// (the `poll(2)` syscall itself); per-feed failures are recorded in
     /// [`ReactorStats::errors`] instead.
     pub fn run(mut self) -> Result<ReactorStats, AdaSenseError> {
+        // Drop the reactor's own sender: from here on, intake disconnection
+        // means every user handle is gone and no further churn can arrive.
+        drop(self.handle_tx.take());
+        let commands = self.commands.take();
+        self.intake_open = commands.is_some();
         self.stats.feeds = self.feeds.len() as u64;
         loop {
+            if let Some(rx) = &commands {
+                self.intake_open = loop {
+                    match rx.try_recv() {
+                        Ok(command) => self.apply(command),
+                        Err(TryRecvError::Empty) => break true,
+                        Err(TryRecvError::Disconnected) => break false,
+                    }
+                };
+            }
             let mut live = false;
             for i in 0..self.feeds.len() {
                 self.service_feed(i);
                 match self.feeds[i].state {
-                    FeedState::Completed | FeedState::Failed => {}
+                    FeedState::Completed | FeedState::Departed | FeedState::Failed => {}
                     _ => live = true,
                 }
             }
-            if !live {
+            if !live && !self.intake_open {
                 break;
             }
             self.poll_ready()?;
@@ -240,6 +417,39 @@ impl IngestReactor {
             self.stats.reconnects += feed.reconnects;
         }
         Ok(self.stats)
+    }
+
+    /// Applies one churn command from a [`ReactorHandle`].
+    fn apply(&mut self, command: Command) {
+        match command {
+            Command::Subscribe { device_id, addr, sender } => {
+                self.admit(device_id, addr, sender);
+                self.stats.feeds += 1;
+                self.stats.joined += 1;
+            }
+            Command::Unsubscribe { device_id } => {
+                // Latest matching live feed wins; terminal feeds are left
+                // alone so a departure cannot retroactively fail a stream.
+                let Some(i) = self.feeds.iter().rposition(|f| {
+                    f.device_id == device_id
+                        && !matches!(
+                            f.state,
+                            FeedState::Completed | FeedState::Departed | FeedState::Failed
+                        )
+                }) else {
+                    return;
+                };
+                let feed = &mut self.feeds[i];
+                feed.conn = None;
+                feed.overflow.clear();
+                // Dropping the sender closes the channel at the last
+                // *delivered* batch: the device runtime sees end-of-stream on
+                // its next tick and finalizes at its last completed epoch.
+                feed.sender = None;
+                feed.state = FeedState::Departed;
+                self.stats.departed += 1;
+            }
+        }
     }
 
     /// Polls every streaming, un-parked connection for readability, reading
@@ -261,10 +471,18 @@ impl IngestReactor {
                 // Parked (ring full), draining, or waiting to redial: no fd
                 // to poll, but check back soon.
                 FeedState::Streaming | FeedState::Draining | FeedState::Dialing => impatient = true,
-                FeedState::Completed | FeedState::Failed => {}
+                FeedState::Completed | FeedState::Departed | FeedState::Failed => {}
             }
         }
-        let timeout_ms = if impatient { 1 } else { 250 };
+        // An open intake keeps the wait short so fresh subscribe commands are
+        // admitted promptly even while every current feed is quiescent.
+        let timeout_ms = if impatient {
+            1
+        } else if self.intake_open {
+            25
+        } else {
+            250
+        };
         if fds.is_empty() {
             // Nothing pollable; pace the retry/drain loop without spinning.
             std::thread::sleep(std::time::Duration::from_millis(timeout_ms as u64));
@@ -383,13 +601,12 @@ impl IngestReactor {
         }
     }
 
-    /// Dials `addr` and performs the client half of the handshake: stream
-    /// header + RESUME naming the next batch wanted.  The handshake is 29
-    /// bytes — it always fits the socket send buffer — so it is written
-    /// before the socket goes nonblocking.
-    fn connect(addr: &str, device_id: u64, next_batch: u64) -> std::io::Result<TcpStream> {
-        let mut stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+    /// Dials `addr` (TCP or `unix:<path>`) and performs the client half of
+    /// the handshake: stream header + RESUME naming the next batch wanted.
+    /// The handshake is 29 bytes — it always fits the socket send buffer —
+    /// so it is written before the socket goes nonblocking.
+    fn connect(addr: &str, device_id: u64, next_batch: u64) -> std::io::Result<FeedSocket> {
+        let mut stream = FeedSocket::connect(addr)?;
         let mut encoder = FrameEncoder::new();
         stream.write_all(encoder.header())?;
         stream.write_all(encoder.resume(device_id, next_batch))?;
@@ -456,6 +673,33 @@ impl IngestReactor {
                         );
                     }
                     return;
+                }
+                Ok(Some(FrameKind::Join { device_id, .. })) => {
+                    // v4 servers open every stream (fresh or resumed) with a
+                    // join handshake; validate it and move on.  The carried
+                    // config/start-epoch are advisory to the fleet layer.
+                    if device_id != feed.device_id {
+                        let expected = feed.device_id;
+                        self.fail_feed(
+                            i,
+                            AdaSenseError::ingest(format!(
+                                "join handshake names device {device_id}, but this feed \
+                                 subscribed device {expected}"
+                            )),
+                            true,
+                        );
+                        return;
+                    }
+                    if conn.received_this_stream > 0 {
+                        self.fail_feed(
+                            i,
+                            AdaSenseError::ingest(
+                                "join handshake arrived mid-stream (after a batch frame)",
+                            ),
+                            true,
+                        );
+                        return;
+                    }
                 }
                 Ok(Some(other)) => {
                     self.fail_feed(
@@ -577,9 +821,9 @@ mod tests {
     fn kill_and_resume_delivers_every_batch_exactly_once() {
         let trace = sample_trace(6);
         // One batch frame is 60 bytes (4-byte length prefix + 24-byte head +
-        // one 32-byte sample) after the 8-byte header: killing at byte 100
-        // tears the stream inside the *second* frame, so the client resumes
-        // from batch index 1.
+        // one 32-byte sample) after the 8-byte header and 22-byte JOIN
+        // handshake: killing at byte 100 tears the stream inside the *second*
+        // batch frame, so the client resumes from batch index 1.
         let mut serve = TelemetryServe::bind("127.0.0.1:0", vec![(9, trace.clone())])
             .unwrap()
             .with_kill_at(100);
@@ -648,6 +892,118 @@ mod tests {
         );
         server.join().unwrap();
         rogue_thread.join().unwrap();
+    }
+
+    #[test]
+    fn handle_subscribes_feeds_while_the_reactor_runs() {
+        let trace = sample_trace(4);
+        let mut serve =
+            TelemetryServe::bind("127.0.0.1:0", vec![(3, trace.clone()), (4, trace.clone())])
+                .unwrap();
+        let addr = serve.local_addr().to_string();
+        let server = std::thread::spawn(move || serve.serve_streams(2, 50).unwrap());
+
+        // The reactor starts with zero feeds: only the open handle keeps it
+        // alive, waiting for churn.
+        let mut reactor = IngestReactor::new().with_policy(fast_policy());
+        let handle = reactor.handle();
+        let runner = std::thread::spawn(move || reactor.run().unwrap());
+
+        let first = handle.subscribe(&addr, 3);
+        assert_eq!(drain(first, 4).batches, trace.batches);
+        let second = handle.subscribe(&addr, 4);
+        assert_eq!(drain(second, 4).batches, trace.batches);
+        drop(handle); // last handle gone: the reactor may now exit
+
+        let stats = runner.join().unwrap();
+        assert_eq!(
+            (stats.feeds, stats.joined, stats.completed, stats.failed),
+            (2, 2, 2, 0),
+            "{stats:?}"
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn unsubscribe_departs_the_feed_at_the_last_delivered_batch() {
+        use std::io::Write as _;
+        // A server that streams three batches and never sends END: without a
+        // departure the feed would sit in Streaming forever.
+        let trace = sample_trace(3);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut encoder = FrameEncoder::new();
+            let mut bytes = encoder.header().to_vec();
+            for batch in &trace.batches {
+                bytes.extend_from_slice(encoder.batch(batch));
+            }
+            conn.write_all(&bytes).unwrap();
+            // Hold the socket open until the reactor drops it on departure.
+            let mut sink = [0u8; 64];
+            while matches!(conn.read(&mut sink), Ok(n) if n > 0) {}
+        });
+
+        let mut reactor = IngestReactor::new().with_policy(fast_policy());
+        let handle = reactor.handle();
+        let source = reactor.subscribe(&addr, 9);
+        let runner = std::thread::spawn(move || reactor.run().unwrap());
+
+        let (got_batches, done) = std::sync::mpsc::channel();
+        let consumer = std::thread::spawn(move || {
+            let mut source = source;
+            let config = SensorConfig::paper_pareto_front()[0];
+            let mut delivered = 0usize;
+            for i in 0..3 {
+                assert_eq!(source.status(), SourceStatus::Ready, "batch {i} should arrive");
+                let mut window = Vec::new();
+                source.capture_window(config, 2.0 * (i + 1) as f64, 2.0, &mut window);
+                delivered += 1;
+            }
+            got_batches.send(()).unwrap();
+            // After the departure the channel just ends — no error, no hang.
+            assert_eq!(source.status(), SourceStatus::Exhausted);
+            delivered
+        });
+
+        done.recv().unwrap();
+        handle.unsubscribe(9);
+        drop(handle);
+        let stats = runner.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), 3, "every delivered batch was consumed");
+        assert_eq!(
+            (stats.departed, stats.completed, stats.failed),
+            (1, 0, 0),
+            "a departure is neither a completion nor a failure: {stats:?}"
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn unix_domain_feeds_deliver_like_tcp() {
+        let trace = sample_trace(5);
+        let dir = std::env::temp_dir().join(format!("adasense-reactor-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("feed.sock");
+        let path_str = path.to_str().unwrap().to_string();
+        let mut serve =
+            crate::ingest::serve::TelemetryServe::bind_unix(&path_str, vec![(6, trace.clone())])
+                .unwrap();
+        let server = std::thread::spawn(move || {
+            serve.serve_streams(1, 50).unwrap();
+            serve.stats()
+        });
+
+        let mut reactor = IngestReactor::new().with_policy(fast_policy());
+        let source = reactor.subscribe(&format!("unix:{path_str}"), 6);
+        let consumer = std::thread::spawn(move || drain(source, 5));
+        let stats = reactor.run().unwrap();
+
+        assert_eq!(consumer.join().unwrap().batches, trace.batches);
+        assert_eq!((stats.completed, stats.failed, stats.batches), (1, 0, 5), "{stats:?}");
+        assert_eq!(server.join().unwrap().streams_completed, 1);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -92,7 +92,7 @@ pub use fleet::{
 };
 #[cfg(unix)]
 pub use ingest::{
-    reactor::{IngestReactor, ReactorStats},
+    reactor::{IngestReactor, ReactorHandle, ReactorStats, UNIX_ADDR_SCHEME},
     serve::{ServeStats, TelemetryServe},
 };
 pub use ingest::{
@@ -135,7 +135,7 @@ pub mod prelude {
     };
     #[cfg(unix)]
     pub use crate::ingest::{
-        reactor::{IngestReactor, ReactorStats},
+        reactor::{IngestReactor, ReactorHandle, ReactorStats, UNIX_ADDR_SCHEME},
         serve::{ServeStats, TelemetryServe},
     };
     pub use crate::ingest::{

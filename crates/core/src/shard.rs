@@ -640,8 +640,10 @@ impl GroupStat {
 pub const REPORT_MAGIC: [u8; 4] = *b"ADSR";
 /// Version of the report encoding this build writes and accepts.
 /// Version 2 added the cascade early-exit/escalation counters; version 3
-/// added the per-policy transmission counters.
-pub const REPORT_VERSION: u16 = 3;
+/// added the per-policy transmission counters; version 4 added the fleet
+/// churn counters (joined/departed totals and the lifetime timeline behind
+/// [`FleetStats::active_peak`]).
+pub const REPORT_VERSION: u16 = 4;
 
 /// The complete mergeable state of a fleet report: everything
 /// [`FleetReport`](crate::fleet::FleetReport) can answer, in memory bounded
@@ -671,6 +673,16 @@ pub struct FleetStats {
     pub escalated_epochs: u64,
     /// Escalated epochs classified correctly.
     pub escalated_correct: u64,
+    /// Devices that joined the cohort after fleet epoch 0 (late joiners).
+    pub joined: u64,
+    /// Devices that departed before draining their full stream (early
+    /// departures finalized at their last completed epoch).
+    pub departed: u64,
+    /// Net cohort-size change at each fleet epoch: `+1` where a device's
+    /// lifetime starts, `-1` one past where it ends.  Pointwise-additive, so
+    /// shard merges stay associative; [`active_peak`](FleetStats::active_peak)
+    /// folds it into the peak concurrent cohort size.
+    pub lifetimes: BTreeMap<u64, i64>,
     /// Total classified epochs transmitted under each [`TxPolicy`], indexed
     /// by [`TxPolicy::index`] (all zero when transmission modelling is off).
     pub tx_epochs: [u64; TxPolicy::COUNT],
@@ -716,6 +728,10 @@ impl FleetStats {
         self.early_exit_correct += device.early_exit_correct as u64;
         self.escalated_epochs += device.escalated_epochs as u64;
         self.escalated_correct += device.escalated_correct as u64;
+        self.joined += u64::from(device.start_epoch > 0);
+        self.departed += u64::from(device.departed);
+        *self.lifetimes.entry(device.start_epoch).or_insert(0) += 1;
+        *self.lifetimes.entry(device.start_epoch + device.epochs as u64).or_insert(0) -= 1;
         for index in 0..TxPolicy::COUNT {
             self.tx_epochs[index] += device.tx_epochs.get(index).copied().unwrap_or(0);
             self.tx_bytes[index] += device.tx_bytes.get(index).copied().unwrap_or(0);
@@ -744,6 +760,11 @@ impl FleetStats {
         self.early_exit_correct += other.early_exit_correct;
         self.escalated_epochs += other.escalated_epochs;
         self.escalated_correct += other.escalated_correct;
+        self.joined += other.joined;
+        self.departed += other.departed;
+        for (&epoch, &delta) in &other.lifetimes {
+            *self.lifetimes.entry(epoch).or_insert(0) += delta;
+        }
         for index in 0..TxPolicy::COUNT {
             self.tx_epochs[index] += other.tx_epochs[index];
             self.tx_bytes[index] += other.tx_bytes[index];
@@ -765,6 +786,21 @@ impl FleetStats {
         }
     }
 
+    /// Peak number of devices whose lifetimes overlapped at any fleet epoch.
+    ///
+    /// A running prefix sum over the [`lifetimes`](FleetStats::lifetimes)
+    /// timeline: the answer is the same whether the rows arrived monolithic
+    /// or were merged from shards, because the timeline itself is.
+    pub fn active_peak(&self) -> u64 {
+        let mut active = 0i64;
+        let mut peak = 0i64;
+        for delta in self.lifetimes.values() {
+            active += delta;
+            peak = peak.max(active);
+        }
+        peak.max(0) as u64
+    }
+
     /// Writes the canonical binary form into `out` (no magic/version — the
     /// caller frames it; [`crate::fleet::FleetReport::encode`] is the framed
     /// entry point).
@@ -777,6 +813,13 @@ impl FleetStats {
         out.extend_from_slice(&self.early_exit_correct.to_le_bytes());
         out.extend_from_slice(&self.escalated_epochs.to_le_bytes());
         out.extend_from_slice(&self.escalated_correct.to_le_bytes());
+        out.extend_from_slice(&self.joined.to_le_bytes());
+        out.extend_from_slice(&self.departed.to_le_bytes());
+        out.extend_from_slice(&(self.lifetimes.len() as u64).to_le_bytes());
+        for (&epoch, &delta) in &self.lifetimes {
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.extend_from_slice(&delta.to_le_bytes());
+        }
         for index in 0..TxPolicy::COUNT {
             out.extend_from_slice(&self.tx_epochs[index].to_le_bytes());
             out.extend_from_slice(&self.tx_bytes[index].to_le_bytes());
@@ -806,6 +849,17 @@ impl FleetStats {
         let early_exit_correct = cursor.u64()?;
         let escalated_epochs = cursor.u64()?;
         let escalated_correct = cursor.u64()?;
+        let joined = cursor.u64()?;
+        let departed = cursor.u64()?;
+        let lifetimes_len = cursor.u64()? as usize;
+        let mut lifetimes = BTreeMap::new();
+        for _ in 0..lifetimes_len {
+            let epoch = cursor.u64()?;
+            let delta = cursor.u64()? as i64;
+            if lifetimes.insert(epoch, delta).is_some() {
+                return Err(AdaSenseError::shard("duplicate lifetime epoch in report encoding"));
+            }
+        }
         let mut tx_epochs = [0u64; TxPolicy::COUNT];
         let mut tx_bytes = [0u64; TxPolicy::COUNT];
         let mut tx_charge_uc: [ExactSum; TxPolicy::COUNT] = Default::default();
@@ -841,6 +895,9 @@ impl FleetStats {
             early_exit_correct,
             escalated_epochs,
             escalated_correct,
+            joined,
+            departed,
+            lifetimes,
             tx_epochs,
             tx_bytes,
             tx_charge_uc,
@@ -985,8 +1042,9 @@ impl SummarySink for Vec<DeviceSummary> {
 pub const SPOOL_MAGIC: [u8; 4] = *b"ADSP";
 /// Version of the spool encoding this build writes and accepts.
 /// Version 2 added the per-row cascade early-exit/escalation counters;
-/// version 3 added the per-policy transmission counters.
-pub const SPOOL_VERSION: u16 = 3;
+/// version 3 added the per-policy transmission counters; version 4 added the
+/// per-row churn lifetime (start epoch + departed flag).
+pub const SPOOL_VERSION: u16 = 4;
 
 /// Frame-kind tag of one spooled row.
 const SPOOL_KIND_ROW: u8 = 0x01;
@@ -1096,6 +1154,8 @@ impl<W: Write + Send> SummarySink for SpoolWriter<W> {
                 &row.tx_charge_uc.get(index).copied().unwrap_or(0.0).to_le_bytes(),
             );
         }
+        self.buf.extend_from_slice(&row.start_epoch.to_le_bytes());
+        self.buf.push(u8::from(row.departed));
         let payload_len = self.buf.len() - 4;
         assert!(payload_len <= SPOOL_MAX_FRAME, "spool row exceeds the frame cap");
         self.buf[0..4].copy_from_slice(&(payload_len as u32).to_le_bytes());
@@ -1246,6 +1306,16 @@ fn decode_summary(cursor: &mut ByteCursor<'_>) -> Result<DeviceSummary, AdaSense
         tx_bytes.push(cursor.u64()?);
         tx_charge_uc.push(cursor.f64()?);
     }
+    let start_epoch = cursor.u64()?;
+    let departed = match cursor.u8()? {
+        0 => false,
+        1 => true,
+        tag => {
+            return Err(AdaSenseError::shard(format!(
+                "spooled row carries departed flag {tag}, expected 0 or 1"
+            )));
+        }
+    };
     Ok(DeviceSummary {
         device_id,
         seed,
@@ -1266,6 +1336,8 @@ fn decode_summary(cursor: &mut ByteCursor<'_>) -> Result<DeviceSummary, AdaSense
         tx_epochs,
         tx_bytes,
         tx_charge_uc,
+        start_epoch,
+        departed,
     })
 }
 
@@ -1299,6 +1371,11 @@ impl<'a> ByteCursor<'a> {
         let (head, tail) = self.bytes.split_at(n);
         self.bytes = tail;
         Ok(head)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, AdaSenseError> {
+        Ok(self.take(1)?[0])
     }
 
     /// Reads one little-endian `u16`.
@@ -1546,6 +1623,8 @@ mod tests {
             tx_epochs: vec![3, 15, 2],
             tx_bytes: vec![9276, 2220, 3104],
             tx_charge_uc: vec![37119.0, 8895.0, 12431.0],
+            start_epoch: device_id % 4,
+            departed: device_id % 2 == 1,
         }
     }
 

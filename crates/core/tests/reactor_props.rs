@@ -77,6 +77,8 @@ fn rows_bit_identical(a: &DeviceSummary, b: &DeviceSummary) -> bool {
         && a.tx_bytes == b.tx_bytes
         && a.tx_charge_uc.len() == b.tx_charge_uc.len()
         && a.tx_charge_uc.iter().zip(&b.tx_charge_uc).all(|(x, y)| x.to_bits() == y.to_bits())
+        && a.start_epoch == b.start_epoch
+        && a.departed == b.departed
 }
 
 /// Runs `fleet` entirely from compressed socket feeds at `ratio`× compression,

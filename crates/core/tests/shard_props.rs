@@ -87,6 +87,10 @@ fn any_summary() -> impl Strategy<Value = DeviceSummary> {
                     tx_epochs,
                     tx_bytes,
                     tx_charge_uc,
+                    // Vary the lifetime window so shard merges exercise the
+                    // churn timeline: late joiners and early departures.
+                    start_epoch: tx_base % 13,
+                    departed: tx_base % 3 == 0,
                 }
             },
         )
